@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks over the reproduction's substrates.
+//!
+//! These do not regenerate paper tables (the `src/bin/table*` harnesses
+//! do); they track the raw performance of the simulator stack itself:
+//! wide-word arithmetic, checksum kernels, interpreter and RTL stepping
+//! rates, IP-block models, and the host-path sampler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use emu_core::Target;
+use emu_types::{checksum, Bits, U256};
+use kiwi_ir::dsl::*;
+use kiwi_ir::interp::{NullEnv, NullObserver};
+use kiwi_ir::ProgramBuilder;
+
+fn bench_bits(c: &mut Criterion) {
+    let a = Bits::from_u128(u128::MAX ^ 0xdead, 512);
+    let b = Bits::from_u128(0x1234_5678_9abc_def0, 512);
+    c.bench_function("bits/add_512", |bench| {
+        bench.iter(|| black_box(&a).wrapping_add(black_box(&b)))
+    });
+    c.bench_function("bits/mul_512", |bench| {
+        bench.iter(|| black_box(&a).wrapping_mul(black_box(&b)))
+    });
+    let x = U256::from_u64(0x55aa);
+    let y = U256::from_u64(0x1234);
+    c.bench_function("wide/u256_add", |bench| {
+        bench.iter(|| black_box(x) + black_box(y))
+    });
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let frame = vec![0xa5u8; 1514];
+    c.bench_function("checksum/full_1514B", |bench| {
+        bench.iter(|| checksum::internet_checksum(black_box(&frame)))
+    });
+    c.bench_function("checksum/incremental_word", |bench| {
+        bench.iter(|| checksum::update_word(black_box(0x1234), 0xaaaa, 0x5555))
+    });
+    let key = b"some-cache-key";
+    c.bench_function("hash/pearson8", |bench| {
+        bench.iter(|| checksum::pearson8(black_box(key)))
+    });
+}
+
+fn counter_program() -> kiwi_ir::Program {
+    let mut pb = ProgramBuilder::new("bench_counter");
+    let a = pb.reg("a", 64);
+    pb.thread(
+        "main",
+        vec![forever(vec![assign(a, add(var(a), lit(1, 64))), pause()])],
+    );
+    pb.build().expect("valid")
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let prog = counter_program();
+    c.bench_function("interp/cycles_per_sec", |bench| {
+        let mut m = kiwi_ir::Machine::new(kiwi_ir::flatten(&prog).expect("flat"));
+        bench.iter(|| m.step_cycle(&mut NullEnv, &mut NullObserver).expect("step"));
+    });
+    c.bench_function("rtl/cycles_per_sec", |bench| {
+        let mut m = emu_rtl::RtlMachine::new(kiwi::compile(&prog).expect("fsm"));
+        bench.iter(|| m.step_cycle(&mut NullEnv, &mut NullObserver).expect("step"));
+    });
+}
+
+fn bench_services(c: &mut Criterion) {
+    let svc = emu_services::switch_ip_cam();
+    let mut inst = svc.instantiate(Target::Fpga).expect("instantiate");
+    let mut f = emu_types::Frame::ethernet(
+        emu_types::MacAddr::from_u64(0xB),
+        emu_types::MacAddr::from_u64(0xA),
+        0x0800,
+        &[0; 46],
+    );
+    f.in_port = 0;
+    c.bench_function("services/switch_per_packet", |bench| {
+        bench.iter(|| inst.process(black_box(&f)).expect("process"))
+    });
+
+    let icmp = emu_services::icmp_echo();
+    let mut icmp_inst = icmp.instantiate(Target::Fpga).expect("instantiate");
+    let ping = emu_services::icmp::echo_request_frame(56, 7);
+    c.bench_function("services/icmp_echo_per_packet", |bench| {
+        bench.iter(|| icmp_inst.process(black_box(&ping)).expect("process"))
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    c.bench_function("kiwi/compile_memcached", |bench| {
+        let prog = emu_services::memcached().program;
+        bench.iter(|| kiwi::compile(black_box(&prog)).expect("compile"))
+    });
+    c.bench_function("kiwi/emit_verilog_switch", |bench| {
+        let fsm = kiwi::compile(&emu_services::switch_ip_cam().program).expect("compile");
+        bench.iter(|| kiwi::emit(black_box(&fsm)).expect("emit"))
+    });
+}
+
+fn bench_host(c: &mut Criterion) {
+    let profile = hoststack::HostProfile::memcached();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    c.bench_function("host/latency_sample", |bench| {
+        bench.iter(|| profile.sample_latency_us(black_box(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bits,
+    bench_checksum,
+    bench_backends,
+    bench_services,
+    bench_compiler,
+    bench_host
+);
+criterion_main!(benches);

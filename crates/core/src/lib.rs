@@ -1,0 +1,34 @@
+//! The Emu standard library — the paper's primary contribution.
+//!
+//! "Emu provides the implementation for essential network functionality"
+//! the way stdlib does for C (§1). Concretely:
+//!
+//! * [`dataplane`] — the Figure 6 utility surface (`Get_Frame`,
+//!   `Set_Output_Port`, `Broadcast`, `EtherType_Is`, ...) over the
+//!   NetFPGA dataplane contract,
+//! * [`proto`] — the protocol wrappers of Figures 3–4 (Ethernet, ARP,
+//!   IPv4, ICMP, UDP, TCP, DNS),
+//! * [`csum`] — RFC 1071/1624 checksum arithmetic as IR expressions,
+//! * [`ipblock`] — wrappers for hardware IP blocks: CAM, the Figure 5
+//!   streaming hash, and the Figure 9 LRU cache,
+//! * [`runner`] — the heterogeneous-target execution environment: one
+//!   program instantiated on the CPU (interpreter) or FPGA
+//!   (cycle-accurate FSM) target, plus the differential-testing harness.
+//!
+//! Services built from these pieces live in `emu-services`; the Mininet
+//! analogue in `netsim` provides the third target.
+
+pub mod csum;
+pub mod dataplane;
+pub mod ipblock;
+pub mod proto;
+pub mod runner;
+
+pub use dataplane::Dataplane;
+pub use ipblock::{CamDeleteIf, CamIf, HashIf, LruIf, NaughtyQIf};
+pub use proto::{
+    ArpWrapper, DnsWrapper, EthernetWrapper, IcmpWrapper, Ipv4Wrapper, TcpWrapper, UdpWrapper,
+};
+pub use runner::{
+    assert_targets_agree, service_builder, AnyDriver, Service, ServiceInstance, Target,
+};

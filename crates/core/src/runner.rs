@@ -1,0 +1,231 @@
+//! The multi-target runner: one program, three execution targets.
+//!
+//! This is contribution 2 of the paper: "an execution environment that
+//! supports running a single codebase over heterogeneous targets,
+//! including CPUs, network simulators, and FPGAs." A [`Service`] bundles
+//! a program with a recipe for its IP-block environment; [`Target`]
+//! selects the backend. The Mininet-analogue target lives in the `netsim`
+//! crate (it embeds the same CPU backend in a network simulation).
+
+use crate::dataplane::Dataplane;
+use emu_rtl::{ExecBackend, IpEnv, RtlMachine};
+use emu_types::Frame;
+use kiwi::CostModel;
+use kiwi_ir::interp::{NullObserver, Observer};
+use kiwi_ir::{IrResult, Machine, Program};
+use netfpga_sim::dataplane::CoreOutput;
+use netfpga_sim::DataplaneDriver;
+
+/// Execution target selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Sequential interpreter — the paper's x86 process target.
+    Cpu,
+    /// Cycle-accurate compiled FSM — the FPGA target.
+    Fpga,
+}
+
+/// A deployable service: program + IP-block environment recipe.
+pub struct Service {
+    /// The service program (must declare the dataplane contract).
+    pub program: Program,
+    /// Builds the IP-block environment the program expects.
+    pub make_env: Box<dyn Fn() -> IpEnv>,
+    /// Compiler cost model for the FPGA target.
+    pub cost_model: CostModel,
+}
+
+impl Service {
+    /// Wraps a program that needs no IP blocks.
+    pub fn new(program: Program) -> Self {
+        Service {
+            program,
+            make_env: Box::new(IpEnv::new),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Wraps a program with an IP-block environment recipe.
+    pub fn with_env(program: Program, make_env: impl Fn() -> IpEnv + 'static) -> Self {
+        Service {
+            program,
+            make_env: Box::new(make_env),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Instantiates the service on a target.
+    pub fn instantiate(&self, target: Target) -> IrResult<ServiceInstance> {
+        let env = (self.make_env)();
+        let driver = match target {
+            Target::Cpu => {
+                let m = Machine::new(kiwi_ir::flatten(&self.program)?);
+                AnyDriver::Cpu(DataplaneDriver::new(m)?)
+            }
+            Target::Fpga => {
+                let fsm = kiwi::compile_with(&self.program, self.cost_model.clone())?;
+                AnyDriver::Fpga(DataplaneDriver::new(RtlMachine::new(fsm))?)
+            }
+        };
+        Ok(ServiceInstance { driver, env })
+    }
+}
+
+/// Target-erased dataplane driver.
+pub enum AnyDriver {
+    /// Interpreter-backed.
+    Cpu(DataplaneDriver<Machine>),
+    /// FSM-backed.
+    Fpga(DataplaneDriver<RtlMachine>),
+}
+
+/// A running service on some target.
+pub struct ServiceInstance {
+    driver: AnyDriver,
+    env: IpEnv,
+}
+
+impl ServiceInstance {
+    /// Processes one frame, returning transmissions and cycles consumed.
+    pub fn process(&mut self, frame: &Frame) -> IrResult<CoreOutput> {
+        self.process_observed(frame, &mut NullObserver)
+    }
+
+    /// Processes one frame under an observer (debug tooling).
+    pub fn process_observed(
+        &mut self,
+        frame: &Frame,
+        obs: &mut dyn Observer,
+    ) -> IrResult<CoreOutput> {
+        match &mut self.driver {
+            AnyDriver::Cpu(d) => d.process(frame, &mut self.env, obs),
+            AnyDriver::Fpga(d) => d.process(frame, &mut self.env, obs),
+        }
+    }
+
+    /// Lets the core run `n` cycles without traffic.
+    pub fn idle(&mut self, n: u64) -> IrResult<()> {
+        match &mut self.driver {
+            AnyDriver::Cpu(d) => d.idle(n, &mut self.env, &mut NullObserver),
+            AnyDriver::Fpga(d) => d.idle(n, &mut self.env, &mut NullObserver),
+        }
+    }
+
+    /// Reads a register by name (debug/verification convenience).
+    pub fn read_reg(&self, name: &str) -> Option<emu_types::Bits> {
+        let (prog, st) = match &self.driver {
+            AnyDriver::Cpu(d) => (d.backend().program(), d.backend().machine_state()),
+            AnyDriver::Fpga(d) => (d.backend().program(), d.backend().machine_state()),
+        };
+        prog.var_by_name(name)
+            .map(|v| st.vars[v.0 as usize].clone())
+    }
+
+    /// The IP-block environment (for attaching more models in tests).
+    pub fn env_mut(&mut self) -> &mut IpEnv {
+        &mut self.env
+    }
+
+    /// Consumes the instance, returning the FPGA driver if this instance
+    /// runs on the FPGA target (used by the pipeline simulator).
+    pub fn into_fpga_parts(self) -> Option<(DataplaneDriver<RtlMachine>, IpEnv)> {
+        match self.driver {
+            AnyDriver::Fpga(d) => Some((d, self.env)),
+            AnyDriver::Cpu(_) => None,
+        }
+    }
+}
+
+/// Runs the same frames through both targets and asserts identical
+/// transmissions — the differential harness used across the test suite.
+pub fn assert_targets_agree(service: &Service, frames: &[Frame]) -> IrResult<()> {
+    let mut cpu = service.instantiate(Target::Cpu)?;
+    let mut fpga = service.instantiate(Target::Fpga)?;
+    for (i, f) in frames.iter().enumerate() {
+        let a = cpu.process(f)?;
+        let b = fpga.process(f)?;
+        if a.tx != b.tx {
+            return Err(kiwi_ir::IrError(format!(
+                "target divergence on frame {i}: cpu {:?} vs fpga {:?}",
+                a.tx, b.tx
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A convenience used by services and examples: declare the dataplane and
+/// hand back both the builder and the handle.
+pub fn service_builder(name: &str, frame_capacity: usize) -> (kiwi_ir::ProgramBuilder, Dataplane) {
+    let mut pb = kiwi_ir::ProgramBuilder::new(name);
+    let dp = Dataplane::declare(&mut pb, frame_capacity);
+    (pb, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiwi_ir::dsl::*;
+
+    fn port_mirror() -> Service {
+        let (mut pb, dp) = service_builder("mirror", 128);
+        let mut body = vec![dp.rx_wait(), dp.set_output_port(dp.input_port())];
+        body.extend(dp.transmit(dp.rx_len()));
+        body.extend(dp.done());
+        pb.thread("main", vec![forever(body)]);
+        Service::new(pb.build().unwrap())
+    }
+
+    #[test]
+    fn both_targets_run_and_agree() {
+        let svc = port_mirror();
+        let frames: Vec<Frame> = (0..10)
+            .map(|i| {
+                let mut f = Frame::new(vec![i as u8; 60 + i * 3]);
+                f.in_port = (i % 4) as u8;
+                f
+            })
+            .collect();
+        assert_targets_agree(&svc, &frames).unwrap();
+    }
+
+    #[test]
+    fn read_reg_by_name() {
+        let (mut pb, dp) = service_builder("counter", 64);
+        let count = pb.reg("rx_count", 32);
+        let mut body = vec![dp.rx_wait(), assign(count, add(var(count), lit(1, 32)))];
+        body.extend(dp.done());
+        pb.thread("main", vec![forever(body)]);
+        let svc = Service::new(pb.build().unwrap());
+        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        for _ in 0..5 {
+            inst.process(&Frame::new(vec![0; 60])).unwrap();
+        }
+        assert_eq!(inst.read_reg("rx_count").unwrap().to_u64(), 5);
+        assert!(inst.read_reg("nonexistent").is_none());
+    }
+
+    #[test]
+    fn divergence_detection_works() {
+        // A service reading an *uninitialized input signal* that only the
+        // environment drives would diverge if envs differed; here targets
+        // agree, so the harness must pass — this guards the harness itself.
+        let svc = port_mirror();
+        assert!(assert_targets_agree(&svc, &[Frame::new(vec![0; 60])]).is_ok());
+    }
+
+    #[test]
+    fn into_fpga_parts_only_for_fpga() {
+        let svc = port_mirror();
+        assert!(svc
+            .instantiate(Target::Cpu)
+            .unwrap()
+            .into_fpga_parts()
+            .is_none());
+        assert!(svc
+            .instantiate(Target::Fpga)
+            .unwrap()
+            .into_fpga_parts()
+            .is_some());
+    }
+}

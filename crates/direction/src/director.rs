@@ -1,0 +1,201 @@
+//! The director: the host-side half of Figure 8.
+//!
+//! "The director and controller exchange commands and their outputs" —
+//! the [`Director`] turns high-level commands into direction packets,
+//! injects them into a running service instance, and decodes the
+//! replies. This is the reproduction's `gdb` front end; §5.5's checksum
+//! bug hunt ("directing the packets to report the checksum calculated
+//! within Emu") is exactly a sequence of `print` commands issued this way.
+
+use crate::lang::{compile, Command};
+use crate::packet::{status, DirectionPacket};
+use emu_core::ServiceInstance;
+use emu_types::MacAddr;
+use kiwi_ir::IrResult;
+
+/// Remote-direction client for a running service.
+pub struct Director {
+    /// Variables exported to the controller, in index order (must match
+    /// the `ControllerConfig` used at transform time).
+    pub var_table: Vec<String>,
+    /// MAC used as the director's source address.
+    pub src: MacAddr,
+    /// MAC of the device under direction.
+    pub dst: MacAddr,
+}
+
+/// The decoded outcome of one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A value came back (print / trace reads).
+    Value(u64),
+    /// Several values came back (trace print).
+    Values(Vec<u64>),
+    /// Acknowledged with no payload.
+    Ok,
+    /// The controller rejected the request with this status code.
+    Rejected(u8),
+    /// The command has no hardware mapping (attach an observer instead).
+    SoftwareOnly,
+}
+
+impl Director {
+    /// Creates a director for the given exported-variable table.
+    pub fn new(var_table: Vec<String>) -> Self {
+        Director {
+            var_table,
+            src: MacAddr::from_u64(0xD12EC7),
+            dst: MacAddr::from_u64(0xDE71CE),
+        }
+    }
+
+    /// Sends one raw packet and decodes the reply.
+    fn exchange(
+        &self,
+        inst: &mut ServiceInstance,
+        op: crate::packet::Opcode,
+        var: u8,
+        value: u64,
+    ) -> IrResult<DirectionPacket> {
+        let mut frame = DirectionPacket::request(op, var, value).encode(self.dst, self.src);
+        frame.in_port = 0;
+        let out = inst.process(&frame)?;
+        let reply = out
+            .tx
+            .first()
+            .and_then(|t| DirectionPacket::decode(&t.frame))
+            .ok_or_else(|| kiwi_ir::IrError("no direction reply (controller missing?)".into()))?;
+        Ok(reply)
+    }
+
+    /// Runs a parsed command against a live instance.
+    pub fn run(&self, inst: &mut ServiceInstance, cmd: &Command) -> IrResult<Outcome> {
+        let ops = compile(cmd, &self.var_table).map_err(kiwi_ir::IrError)?;
+        if ops.is_empty() {
+            return Ok(Outcome::SoftwareOnly);
+        }
+
+        // `trace print X` expands dynamically: status first, then reads.
+        if let Command::TracePrint(_) = cmd {
+            let st = self.exchange(inst, crate::packet::Opcode::TraceStatus, 0, 0)?;
+            if st.status != status::OK {
+                return Ok(Outcome::Rejected(st.status));
+            }
+            let fill = st.value & 0xffff_ffff;
+            let mut vals = Vec::new();
+            for i in 0..fill {
+                let r = self.exchange(inst, crate::packet::Opcode::TraceRead, 0, i)?;
+                if r.status != status::OK {
+                    return Ok(Outcome::Rejected(r.status));
+                }
+                vals.push(r.value);
+            }
+            return Ok(Outcome::Values(vals));
+        }
+
+        let mut last = None;
+        for op in ops {
+            let (opcode, var, value) = op.encode();
+            let reply = self.exchange(inst, opcode, var, value)?;
+            if reply.status != status::OK {
+                return Ok(Outcome::Rejected(reply.status));
+            }
+            last = Some(reply);
+        }
+        Ok(match (cmd, last) {
+            (Command::Print(_), Some(r)) => Outcome::Value(r.value),
+            (Command::TraceFull(_), Some(r)) => {
+                // Full iff overflow counter non-zero.
+                Outcome::Value(u64::from(r.value >> 32 != 0))
+            }
+            _ => Outcome::Ok,
+        })
+    }
+
+    /// Convenience: `print <name>`.
+    pub fn print(&self, inst: &mut ServiceInstance, name: &str) -> IrResult<Outcome> {
+        self.run(inst, &Command::Print(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{extend_program, ControllerConfig};
+    use emu_core::{service_builder, Service, Target};
+    use emu_types::Frame;
+    use kiwi_ir::dsl::*;
+
+    fn counter_service_directed(trace: usize) -> (Service, Director) {
+        let (mut pb, dp) = service_builder("ctr", 128);
+        let count = pb.reg("count", 32);
+        let mut body = vec![dp.rx_wait(), label("rx"), ext_point(0)];
+        body.push(assign(count, add(var(count), lit(1, 32))));
+        body.extend(dp.done());
+        pb.thread("main", vec![forever(body)]);
+        let base = pb.build().unwrap();
+        let cfg = ControllerConfig::full(&["count"], trace);
+        let svc = Service::new(extend_program(&base, &cfg).unwrap());
+        (svc, Director::new(vec!["count".to_string()]))
+    }
+
+    #[test]
+    fn print_command_end_to_end() {
+        let (svc, dir) = counter_service_directed(0);
+        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        for _ in 0..4 {
+            inst.process(&Frame::new(vec![0; 60])).unwrap();
+        }
+        assert_eq!(dir.print(&mut inst, "count").unwrap(), Outcome::Value(4));
+    }
+
+    #[test]
+    fn set_and_increment_commands() {
+        let (svc, dir) = counter_service_directed(0);
+        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        dir.run(&mut inst, &crate::lang::parse("set count 100").unwrap())
+            .unwrap();
+        dir.run(&mut inst, &crate::lang::parse("increment count").unwrap())
+            .unwrap();
+        assert_eq!(dir.print(&mut inst, "count").unwrap(), Outcome::Value(101));
+    }
+
+    #[test]
+    fn trace_print_collects_history() {
+        let (svc, dir) = counter_service_directed(16);
+        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        dir.run(&mut inst, &crate::lang::parse("trace start count 4").unwrap())
+            .unwrap();
+        for _ in 0..4 {
+            inst.process(&Frame::new(vec![0; 60])).unwrap();
+        }
+        let out = dir
+            .run(&mut inst, &crate::lang::parse("trace print count").unwrap())
+            .unwrap();
+        assert_eq!(out, Outcome::Values(vec![0, 1, 2, 3]));
+        // Not full (no overflow yet).
+        let full = dir
+            .run(&mut inst, &crate::lang::parse("trace full count").unwrap())
+            .unwrap();
+        assert_eq!(full, Outcome::Value(0));
+    }
+
+    #[test]
+    fn software_only_commands_reported() {
+        let (svc, dir) = counter_service_directed(0);
+        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let out = dir
+            .run(&mut inst, &crate::lang::parse("watch count").unwrap())
+            .unwrap();
+        assert_eq!(out, Outcome::SoftwareOnly);
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let (svc, dir) = counter_service_directed(0);
+        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        assert!(dir
+            .run(&mut inst, &crate::lang::parse("print missing").unwrap())
+            .is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Direction packets: the in-band remote-debugging protocol of §3.5.
+//!
+//! "Direction packets are network packets in a custom and simple packet
+//! format, whose payload consists of (i) code to be executed by the
+//! controller; or (ii) status replies from the controller to the
+//! director. It enables us to remotely direct a running program, similar
+//! to gdb's remote serial protocol."
+//!
+//! Layout (after the Ethernet header, EtherType `0x88b5`):
+//!
+//! ```text
+//! offset 14: opcode   (1 byte; replies set bit 7)
+//! offset 15: variable (1 byte; index into the controller's var table)
+//! offset 16: value    (8 bytes, big-endian)
+//! offset 24: status   (1 byte; 0 = ok, 1 = bad var, 2 = bad op)
+//! ```
+
+use emu_types::proto::ether_type;
+use emu_types::{bitutil, Frame, MacAddr};
+
+/// Controller opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Read a variable: reply carries its value.
+    ReadVar = 1,
+    /// Write a variable from the value field.
+    WriteVar = 2,
+    /// Increment a variable.
+    Increment = 3,
+    /// Arm the trace unit: variable index + depth in the value field.
+    TraceStart = 4,
+    /// Read one trace-buffer slot (index in the value field).
+    TraceRead = 5,
+    /// Read trace status: reply value = (overflowed << 32) | fill.
+    TraceStatus = 6,
+    /// Stop tracing.
+    TraceStop = 7,
+}
+
+impl Opcode {
+    /// Parses a request opcode byte.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        Some(match b {
+            1 => Opcode::ReadVar,
+            2 => Opcode::WriteVar,
+            3 => Opcode::Increment,
+            4 => Opcode::TraceStart,
+            5 => Opcode::TraceRead,
+            6 => Opcode::TraceStatus,
+            7 => Opcode::TraceStop,
+            _ => return None,
+        })
+    }
+}
+
+/// Reply status codes.
+pub mod status {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// Unknown variable index.
+    pub const BAD_VAR: u8 = 1;
+    /// Opcode not compiled into this controller.
+    pub const BAD_OP: u8 = 2;
+}
+
+/// Byte offsets of the packet fields (within the frame).
+pub mod field {
+    /// Opcode.
+    pub const OPCODE: usize = 14;
+    /// Variable index.
+    pub const VAR: usize = 15;
+    /// 64-bit value.
+    pub const VALUE: usize = 16;
+    /// Status byte (replies).
+    pub const STATUS: usize = 24;
+}
+
+/// Reply bit OR-ed into the opcode byte.
+pub const REPLY_BIT: u8 = 0x80;
+
+/// A parsed direction packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectionPacket {
+    /// The operation.
+    pub opcode: Opcode,
+    /// Target variable index.
+    pub var: u8,
+    /// Argument / result value.
+    pub value: u64,
+    /// Status (meaningful in replies).
+    pub status: u8,
+    /// Reply flag.
+    pub is_reply: bool,
+}
+
+impl DirectionPacket {
+    /// Builds a request.
+    pub fn request(opcode: Opcode, var: u8, value: u64) -> Self {
+        DirectionPacket {
+            opcode,
+            var,
+            value,
+            status: 0,
+            is_reply: false,
+        }
+    }
+
+    /// Encodes into a frame addressed `src → dst`.
+    pub fn encode(&self, dst: MacAddr, src: MacAddr) -> Frame {
+        let mut payload = vec![0u8; 46];
+        payload[0] = self.opcode as u8 | if self.is_reply { REPLY_BIT } else { 0 };
+        payload[1] = self.var;
+        bitutil::set64(&mut payload, 2, self.value);
+        payload[10] = self.status;
+        Frame::ethernet(dst, src, ether_type::DIRECTION, &payload)
+    }
+
+    /// Decodes from a frame; `None` when the frame is not a direction
+    /// packet or carries an unknown opcode.
+    pub fn decode(frame: &Frame) -> Option<DirectionPacket> {
+        if !frame.is_direction() {
+            return None;
+        }
+        let b = frame.bytes();
+        let raw = *b.get(field::OPCODE)?;
+        let opcode = Opcode::from_byte(raw & !REPLY_BIT)?;
+        Some(DirectionPacket {
+            opcode,
+            var: *b.get(field::VAR)?,
+            value: bitutil::get64(b, field::VALUE),
+            status: *b.get(field::STATUS)?,
+            is_reply: raw & REPLY_BIT != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op in [
+            Opcode::ReadVar,
+            Opcode::WriteVar,
+            Opcode::Increment,
+            Opcode::TraceStart,
+            Opcode::TraceRead,
+            Opcode::TraceStatus,
+            Opcode::TraceStop,
+        ] {
+            let p = DirectionPacket::request(op, 3, 0xdead_beef_0042);
+            let f = p.encode(MacAddr::from_u64(1), MacAddr::from_u64(2));
+            let q = DirectionPacket::decode(&f).unwrap();
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn reply_bit_preserved() {
+        let mut p = DirectionPacket::request(Opcode::ReadVar, 0, 7);
+        p.is_reply = true;
+        p.status = status::OK;
+        let f = p.encode(MacAddr::from_u64(1), MacAddr::from_u64(2));
+        let q = DirectionPacket::decode(&f).unwrap();
+        assert!(q.is_reply);
+        assert_eq!(q.status, status::OK);
+    }
+
+    #[test]
+    fn non_direction_frames_rejected() {
+        let f = Frame::ethernet(
+            MacAddr::from_u64(1),
+            MacAddr::from_u64(2),
+            emu_types::proto::ether_type::IPV4,
+            &[0; 46],
+        );
+        assert!(DirectionPacket::decode(&f).is_none());
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let p = DirectionPacket::request(Opcode::ReadVar, 0, 0);
+        let mut f = p.encode(MacAddr::from_u64(1), MacAddr::from_u64(2));
+        f.bytes_mut()[field::OPCODE] = 0x7f;
+        assert!(DirectionPacket::decode(&f).is_none());
+    }
+
+    #[test]
+    fn field_offsets_match_layout() {
+        let p = DirectionPacket::request(Opcode::WriteVar, 9, 0x0102030405060708);
+        let f = p.encode(MacAddr::from_u64(1), MacAddr::from_u64(2));
+        let b = f.bytes();
+        assert_eq!(b[field::OPCODE], 2);
+        assert_eq!(b[field::VAR], 9);
+        assert_eq!(bitutil::get64(b, field::VALUE), 0x0102030405060708);
+    }
+}

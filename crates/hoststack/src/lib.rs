@@ -1,0 +1,35 @@
+//! The host baseline: a model of the Linux network path plus host-native
+//! service implementations.
+//!
+//! Table 4 of the paper compares each Emu service against its "Linux
+//! native counterpart" measured through the kernel stack (§5.4). This
+//! crate provides that side of the comparison:
+//!
+//! * [`path`] — the staged receive/transmit path model (NIC DMA, IRQ,
+//!   softirq, stack, socket wake-up, application) with per-service
+//!   profiles calibrated to the paper's averages and tail ratios,
+//! * [`services`] — real software implementations of ICMP echo, DNS and
+//!   memcached, byte-compatible with the Emu services for differential
+//!   testing,
+//! * [`workload`] — memaslap- and OSNT-style load generators,
+//! * [`rng`] — auditable samplers (Box–Muller, lognormal, exponential).
+
+pub mod path;
+pub mod rng;
+pub mod services;
+pub mod workload;
+
+pub use path::{HostProfile, Stage};
+pub use services::{HostDns, HostIcmpEcho, HostMemcached, HostService};
+pub use workload::{constant_rate_ns, McOp, Memaslap};
+
+/// DNS wire-format name encoding (shared with the resolver and tests).
+pub fn dns_wire(name: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        out.push(label.len() as u8);
+        out.extend_from_slice(label.as_bytes());
+    }
+    out.push(0);
+    out
+}

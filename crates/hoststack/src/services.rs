@@ -1,0 +1,370 @@
+//! Host-native functional implementations of the paper's services.
+//!
+//! These are the "Linux native counterparts" of §5.4 — ordinary software
+//! implementations that run inside the host-path model's application
+//! stage. They are deliberately byte-compatible with the Emu services'
+//! replies (same checksum conventions, same response formats), which lets
+//! the integration tests diff a host service against the same service
+//! compiled for the FPGA target — the strongest functional check the
+//! reproduction has.
+
+use emu_types::proto::{ether_type, ip_proto, offset};
+use emu_types::{bitutil, checksum, Frame, Ipv4};
+use std::collections::HashMap;
+
+/// A software network function: frames in, frames out.
+pub trait HostService {
+    /// Processes one frame.
+    fn process(&mut self, frame: &Frame) -> Vec<Frame>;
+}
+
+fn is_ipv4(b: &[u8]) -> bool {
+    bitutil::get16(b, offset::ETH_TYPE) == ether_type::IPV4 && b[offset::IPV4] >> 4 == 4
+}
+
+fn has_options(b: &[u8]) -> bool {
+    b[offset::IPV4] & 0xf != 5
+}
+
+fn swap_l2_l3(b: &mut [u8]) {
+    for i in 0..6 {
+        b.swap(offset::ETH_DST + i, offset::ETH_SRC + i);
+    }
+    for i in 0..4 {
+        b.swap(offset::IPV4_SRC + i, offset::IPV4_DST + i);
+    }
+}
+
+/// ICMP echo responder (kernel behaviour).
+#[derive(Debug, Default)]
+pub struct HostIcmpEcho;
+
+impl HostService for HostIcmpEcho {
+    fn process(&mut self, frame: &Frame) -> Vec<Frame> {
+        let b = frame.bytes();
+        if !is_ipv4(b)
+            || has_options(b)
+            || b[offset::IPV4_PROTO] != ip_proto::ICMP
+            || b[offset::L4] != 8
+        {
+            return Vec::new();
+        }
+        let total = bitutil::get16(b, offset::IPV4 + 2) as usize;
+        if !checksum::verify(&b[offset::L4..14 + total]) {
+            return Vec::new();
+        }
+        let mut out = b.to_vec();
+        swap_l2_l3(&mut out);
+        out[offset::L4] = 0;
+        let c = bitutil::get16(&out, offset::L4 + 2);
+        bitutil::set16(&mut out, offset::L4 + 2, checksum::update_word(c, 0x0800, 0x0000));
+        let mut f = Frame::new(out);
+        f.in_port = frame.in_port;
+        vec![f]
+    }
+}
+
+/// Non-recursive DNS resolver over a static zone.
+#[derive(Debug)]
+pub struct HostDns {
+    zone: HashMap<Vec<u8>, Ipv4>,
+    /// Maximum accepted wire-name length (mirrors the Emu limit).
+    pub max_name: usize,
+}
+
+impl HostDns {
+    /// Builds a resolver for dotted names.
+    pub fn new(zone: Vec<(String, Ipv4)>) -> Self {
+        let map = zone
+            .into_iter()
+            .map(|(n, a)| {
+                let wire = crate::dns_wire(&n);
+                (wire[..wire.len() - 1].to_vec(), a)
+            })
+            .collect();
+        HostDns {
+            zone: map,
+            max_name: 26,
+        }
+    }
+}
+
+impl HostService for HostDns {
+    fn process(&mut self, frame: &Frame) -> Vec<Frame> {
+        let b = frame.bytes();
+        if !is_ipv4(b)
+            || has_options(b)
+            || b[offset::IPV4_PROTO] != ip_proto::UDP
+            || bitutil::get16(b, offset::L4 + 2) != 53
+            || b[offset::L4 + 8 + 2] & 0x80 != 0
+            || bitutil::get16(b, offset::L4 + 8 + 4) != 1
+        {
+            return Vec::new();
+        }
+        let q = offset::L4 + 8 + 12;
+        // Walk the QNAME.
+        let mut i = q;
+        while i < b.len() && b[i] != 0 && i - q < self.max_name {
+            i += 1;
+        }
+        let too_long = i - q >= self.max_name;
+        let mut out = b.to_vec();
+        swap_l2_l3(&mut out);
+        out.swap(offset::L4, offset::L4 + 2);
+        out.swap(offset::L4 + 1, offset::L4 + 3);
+        bitutil::set16(&mut out, offset::L4 + 6, 0); // UDP csum cleared
+        let hdr = offset::L4 + 8;
+        if too_long {
+            bitutil::set16(&mut out, hdr + 2, 0x8184);
+            bitutil::set16(&mut out, hdr + 6, 0);
+        } else if let Some(addr) = self.zone.get(&b[q..i]) {
+            bitutil::set16(&mut out, hdr + 2, 0x8180);
+            bitutil::set16(&mut out, hdr + 6, 1);
+            let ans = i + 1 + 4;
+            let record = [0xc0, 0x0c, 0, 1, 0, 1, 0, 0, 0, 0x3c, 0, 4];
+            out.truncate(ans);
+            out.extend_from_slice(&record);
+            out.extend_from_slice(&addr.octets());
+            let new_total = (out.len() - 14) as u16;
+            let old_total = bitutil::get16(&out, 16);
+            let c = bitutil::get16(&out, offset::IPV4_CSUM);
+            bitutil::set16(&mut out, 16, new_total);
+            bitutil::set16(
+                &mut out,
+                offset::IPV4_CSUM,
+                checksum::update_word(c, old_total, new_total),
+            );
+            let udp_len = (out.len() - 34) as u16;
+            bitutil::set16(&mut out, offset::L4 + 4, udp_len);
+        } else {
+            bitutil::set16(&mut out, hdr + 2, 0x8183);
+            bitutil::set16(&mut out, hdr + 6, 0);
+        }
+        let mut f = Frame::new(out);
+        f.in_port = frame.in_port;
+        vec![f]
+    }
+}
+
+/// Memcached ASCII-over-UDP server (GET/SET/DELETE, 8-byte values).
+#[derive(Debug, Default)]
+pub struct HostMemcached {
+    store: HashMap<Vec<u8>, [u8; 8]>,
+}
+
+impl HostMemcached {
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+impl HostService for HostMemcached {
+    fn process(&mut self, frame: &Frame) -> Vec<Frame> {
+        let b = frame.bytes();
+        if !is_ipv4(b)
+            || has_options(b)
+            || b[offset::IPV4_PROTO] != ip_proto::UDP
+            || bitutil::get16(b, offset::L4 + 2) != 11211
+        {
+            return Vec::new();
+        }
+        let cmd = offset::L4 + 8 + 8;
+        let udp_len = bitutil::get16(b, offset::L4 + 4) as usize;
+        let text_end = (offset::L4 + udp_len).min(b.len());
+        let text = &b[cmd..text_end];
+        let key_of = |rest: &[u8]| -> Option<Vec<u8>> {
+            let end = rest.iter().position(|&c| c == b' ' || c == b'\r')?;
+            if end == 0 || end > 8 {
+                return None;
+            }
+            Some(rest[..end].to_vec())
+        };
+
+        let reply: Option<Vec<u8>> = if text.starts_with(b"get ") {
+            key_of(&text[4..]).map(|key| match self.store.get(&key) {
+                Some(v) => {
+                    let mut r = b"VALUE ".to_vec();
+                    r.extend_from_slice(&key);
+                    r.extend_from_slice(b" 0 8\r\n");
+                    r.extend_from_slice(v);
+                    r.extend_from_slice(b"\r\nEND\r\n");
+                    r
+                }
+                None => b"END\r\n".to_vec(),
+            })
+        } else if text.starts_with(b"set ") {
+            key_of(&text[4..]).and_then(|key| {
+                let nl = text.iter().position(|&c| c == b'\n')?;
+                let data = text.get(nl + 1..nl + 9)?;
+                let mut v = [0u8; 8];
+                v.copy_from_slice(data);
+                self.store.insert(key, v);
+                Some(b"STORED\r\n".to_vec())
+            })
+        } else if text.starts_with(b"delete ") {
+            key_of(&text[7..]).map(|key| {
+                if self.store.remove(&key).is_some() {
+                    b"DELETED\r\n".to_vec()
+                } else {
+                    b"NOT_FOUND\r\n".to_vec()
+                }
+            })
+        } else {
+            None
+        };
+
+        let Some(reply) = reply else { return Vec::new() };
+        let mut out = b[..cmd].to_vec();
+        out.extend_from_slice(&reply);
+        swap_l2_l3(&mut out);
+        out.swap(offset::L4, offset::L4 + 2);
+        out.swap(offset::L4 + 1, offset::L4 + 3);
+        bitutil::set16(&mut out, offset::L4 + 6, 0);
+        let new_total = (out.len() - 14) as u16;
+        let old_total = bitutil::get16(&out, 16);
+        let c = bitutil::get16(&out, offset::IPV4_CSUM);
+        bitutil::set16(&mut out, 16, new_total);
+        bitutil::set16(
+            &mut out,
+            offset::IPV4_CSUM,
+            checksum::update_word(c, old_total, new_total),
+        );
+        let udp_len = (out.len() - 34) as u16;
+        bitutil::set16(&mut out, offset::L4 + 4, udp_len);
+        let mut f = Frame::new(out);
+        f.in_port = frame.in_port;
+        vec![f]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icmp_echo_replies_and_validates() {
+        let mut svc = HostIcmpEcho;
+        // Reuse a hand-built valid echo request.
+        let mut ip = vec![
+            0x45, 0, 0, 0x54, 0, 0, 0x40, 0, 0x40, 1, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2,
+        ];
+        let c = checksum::internet_checksum(&ip);
+        ip[10] = (c >> 8) as u8;
+        ip[11] = c as u8;
+        let mut icmp = vec![8u8, 0, 0, 0, 0, 1, 0, 2];
+        icmp.extend_from_slice(&[7; 56]);
+        let cc = checksum::internet_checksum(&icmp);
+        icmp[2] = (cc >> 8) as u8;
+        icmp[3] = cc as u8;
+        let mut payload = ip;
+        payload.extend_from_slice(&icmp);
+        let f = Frame::ethernet(
+            emu_types::MacAddr::from_u64(1),
+            emu_types::MacAddr::from_u64(2),
+            ether_type::IPV4,
+            &payload,
+        );
+        let out = svc.process(&f);
+        assert_eq!(out.len(), 1);
+        let r = out[0].bytes();
+        assert_eq!(r[34], 0);
+        assert!(checksum::verify(&r[34..98]));
+        // Corrupted checksum: dropped.
+        let mut bad = f.clone();
+        bad.bytes_mut()[40] ^= 1;
+        assert!(svc.process(&bad).is_empty());
+    }
+
+    #[test]
+    fn memcached_round_trip() {
+        let mut svc = HostMemcached::default();
+        let set = mc_frame("set foo 0 0 8\r\nAAAABBBB\r\n");
+        let out = svc.process(&set);
+        assert!(reply_of(&out[0]).starts_with(b"STORED"));
+        let get = mc_frame("get foo\r\n");
+        let out = svc.process(&get);
+        assert_eq!(reply_of(&out[0]), b"VALUE foo 0 8\r\nAAAABBBB\r\nEND\r\n");
+        let del = mc_frame("delete foo\r\n");
+        assert!(reply_of(&svc.process(&del)[0]).starts_with(b"DELETED"));
+        assert!(svc.is_empty());
+    }
+
+    fn mc_frame(body: &str) -> Frame {
+        let udp_len = 8 + 8 + body.len();
+        let total = 20 + udp_len;
+        let mut ip = vec![
+            0x45, 0, (total >> 8) as u8, total as u8, 0, 1, 0x40, 0, 0x40, 17, 0, 0, 10, 0, 0, 9,
+            10, 0, 0, 10,
+        ];
+        let c = checksum::internet_checksum(&ip);
+        ip[10] = (c >> 8) as u8;
+        ip[11] = c as u8;
+        let mut p = ip;
+        p.extend_from_slice(&31337u16.to_be_bytes());
+        p.extend_from_slice(&11211u16.to_be_bytes());
+        p.extend_from_slice(&(udp_len as u16).to_be_bytes());
+        p.extend_from_slice(&[0, 0]);
+        p.extend_from_slice(&[0, 1, 0, 0, 0, 1, 0, 0]);
+        p.extend_from_slice(body.as_bytes());
+        Frame::ethernet(
+            emu_types::MacAddr::from_u64(1),
+            emu_types::MacAddr::from_u64(2),
+            ether_type::IPV4,
+            &p,
+        )
+    }
+
+    fn reply_of(f: &Frame) -> Vec<u8> {
+        let b = f.bytes();
+        let udp_len = bitutil::get16(b, 38) as usize;
+        b[50..34 + udp_len].to_vec()
+    }
+
+    #[test]
+    fn dns_resolves_and_nxdomains() {
+        let mut svc = HostDns::new(vec![("a.b".into(), "1.2.3.4".parse().unwrap())]);
+        let q = dns_frame("a.b");
+        let out = svc.process(&q);
+        let b = out[0].bytes();
+        assert_eq!(bitutil::get16(b, 48), 1);
+        assert_eq!(&b[b.len() - 4..], &[1, 2, 3, 4]);
+        assert!(checksum::verify(&b[14..34]));
+
+        let miss = dns_frame("x.y");
+        let out = svc.process(&miss);
+        assert_eq!(bitutil::get16(out[0].bytes(), 44) & 0xf, 3);
+    }
+
+    fn dns_frame(name: &str) -> Frame {
+        let qname = crate::dns_wire(name);
+        let udp_len = 8 + 12 + qname.len() + 4;
+        let total = 20 + udp_len;
+        let mut ip = vec![
+            0x45, 0, (total >> 8) as u8, total as u8, 0, 1, 0x40, 0, 0x40, 17, 0, 0, 10, 0, 0, 9,
+            10, 0, 0, 53,
+        ];
+        let c = checksum::internet_checksum(&ip);
+        ip[10] = (c >> 8) as u8;
+        ip[11] = c as u8;
+        let mut p = ip;
+        p.extend_from_slice(&4242u16.to_be_bytes());
+        p.extend_from_slice(&53u16.to_be_bytes());
+        p.extend_from_slice(&(udp_len as u16).to_be_bytes());
+        p.extend_from_slice(&[0, 0]);
+        p.extend_from_slice(&[0, 7, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0]);
+        p.extend_from_slice(&qname);
+        p.extend_from_slice(&[0, 1, 0, 1]);
+        Frame::ethernet(
+            emu_types::MacAddr::from_u64(1),
+            emu_types::MacAddr::from_u64(2),
+            ether_type::IPV4,
+            &p,
+        )
+    }
+}

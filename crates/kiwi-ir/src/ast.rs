@@ -1,0 +1,370 @@
+//! Expression and statement forms of the IR.
+//!
+//! The IR plays the role that .NET CIL plays in the Emu toolchain (§3.1):
+//! it is the single program representation produced from the high-level
+//! source (here, the builder DSL in [`crate::dsl`]) and consumed by every
+//! back end — the sequential interpreter (the paper's x86 target), the
+//! Kiwi-style FSM compiler (the FPGA target), and the Mininet-analogue
+//! network simulator.
+//!
+//! Semantics are deliberately hardware-shaped: all values are unsigned
+//! fixed-width words (see [`emu_types::Bits`]), arithmetic is modular in
+//! the result width, and `Pause` marks a clock-cycle boundary exactly like
+//! `Kiwi.Pause()` in the paper (§3.2(ii), Figure 2 line 11).
+
+use crate::program::{ArrId, Program, SigId, VarId};
+use emu_types::Bits;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise complement in the operand's width.
+    Not,
+    /// Two's-complement negation in the operand's width.
+    Neg,
+    /// OR-reduction to a single bit (`|x` in Verilog).
+    RedOr,
+}
+
+/// Binary operators.
+///
+/// Arithmetic/logic operators produce `max(lhs, rhs)` bits (operands are
+/// zero-extended); shifts keep the left operand's width; comparisons are
+/// unsigned and produce a single bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Modular addition.
+    Add,
+    /// Modular subtraction.
+    Sub,
+    /// Modular multiplication (low bits).
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left; shift amount taken modulo nothing (≥ width ⇒ 0).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Equality (1 bit).
+    Eq,
+    /// Inequality (1 bit).
+    Ne,
+    /// Unsigned less-than (1 bit).
+    Lt,
+    /// Unsigned less-or-equal (1 bit).
+    Le,
+    /// Unsigned greater-than (1 bit).
+    Gt,
+    /// Unsigned greater-or-equal (1 bit).
+    Ge,
+}
+
+impl BinOp {
+    /// True for the comparison operators (1-bit results).
+    pub fn is_compare(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal.
+    Const(Bits),
+    /// A register read.
+    Var(VarId),
+    /// An array element read (`arr[idx]`); out-of-range reads yield zero,
+    /// matching hardware address decoding with undriven outputs tied low.
+    ArrRead(ArrId, Box<Expr>),
+    /// An input-signal sample (IP block output or platform input).
+    SigRead(SigId),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Two-way multiplexer: `cond ? then : else` (cond ≠ 0 selects `then`).
+    Mux(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Bit slice `[hi:lo]`, inclusive, Verilog order.
+    Slice(Box<Expr>, u16, u16),
+    /// Concatenation `{hi, lo}`.
+    Concat(Box<Expr>, Box<Expr>),
+    /// Zero-extension or truncation to an explicit width.
+    Resize(Box<Expr>, u16),
+}
+
+/// Errors from IR validation or lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError(pub String);
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR error: {}", self.0)
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias.
+pub type IrResult<T> = Result<T, IrError>;
+
+impl Expr {
+    /// Computes the width of this expression in `prog`'s declaration
+    /// context, validating sub-expressions along the way.
+    pub fn width(&self, prog: &Program) -> IrResult<u16> {
+        match self {
+            Expr::Const(b) => Ok(b.width()),
+            Expr::Var(v) => prog
+                .var(*v)
+                .map(|d| d.width)
+                .ok_or_else(|| IrError(format!("unknown var {v:?}"))),
+            Expr::ArrRead(a, idx) => {
+                idx.width(prog)?;
+                prog.array(*a)
+                    .map(|d| d.elem_width)
+                    .ok_or_else(|| IrError(format!("unknown array {a:?}")))
+            }
+            Expr::SigRead(s) => {
+                let d = prog
+                    .signal(*s)
+                    .ok_or_else(|| IrError(format!("unknown signal {s:?}")))?;
+                Ok(d.width)
+            }
+            Expr::Un(op, e) => {
+                let w = e.width(prog)?;
+                Ok(match op {
+                    UnOp::Not | UnOp::Neg => w,
+                    UnOp::RedOr => 1,
+                })
+            }
+            Expr::Bin(op, l, r) => {
+                let wl = l.width(prog)?;
+                let wr = r.width(prog)?;
+                Ok(match op {
+                    _ if op.is_compare() => 1,
+                    BinOp::Shl | BinOp::Shr => wl,
+                    _ => wl.max(wr),
+                })
+            }
+            Expr::Mux(c, t, e) => {
+                c.width(prog)?;
+                let wt = t.width(prog)?;
+                let we = e.width(prog)?;
+                Ok(wt.max(we))
+            }
+            Expr::Slice(e, hi, lo) => {
+                let w = e.width(prog)?;
+                if hi < lo || *hi >= w {
+                    return Err(IrError(format!("slice [{hi}:{lo}] out of range for width {w}")));
+                }
+                Ok(hi - lo + 1)
+            }
+            Expr::Concat(h, l) => {
+                let w = h.width(prog)? + l.width(prog)?;
+                if w > emu_types::bits::MAX_WIDTH {
+                    return Err(IrError(format!("concat width {w} exceeds maximum")));
+                }
+                Ok(w)
+            }
+            Expr::Resize(e, w) => {
+                e.width(prog)?;
+                if *w == 0 || *w > emu_types::bits::MAX_WIDTH {
+                    return Err(IrError(format!("resize to invalid width {w}")));
+                }
+                Ok(*w)
+            }
+        }
+    }
+
+    /// Estimated combinational delay of this expression in "gate units",
+    /// used by the Kiwi scheduler's clock-period budget (§3.4: "If Kiwi
+    /// schedules too little computation, it is inefficient; if it schedules
+    /// too much, the implementation on the target FPGA device fails").
+    ///
+    /// The model is a crude depth estimate: carry chains cost proportional
+    /// to `log2(width)`, logic costs 1, muxes/array reads cost address-decode
+    /// depth. Absolute values are calibrated in `kiwi::resources`.
+    pub fn delay(&self, prog: &Program) -> u32 {
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::SigRead(_) => 0,
+            Expr::ArrRead(a, idx) => {
+                let decode = prog
+                    .array(*a)
+                    .map(|d| (usize::BITS - d.len.leading_zeros()).max(1))
+                    .unwrap_or(1);
+                idx.delay(prog) + decode
+            }
+            Expr::Un(op, e) => {
+                e.delay(prog)
+                    + match op {
+                        UnOp::Not => 1,
+                        UnOp::Neg => 4,
+                        UnOp::RedOr => 3,
+                    }
+            }
+            Expr::Bin(op, l, r) => {
+                let base = l.delay(prog).max(r.delay(prog));
+                let w = u32::from(self.width(prog).unwrap_or(64));
+                let logw = (32 - w.leading_zeros()).max(1);
+                base + match op {
+                    BinOp::And | BinOp::Or | BinOp::Xor => 1,
+                    BinOp::Add | BinOp::Sub => logw,
+                    BinOp::Mul => 2 * logw,
+                    BinOp::Shl | BinOp::Shr => logw,
+                    BinOp::Eq | BinOp::Ne => logw,
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => logw + 1,
+                }
+            }
+            Expr::Mux(c, t, e) => c.delay(prog).max(t.delay(prog)).max(e.delay(prog)) + 1,
+            Expr::Slice(e, _, _) => e.delay(prog),
+            Expr::Concat(h, l) => h.delay(prog).max(l.delay(prog)),
+            Expr::Resize(e, _) => e.delay(prog),
+        }
+    }
+
+    /// Visits every sub-expression (including `self`), pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::SigRead(_) => {}
+            Expr::ArrRead(_, e) | Expr::Un(_, e) | Expr::Slice(e, _, _) | Expr::Resize(e, _) => {
+                e.visit(f)
+            }
+            Expr::Bin(_, l, r) | Expr::Concat(l, r) => {
+                l.visit(f);
+                r.visit(f);
+            }
+            Expr::Mux(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Register assignment; the value is resized to the register's width.
+    Assign(VarId, Expr),
+    /// Array element write; out-of-range writes are dropped (hardware:
+    /// write-enable decoded to no row).
+    ArrWrite(ArrId, Expr, Expr),
+    /// Drive an output signal for the current cycle onward.
+    SigWrite(SigId, Expr),
+    /// Conditional.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Pre-tested loop.
+    While(Expr, Vec<Stmt>),
+    /// End the current clock cycle (`Kiwi.Pause()`).
+    Pause,
+    /// Named program point (breakpoint anchor, FSM state naming, and the
+    /// paper's `break L` direction command target).
+    Label(String),
+    /// Debug extension point (§3.5): a hole where the direction controller
+    /// can be attached. `ExtPoint(id)` is a no-op until the transformation
+    /// pass in the `direction` crate fills it.
+    ExtPoint(u32),
+    /// Exit the innermost loop.
+    Break,
+    /// Re-test the innermost loop.
+    Continue,
+    /// Stop this thread permanently.
+    Halt,
+}
+
+impl Stmt {
+    /// Visits every statement in the tree (including `self`), pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::If(_, t, e) => {
+                for s in t {
+                    s.visit(f);
+                }
+                for s in e {
+                    s.visit(f);
+                }
+            }
+            Stmt::While(_, b) => {
+                for s in b {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// True if any statement in the subtree is a `Pause`.
+    pub fn contains_pause(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |s| {
+            if matches!(s, Stmt::Pause) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn widths_follow_rules() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.reg("a", 8);
+        let b = pb.reg("b", 16);
+        let p = pb.build_for_test();
+
+        assert_eq!(add(var(a), var(b)).width(&p).unwrap(), 16);
+        assert_eq!(eq(var(a), var(b)).width(&p).unwrap(), 1);
+        assert_eq!(shl(var(b), lit(3, 8)).width(&p).unwrap(), 16);
+        assert_eq!(concat(var(a), var(b)).width(&p).unwrap(), 24);
+        assert_eq!(slice(var(b), 11, 4).width(&p).unwrap(), 8);
+        assert_eq!(resize(var(a), 64).width(&p).unwrap(), 64);
+        assert_eq!(mux(eq(var(a), lit(0, 8)), var(a), var(b)).width(&p).unwrap(), 16);
+    }
+
+    #[test]
+    fn bad_slice_rejected() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.reg("a", 8);
+        let p = pb.build_for_test();
+        assert!(slice(var(a), 8, 0).width(&p).is_err());
+        assert!(slice(var(a), 2, 5).width(&p).is_err());
+    }
+
+    #[test]
+    fn delay_grows_with_depth() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.reg("a", 32);
+        let p = pb.build_for_test();
+        let shallow = add(var(a), lit(1, 32));
+        let deep = add(add(add(var(a), var(a)), add(var(a), var(a))), shallow.clone());
+        assert!(deep.delay(&p) > shallow.delay(&p));
+    }
+
+    #[test]
+    fn contains_pause_scans_subtrees() {
+        let s = Stmt::If(
+            lit(1, 1),
+            vec![Stmt::While(lit(1, 1), vec![Stmt::Pause])],
+            vec![],
+        );
+        assert!(s.contains_pause());
+        let t = Stmt::If(lit(1, 1), vec![], vec![]);
+        assert!(!t.contains_pause());
+    }
+}

@@ -1,0 +1,316 @@
+//! Lowering from structured statements to a linear op stream.
+//!
+//! Both back ends consume this form: the interpreter walks it with a
+//! program counter, and the Kiwi compiler partitions it into clock-cycle
+//! states at `Pause` boundaries. Sharing the lowering guarantees the two
+//! targets execute the *same* operation sequence — the property behind the
+//! paper's claim that one codebase runs on CPUs, in simulation, and on
+//! FPGAs (§1, contribution 2).
+
+use crate::ast::{Expr, IrError, IrResult, Stmt};
+use crate::program::{ArrId, Program, SigId, VarId};
+
+/// A linear operation. `usize` operands are op indices within the thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Register assignment.
+    Assign(VarId, Expr),
+    /// Array element write.
+    ArrWrite(ArrId, Expr, Expr),
+    /// Output-signal drive.
+    SigWrite(SigId, Expr),
+    /// Conditional branch: fall through when `cond` ≠ 0, jump to `if_false`
+    /// otherwise.
+    Branch(Expr, usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// End of clock cycle.
+    Pause,
+    /// Named program point.
+    Label(String),
+    /// Debug extension point.
+    ExtPoint(u32),
+    /// Thread stops.
+    Halt,
+}
+
+/// One flattened thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatThread {
+    /// Thread name, copied from the source thread.
+    pub name: String,
+    /// Linear op stream.
+    pub ops: Vec<Op>,
+}
+
+/// A flattened program: the original declarations plus linear threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatProgram {
+    /// The source program (declarations are shared, bodies ignored).
+    pub prog: Program,
+    /// One entry per source thread.
+    pub threads: Vec<FlatThread>,
+}
+
+/// Flattens every thread of `prog`.
+///
+/// Threads fall off the end into an implicit [`Op::Halt`]. `Break` and
+/// `Continue` outside a loop are rejected.
+pub fn flatten(prog: &Program) -> IrResult<FlatProgram> {
+    prog.validate()?;
+    let mut threads = Vec::new();
+    for t in &prog.threads {
+        let mut f = Flattener::default();
+        f.stmts(&t.body)?;
+        f.ops.push(Op::Halt);
+        threads.push(FlatThread {
+            name: t.name.clone(),
+            ops: f.ops,
+        });
+    }
+    Ok(FlatProgram {
+        prog: prog.clone(),
+        threads,
+    })
+}
+
+#[derive(Default)]
+struct Flattener {
+    ops: Vec<Op>,
+    /// Stack of (loop-header index, break-patch sites).
+    loops: Vec<(usize, Vec<usize>)>,
+}
+
+impl Flattener {
+    fn stmts(&mut self, body: &[Stmt]) -> IrResult<()> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> IrResult<()> {
+        match s {
+            Stmt::Assign(d, e) => self.ops.push(Op::Assign(*d, e.clone())),
+            Stmt::ArrWrite(a, i, v) => self.ops.push(Op::ArrWrite(*a, i.clone(), v.clone())),
+            Stmt::SigWrite(sg, v) => self.ops.push(Op::SigWrite(*sg, v.clone())),
+            Stmt::Pause => self.ops.push(Op::Pause),
+            Stmt::Label(l) => self.ops.push(Op::Label(l.clone())),
+            Stmt::ExtPoint(id) => self.ops.push(Op::ExtPoint(*id)),
+            Stmt::Halt => self.ops.push(Op::Halt),
+            Stmt::If(c, t, e) => {
+                let br = self.ops.len();
+                self.ops.push(Op::Branch(c.clone(), usize::MAX));
+                self.stmts(t)?;
+                if e.is_empty() {
+                    let end = self.ops.len();
+                    self.patch_branch(br, end);
+                } else {
+                    let jmp = self.ops.len();
+                    self.ops.push(Op::Jump(usize::MAX));
+                    let else_start = self.ops.len();
+                    self.patch_branch(br, else_start);
+                    self.stmts(e)?;
+                    let end = self.ops.len();
+                    self.patch_jump(jmp, end);
+                }
+            }
+            Stmt::While(c, b) => {
+                let header = self.ops.len();
+                self.ops.push(Op::Branch(c.clone(), usize::MAX));
+                self.loops.push((header, Vec::new()));
+                self.stmts(b)?;
+                self.ops.push(Op::Jump(header));
+                let end = self.ops.len();
+                self.patch_branch(header, end);
+                let (_, breaks) = self.loops.pop().expect("loop stack underflow");
+                for site in breaks {
+                    self.patch_jump(site, end);
+                }
+            }
+            Stmt::Break => {
+                if self.loops.is_empty() {
+                    return Err(IrError("break outside loop".into()));
+                }
+                let site = self.ops.len();
+                self.ops.push(Op::Jump(usize::MAX));
+                self.loops.last_mut().expect("checked").1.push(site);
+            }
+            Stmt::Continue => {
+                let header = self
+                    .loops
+                    .last()
+                    .ok_or_else(|| IrError("continue outside loop".into()))?
+                    .0;
+                self.ops.push(Op::Jump(header));
+            }
+        }
+        Ok(())
+    }
+
+    fn patch_branch(&mut self, at: usize, target: usize) {
+        if let Op::Branch(_, t) = &mut self.ops[at] {
+            *t = target;
+        } else {
+            unreachable!("patch_branch on non-branch");
+        }
+    }
+
+    fn patch_jump(&mut self, at: usize, target: usize) {
+        if let Op::Jump(t) = &mut self.ops[at] {
+            *t = target;
+        } else {
+            unreachable!("patch_jump on non-jump");
+        }
+    }
+}
+
+impl FlatThread {
+    /// All jump/branch targets are in-range; every thread ends with an op
+    /// that cannot fall through. Used by tests and by the compiler.
+    pub fn check_targets(&self) -> IrResult<()> {
+        let n = self.ops.len();
+        for (i, op) in self.ops.iter().enumerate() {
+            match op {
+                Op::Branch(_, t) | Op::Jump(t) => {
+                    if *t > n {
+                        return Err(IrError(format!("op {i} target {t} out of range {n}")));
+                    }
+                }
+                _ => {}
+            }
+        }
+        match self.ops.last() {
+            Some(Op::Halt) | Some(Op::Jump(_)) => Ok(()),
+            other => Err(IrError(format!("thread {} ends with {other:?}", self.name))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::program::ProgramBuilder;
+
+    fn prog_of(body: Vec<Stmt>) -> FlatProgram {
+        let mut pb = ProgramBuilder::new("t");
+        let _a = pb.reg("a", 8);
+        pb.thread("main", body);
+        flatten(&pb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_flattens_in_order() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.reg("a", 8);
+        pb.thread("main", vec![assign(a, lit(1, 8)), pause(), assign(a, lit(2, 8))]);
+        let f = flatten(&pb.build().unwrap()).unwrap();
+        let ops = &f.threads[0].ops;
+        assert_eq!(ops.len(), 4); // 3 stmts + implicit halt
+        assert!(matches!(ops[1], Op::Pause));
+        assert!(matches!(ops[3], Op::Halt));
+        f.threads[0].check_targets().unwrap();
+    }
+
+    #[test]
+    fn if_else_branch_targets() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.reg("a", 8);
+        pb.thread(
+            "main",
+            vec![if_else(
+                eq(var(a), lit(0, 8)),
+                vec![assign(a, lit(1, 8))],
+                vec![assign(a, lit(2, 8))],
+            )],
+        );
+        let f = flatten(&pb.build().unwrap()).unwrap();
+        let ops = &f.threads[0].ops;
+        // branch, then-assign, jump, else-assign, halt
+        assert_eq!(ops.len(), 5);
+        match &ops[0] {
+            Op::Branch(_, t) => assert_eq!(*t, 3),
+            o => panic!("expected branch, got {o:?}"),
+        }
+        match &ops[2] {
+            Op::Jump(t) => assert_eq!(*t, 4),
+            o => panic!("expected jump, got {o:?}"),
+        }
+        f.threads[0].check_targets().unwrap();
+    }
+
+    #[test]
+    fn while_with_break_and_continue() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.reg("a", 8);
+        pb.thread(
+            "main",
+            vec![while_loop(
+                tru(),
+                vec![
+                    if_then(eq(var(a), lit(5, 8)), vec![break_loop()]),
+                    if_then(eq(var(a), lit(3, 8)), vec![continue_loop()]),
+                    assign(a, add(var(a), lit(1, 8))),
+                    pause(),
+                ],
+            )],
+        );
+        let f = flatten(&pb.build().unwrap()).unwrap();
+        f.threads[0].check_targets().unwrap();
+        // The break jump must target the op *after* the loop's back-jump.
+        let ops = &f.threads[0].ops;
+        let back_jump = ops
+            .iter()
+            .rposition(|o| matches!(o, Op::Jump(0)))
+            .expect("back jump to header");
+        let break_target = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Jump(t) if *t != 0 => Some(*t),
+                _ => None,
+            })
+            .next()
+            .expect("break jump");
+        assert_eq!(break_target, back_jump + 1);
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let mut pb = ProgramBuilder::new("t");
+        pb.thread("main", vec![break_loop()]);
+        assert!(flatten(&pb.build().unwrap()).is_err());
+    }
+
+    #[test]
+    fn continue_outside_loop_rejected() {
+        let mut pb = ProgramBuilder::new("t");
+        pb.thread("main", vec![continue_loop()]);
+        assert!(flatten(&pb.build().unwrap()).is_err());
+    }
+
+    #[test]
+    fn nested_loops_patch_correct_levels() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.reg("a", 8);
+        pb.thread(
+            "main",
+            vec![while_loop(
+                lt(var(a), lit(3, 8)),
+                vec![
+                    while_loop(tru(), vec![break_loop(), pause()]),
+                    assign(a, add(var(a), lit(1, 8))),
+                    pause(),
+                ],
+            )],
+        );
+        let f = flatten(&pb.build().unwrap()).unwrap();
+        f.threads[0].check_targets().unwrap();
+    }
+
+    #[test]
+    fn empty_body_yields_halt_only() {
+        let f = prog_of(vec![]);
+        assert_eq!(f.threads[0].ops, vec![Op::Halt]);
+    }
+}

@@ -1,0 +1,33 @@
+//! The intermediate representation at the centre of the Emu reproduction.
+//!
+//! In the paper's toolchain (Figure 1), services are written in C#,
+//! compiled by Mono to .NET CIL, and then either executed on a CPU or
+//! compiled by Kiwi to Verilog. This crate is the CIL analogue: a typed,
+//! hardware-shaped imperative IR with
+//!
+//! * a builder DSL ([`dsl`]) playing the role of the C# surface syntax,
+//! * program containers ([`program`]) mirroring Kiwi's split into
+//!   registers, arrays (RAMs), boundary signals, and hardware threads,
+//! * a structured-to-linear lowering ([`flat`]) shared by all back ends,
+//! * a sequential interpreter ([`interp`]) — the software-semantics / x86
+//!   target, and
+//! * pretty-printers ([`pretty`]) for diagnostics.
+//!
+//! The FPGA back end (scheduling, FSM generation, resource estimation,
+//! Verilog emission) lives in the `kiwi` crate; the cycle-accurate
+//! simulator lives in `emu-rtl`.
+
+pub mod ast;
+pub mod dsl;
+pub mod flat;
+pub mod interp;
+pub mod pretty;
+pub mod program;
+
+pub use ast::{BinOp, Expr, IrError, IrResult, Stmt, UnOp};
+pub use flat::{flatten, FlatProgram, FlatThread, Op};
+pub use interp::{eval, Env, Machine, MachineState, NullEnv, NullObserver, Observer};
+pub use program::{
+    ArrId, ArrayBacking, ArrayDecl, Program, ProgramBuilder, SigDecl, SigDir, SigId, Thread,
+    VarDecl, VarId,
+};

@@ -1,0 +1,357 @@
+//! Scheduling: partitioning the linear op stream into clock-cycle states.
+//!
+//! This is the heart of the Kiwi back end as the paper describes it
+//! (§3.2(ii), §3.4): `Kiwi.Pause()` gives the developer a cycle-accurate
+//! handle ("this breaks up computation and allows Kiwi to schedule a
+//! suitable amount of computation in a single clock cycle"), while
+//! elsewhere the compiler auto-schedules — if it packs too much logic into
+//! one cycle the design fails timing, so the scheduler splits any region
+//! whose estimated combinational depth exceeds the clock-period budget.
+//!
+//! A state is identified by the op index (program counter) at which the
+//! cycle begins. State boundaries arise from three sources:
+//!
+//! 1. the op after every `Pause`,
+//! 2. every backward-jump target (loop headers take at least one cycle per
+//!    iteration, as in Kiwi), and
+//! 3. budget cuts inserted where accumulated combinational delay would
+//!    exceed [`CostModel::period_units`].
+//!
+//! Lowering the clock-period budget models a higher clock frequency /
+//! deeper pipeline; the `ablation-parallelism` bench uses this to
+//! reproduce the paper's observation (§2, §5.3) that adding parallelism
+//! (pipeline depth) *increases* network latency.
+
+use kiwi_ir::flat::{FlatProgram, FlatThread, Op};
+use kiwi_ir::program::Program;
+use kiwi_ir::{IrError, IrResult};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Calibration constants for the scheduler and resource estimator.
+///
+/// `period_units` is the combinational budget per 5 ns cycle, in the gate
+/// units returned by `Expr::delay`: one unit ≈ one LUT level ≈ 0.2 ns with
+/// generous routing slack. 24 units ≈ what a 200 MHz Virtex-7 design can
+/// absorb between registers.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Combinational depth budget per clock cycle, in gate units.
+    pub period_units: u32,
+    /// Clock frequency in Hz; 200 MHz on NetFPGA SUME (§5.1).
+    pub clock_hz: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            period_units: 24,
+            clock_hz: 200_000_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// Nanoseconds per clock cycle.
+    pub fn ns_per_cycle(&self) -> f64 {
+        1e9 / self.clock_hz as f64
+    }
+}
+
+/// A state machine compiled from one thread.
+#[derive(Debug, Clone)]
+pub struct FsmThread {
+    /// Thread name.
+    pub name: String,
+    /// The op stream (shared shape with the flattened thread).
+    pub ops: Vec<Op>,
+    /// State entry points: op index → dense state number, ascending in pc.
+    pub state_of_pc: BTreeMap<usize, usize>,
+    /// Entry state pc (`resolve(0)`).
+    pub entry_pc: usize,
+}
+
+/// A compiled program: declarations plus one FSM per thread.
+#[derive(Debug, Clone)]
+pub struct Fsm {
+    /// Declarations (registers, arrays, signals).
+    pub prog: Program,
+    /// Per-thread state machines.
+    pub threads: Vec<FsmThread>,
+    /// The cost model used for scheduling.
+    pub model: CostModel,
+}
+
+impl FsmThread {
+    /// Number of FSM states.
+    pub fn state_count(&self) -> usize {
+        self.state_of_pc.len()
+    }
+
+    /// True if `pc` begins a state.
+    pub fn is_boundary(&self, pc: usize) -> bool {
+        self.state_of_pc.contains_key(&pc)
+    }
+
+    /// Follows `Jump` and `Label` chains from `pc` to the first effective
+    /// op. Safe on malformed chains (gives up after `ops.len()` hops).
+    pub fn resolve(&self, mut pc: usize) -> usize {
+        resolve(&self.ops, &mut pc);
+        pc
+    }
+}
+
+fn resolve(ops: &[Op], pc: &mut usize) {
+    let mut hops = 0;
+    loop {
+        if hops > ops.len() {
+            return;
+        }
+        match ops.get(*pc) {
+            Some(Op::Jump(t)) => *pc = *t,
+            Some(Op::Label(_)) => *pc += 1,
+            _ => return,
+        }
+        hops += 1;
+    }
+}
+
+/// Per-op combinational delay in gate units.
+fn op_delay(op: &Op, prog: &Program) -> u32 {
+    match op {
+        Op::Assign(_, e) => e.delay(prog) + 1,
+        Op::ArrWrite(a, i, v) => {
+            let decode = prog
+                .array(*a)
+                .map(|d| (usize::BITS - d.len.leading_zeros()).max(1))
+                .unwrap_or(1);
+            i.delay(prog).max(v.delay(prog)) + decode
+        }
+        Op::SigWrite(_, e) => e.delay(prog) + 1,
+        Op::Branch(c, _) => c.delay(prog) + 1,
+        Op::Jump(_) | Op::Pause | Op::Label(_) | Op::ExtPoint(_) | Op::Halt => 0,
+    }
+}
+
+/// Schedules one thread into states.
+fn schedule_thread(t: &FlatThread, prog: &Program, model: &CostModel) -> IrResult<FsmThread> {
+    t.check_targets()?;
+    let ops = t.ops.clone();
+    let n = ops.len();
+    let mut boundaries: BTreeSet<usize> = BTreeSet::new();
+
+    let mut entry = 0usize;
+    resolve(&ops, &mut entry);
+    boundaries.insert(entry);
+
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Pause => {
+                if i + 1 <= n {
+                    let mut t2 = i + 1;
+                    resolve(&ops, &mut t2);
+                    boundaries.insert(t2.min(n.saturating_sub(1)));
+                }
+            }
+            Op::Jump(t) if *t <= i => {
+                let mut t2 = *t;
+                resolve(&ops, &mut t2);
+                boundaries.insert(t2);
+            }
+            Op::Branch(_, t) if *t <= i => {
+                let mut t2 = *t;
+                resolve(&ops, &mut t2);
+                boundaries.insert(t2);
+            }
+            _ => {}
+        }
+    }
+
+    // Budget pass: accumulate combinational offsets forward; cut where the
+    // budget would be exceeded. Within-cycle predecessors all have smaller
+    // indices (backward targets are boundaries already), so one forward
+    // pass suffices.
+    let mut offset = vec![0u32; n];
+    for pc in 0..n {
+        if boundaries.contains(&pc) {
+            offset[pc] = 0;
+        } else {
+            // Fall-through predecessor.
+            let mut off = 0u32;
+            if pc > 0 {
+                let prev = &ops[pc - 1];
+                let falls = !matches!(prev, Op::Jump(_) | Op::Halt | Op::Pause);
+                if falls {
+                    off = off.max(offset[pc - 1] + op_delay(prev, prog));
+                }
+            }
+            offset[pc] = off;
+        }
+        // Forward jump/branch edges into later ops.
+        match &ops[pc] {
+            Op::Jump(t2) if *t2 > pc && *t2 < n && !boundaries.contains(t2) => {
+                offset[*t2] = offset[*t2].max(offset[pc]);
+            }
+            Op::Branch(_, t2) if *t2 > pc && *t2 < n && !boundaries.contains(t2) => {
+                offset[*t2] = offset[*t2].max(offset[pc] + op_delay(&ops[pc], prog));
+            }
+            _ => {}
+        }
+        let d = op_delay(&ops[pc], prog);
+        if offset[pc] + d > model.period_units && offset[pc] > 0 {
+            boundaries.insert(pc);
+            offset[pc] = 0;
+        }
+    }
+
+    let state_of_pc: BTreeMap<usize, usize> = boundaries
+        .iter()
+        .filter(|&&pc| pc < n)
+        .enumerate()
+        .map(|(s, &pc)| (pc, s))
+        .collect();
+
+    Ok(FsmThread {
+        name: t.name.clone(),
+        ops,
+        state_of_pc,
+        entry_pc: entry,
+    })
+}
+
+/// Compiles a flattened program into per-thread FSMs under `model`.
+pub fn schedule(flat: &FlatProgram, model: CostModel) -> IrResult<Fsm> {
+    let mut threads = Vec::new();
+    for t in &flat.threads {
+        threads.push(schedule_thread(t, &flat.prog, &model)?);
+    }
+    if threads.is_empty() {
+        return Err(IrError("program has no threads".into()));
+    }
+    Ok(Fsm {
+        prog: flat.prog.clone(),
+        threads,
+        model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiwi_ir::dsl::*;
+    use kiwi_ir::flat::flatten;
+    use kiwi_ir::program::ProgramBuilder;
+
+    fn fsm_of(pb: ProgramBuilder, model: CostModel) -> Fsm {
+        schedule(&flatten(&pb.build().unwrap()).unwrap(), model).unwrap()
+    }
+
+    #[test]
+    fn pause_creates_states() {
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(a, lit(1, 8)),
+                pause(),
+                assign(a, lit(2, 8)),
+                pause(),
+                assign(a, lit(3, 8)),
+                halt(),
+            ],
+        );
+        let f = fsm_of(pb, CostModel::default());
+        // Three states: entry, after first pause, after second pause.
+        assert_eq!(f.threads[0].state_count(), 3);
+    }
+
+    #[test]
+    fn loop_header_is_a_state() {
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 8);
+        pb.thread(
+            "main",
+            vec![forever(vec![assign(a, add(var(a), lit(1, 8))), pause()])],
+        );
+        let f = fsm_of(pb, CostModel::default());
+        let t = &f.threads[0];
+        assert!(t.is_boundary(t.entry_pc));
+        // The pause successor resolves through the back jump to the header,
+        // so a single state suffices: one iteration per cycle.
+        assert_eq!(t.state_count(), 1);
+    }
+
+    #[test]
+    fn budget_splits_deep_logic() {
+        // One very deep expression chain with no pauses: the scheduler must
+        // cut it into multiple states under a small budget.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 32);
+        let mut body = Vec::new();
+        for _ in 0..20 {
+            body.push(assign(a, add(var(a), lit(1, 32))));
+        }
+        body.push(halt());
+        pb.thread("main", body);
+
+        let tight = fsm_of(
+            pb.clone(),
+            CostModel {
+                period_units: 8,
+                clock_hz: 400_000_000,
+            },
+        );
+        let loose = fsm_of(
+            pb,
+            CostModel {
+                period_units: 10_000,
+                clock_hz: 50_000_000,
+            },
+        );
+        assert!(
+            tight.threads[0].state_count() > loose.threads[0].state_count(),
+            "tight {} vs loose {}",
+            tight.threads[0].state_count(),
+            loose.threads[0].state_count()
+        );
+        assert_eq!(loose.threads[0].state_count(), 1);
+    }
+
+    #[test]
+    fn wait_loop_is_single_state() {
+        // The Figure-5 idiom `while (!ready) pause;` must poll once per
+        // cycle, i.e. compile to exactly one state.
+        let mut pb = ProgramBuilder::new("p");
+        let rdy = pb.sig_in("ready", 1);
+        pb.thread("main", vec![wait_until(sig(rdy)), halt()]);
+        let f = fsm_of(pb, CostModel::default());
+        // States: loop header (poll) + halt landing.
+        assert!(f.threads[0].state_count() <= 2);
+    }
+
+    #[test]
+    fn resolve_follows_jump_chains() {
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 8);
+        pb.thread(
+            "main",
+            vec![forever(vec![
+                if_then(eq(var(a), lit(0, 8)), vec![assign(a, lit(1, 8))]),
+                pause(),
+            ])],
+        );
+        let f = fsm_of(pb, CostModel::default());
+        let t = &f.threads[0];
+        for (&pc, _) in &t.state_of_pc {
+            // No state may begin on a Jump (they must be resolved through).
+            assert!(!matches!(t.ops[pc], Op::Jump(_)), "state at jump pc {pc}");
+        }
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let pb = ProgramBuilder::new("p");
+        let flat = flatten(&pb.build().unwrap()).unwrap();
+        assert!(schedule(&flat, CostModel::default()).is_err());
+    }
+}

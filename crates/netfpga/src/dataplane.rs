@@ -1,0 +1,392 @@
+//! The dataplane contract between an Emu program and the platform.
+//!
+//! This is the reproduction of the paper's Figure 6 utility surface
+//! (`Get_Frame`, `Set_Frame`, `Read_Input_Port`, `Set_Output_Port`): the
+//! platform DMA-copies each received frame into a byte array named
+//! `frame`, presents metadata on input signals, and the program signals
+//! transmission and completion on output signals. The *program-side*
+//! convenience wrappers over this contract live in `emu-core::dataplane`;
+//! this module owns the names, the declaration helper, and the
+//! platform-side driver.
+//!
+//! Signal protocol, from the program's perspective:
+//!
+//! * in  `rx_valid`  — a frame is in the `frame` array,
+//! * in  `rx_len`    — its length in bytes,
+//! * in  `rx_port`   — arrival port index,
+//! * out `tx_valid`  — pulse: transmit `tx_len` bytes of `frame` to the
+//!   ports in the `tx_ports` bitmap,
+//! * out `tx_ports`  — destination bitmap (bit per port; several bits =
+//!   multicast/broadcast, as `NetFPGA.Broadcast` sets),
+//! * out `tx_len`    — transmit length,
+//! * out `rx_done`   — pulse: finished with this frame (platform drops
+//!   `rx_valid` the same tick).
+
+use emu_types::Frame;
+use emu_rtl::exec::ExecBackend;
+use kiwi_ir::interp::{Env, Observer};
+use kiwi_ir::program::{ArrId, ArrayBacking, SigId};
+use kiwi_ir::{IrError, IrResult, ProgramBuilder};
+use emu_types::Bits;
+
+/// Canonical signal / array names of the dataplane contract.
+pub mod names {
+    /// Frame-available input.
+    pub const RX_VALID: &str = "rx_valid";
+    /// Frame length input.
+    pub const RX_LEN: &str = "rx_len";
+    /// Arrival port input.
+    pub const RX_PORT: &str = "rx_port";
+    /// Completion pulse output.
+    pub const RX_DONE: &str = "rx_done";
+    /// Transmit pulse output.
+    pub const TX_VALID: &str = "tx_valid";
+    /// Transmit length output.
+    pub const TX_LEN: &str = "tx_len";
+    /// Destination port bitmap output.
+    pub const TX_PORTS: &str = "tx_ports";
+    /// The frame buffer array.
+    pub const FRAME: &str = "frame";
+}
+
+/// Resolved handles to the dataplane ports of a program.
+#[derive(Debug, Clone, Copy)]
+pub struct DataplanePorts {
+    /// `rx_valid` input.
+    pub rx_valid: SigId,
+    /// `rx_len` input.
+    pub rx_len: SigId,
+    /// `rx_port` input.
+    pub rx_port: SigId,
+    /// `rx_done` output.
+    pub rx_done: SigId,
+    /// `tx_valid` output.
+    pub tx_valid: SigId,
+    /// `tx_len` output.
+    pub tx_len: SigId,
+    /// `tx_ports` output.
+    pub tx_ports: SigId,
+    /// The frame buffer.
+    pub frame: ArrId,
+}
+
+/// Declares the dataplane contract on a program under construction.
+///
+/// `frame_capacity` sizes the frame buffer; services handling only small
+/// packets declare a small buffer, which is visible in the resource
+/// report (the paper's designs similarly size buffers to the workload).
+pub fn declare(pb: &mut ProgramBuilder, frame_capacity: usize) -> DataplanePorts {
+    DataplanePorts {
+        rx_valid: pb.sig_in(names::RX_VALID, 1),
+        rx_len: pb.sig_in(names::RX_LEN, 16),
+        rx_port: pb.sig_in(names::RX_PORT, 8),
+        rx_done: pb.sig_out(names::RX_DONE, 1),
+        tx_valid: pb.sig_out(names::TX_VALID, 1),
+        tx_len: pb.sig_out(names::TX_LEN, 16),
+        tx_ports: pb.sig_out(names::TX_PORTS, 8),
+        frame: pb.array(names::FRAME, 8, frame_capacity, ArrayBacking::BlockRam),
+    }
+}
+
+/// One transmitted frame with its destination bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxFrame {
+    /// Destination port bitmap.
+    pub ports: u8,
+    /// The frame bytes as transmitted.
+    pub frame: Frame,
+}
+
+/// Result of processing one received frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreOutput {
+    /// Frames transmitted while handling the input.
+    pub tx: Vec<TxFrame>,
+    /// Core-clock cycles consumed from `rx_valid` to `rx_done`.
+    pub cycles: u64,
+}
+
+struct ResolvedIds {
+    rx_valid: usize,
+    rx_len: usize,
+    rx_port: usize,
+    rx_done: usize,
+    tx_valid: usize,
+    tx_len: usize,
+    tx_ports: usize,
+    frame: usize,
+}
+
+/// Platform-side driver: feeds frames to a program over the dataplane
+/// contract and collects its transmissions.
+///
+/// Generic over [`ExecBackend`], so the identical service program can be
+/// driven on the cycle-accurate FSM (hardware target) or the sequential
+/// interpreter (software target).
+pub struct DataplaneDriver<B: ExecBackend> {
+    backend: B,
+    ids: ResolvedIds,
+    /// Per-frame cycle budget before the driver declares the core hung.
+    pub max_cycles_per_frame: u64,
+}
+
+impl<B: ExecBackend> DataplaneDriver<B> {
+    /// Wraps a backend, resolving the contract's names.
+    pub fn new(backend: B) -> IrResult<Self> {
+        let prog = backend.program();
+        let sig = |n: &str| {
+            prog.signal_by_name(n)
+                .map(|s| s.0 as usize)
+                .ok_or_else(|| IrError(format!("program lacks dataplane signal `{n}`")))
+        };
+        let ids = ResolvedIds {
+            rx_valid: sig(names::RX_VALID)?,
+            rx_len: sig(names::RX_LEN)?,
+            rx_port: sig(names::RX_PORT)?,
+            rx_done: sig(names::RX_DONE)?,
+            tx_valid: sig(names::TX_VALID)?,
+            tx_len: sig(names::TX_LEN)?,
+            tx_ports: sig(names::TX_PORTS)?,
+            frame: prog
+                .array_by_name(names::FRAME)
+                .map(|a| a.0 as usize)
+                .ok_or_else(|| IrError("program lacks `frame` array".into()))?,
+        };
+        Ok(DataplaneDriver {
+            backend,
+            ids,
+            max_cycles_per_frame: 200_000,
+        })
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the wrapped backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Frame buffer capacity of the wrapped program.
+    pub fn frame_capacity(&self) -> usize {
+        self.backend.machine_state().arrays[self.ids.frame].len()
+    }
+
+    /// Runs the core for `n` cycles with no frame offered (lets service
+    /// background threads make progress).
+    pub fn idle(&mut self, n: u64, env: &mut dyn Env, obs: &mut dyn Observer) -> IrResult<()> {
+        for _ in 0..n {
+            if self.backend.is_halted() {
+                break;
+            }
+            self.backend.step(env, obs)?;
+        }
+        Ok(())
+    }
+
+    /// Delivers `frame` to the core and runs until the core pulses
+    /// `rx_done`, collecting every `tx_valid` pulse along the way.
+    pub fn process(
+        &mut self,
+        frame: &Frame,
+        env: &mut dyn Env,
+        obs: &mut dyn Observer,
+    ) -> IrResult<CoreOutput> {
+        let cap = self.frame_capacity();
+        if frame.len() > cap {
+            return Err(IrError(format!(
+                "frame of {} B exceeds core buffer of {cap} B",
+                frame.len()
+            )));
+        }
+
+        // DMA the frame into the buffer and raise rx_valid.
+        {
+            let st = self.backend.machine_state_mut();
+            let buf = &mut st.arrays[self.ids.frame];
+            for (i, slot) in buf.iter_mut().enumerate() {
+                let byte = frame.bytes().get(i).copied().unwrap_or(0);
+                *slot = Bits::from_u64(u64::from(byte), 8);
+            }
+            st.sigs_in[self.ids.rx_valid] = Bits::from_u64(1, 1);
+            st.sigs_in[self.ids.rx_len] = Bits::from_u64(frame.len() as u64, 16);
+            st.sigs_in[self.ids.rx_port] = Bits::from_u64(u64::from(frame.in_port), 8);
+        }
+
+        let start_cycle = self.backend.cycles();
+        let mut tx = Vec::new();
+        let mut prev_tx = false;
+        let mut prev_done = false;
+
+        loop {
+            if self.backend.cycles() - start_cycle > self.max_cycles_per_frame {
+                return Err(IrError(format!(
+                    "core exceeded {} cycles on one frame",
+                    self.max_cycles_per_frame
+                )));
+            }
+            if self.backend.is_halted() {
+                return Err(IrError("core halted while processing a frame".into()));
+            }
+            self.backend.step(env, obs)?;
+
+            let (tx_now, done_now) = {
+                let st = self.backend.machine_state();
+                (
+                    st.sigs_out[self.ids.tx_valid].to_bool(),
+                    st.sigs_out[self.ids.rx_done].to_bool(),
+                )
+            };
+
+            if tx_now && !prev_tx {
+                let st = self.backend.machine_state();
+                let len = (st.sigs_out[self.ids.tx_len].to_u64() as usize).min(cap);
+                let ports = st.sigs_out[self.ids.tx_ports].to_u64() as u8;
+                let bytes: Vec<u8> = st.arrays[self.ids.frame][..len]
+                    .iter()
+                    .map(|b| b.to_u64() as u8)
+                    .collect();
+                tx.push(TxFrame {
+                    ports,
+                    frame: Frame::new(bytes),
+                });
+            }
+            prev_tx = tx_now;
+
+            if done_now && !prev_done {
+                // Drop rx_valid the same tick so the core's next loop
+                // iteration sees no frame.
+                let st = self.backend.machine_state_mut();
+                st.sigs_in[self.ids.rx_valid] = Bits::from_u64(0, 1);
+                break;
+            }
+            prev_done = done_now;
+        }
+
+        Ok(CoreOutput {
+            tx,
+            cycles: self.backend.cycles() - start_cycle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu_rtl::RtlMachine;
+    use kiwi_ir::dsl::*;
+    use kiwi_ir::interp::{NullEnv, NullObserver};
+    use kiwi_ir::Machine;
+
+    /// A mirror service: sends every frame back out of its arrival port,
+    /// the "quickstart"-grade service used throughout the platform tests.
+    fn mirror_program() -> kiwi_ir::Program {
+        let mut pb = ProgramBuilder::new("mirror");
+        let dp = declare(&mut pb, 128);
+        pb.thread(
+            "main",
+            vec![forever(vec![
+                wait_until(sig(dp.rx_valid)),
+                sig_write(dp.tx_len, sig(dp.rx_len)),
+                // Echo to the arrival port: bitmap = 1 << rx_port.
+                sig_write(dp.tx_ports, shl(lit(1, 8), sig(dp.rx_port))),
+                sig_write(dp.tx_valid, tru()),
+                pause(),
+                sig_write(dp.tx_valid, fls()),
+                sig_write(dp.rx_done, tru()),
+                pause(),
+                sig_write(dp.rx_done, fls()),
+            ])],
+        );
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn mirror_on_rtl_backend() {
+        let prog = mirror_program();
+        let rtl = RtlMachine::new(kiwi::compile(&prog).unwrap());
+        let mut drv = DataplaneDriver::new(rtl).unwrap();
+        let mut f = Frame::new(vec![0xab; 64]);
+        f.in_port = 2;
+        let out = drv.process(&f, &mut NullEnv, &mut NullObserver).unwrap();
+        assert_eq!(out.tx.len(), 1);
+        assert_eq!(out.tx[0].ports, 1 << 2);
+        assert_eq!(out.tx[0].frame.bytes(), f.bytes());
+        assert!(out.cycles >= 2 && out.cycles < 32, "cycles {}", out.cycles);
+    }
+
+    #[test]
+    fn mirror_on_interpreter_backend_matches_rtl() {
+        let prog = mirror_program();
+        let mut rtl_drv =
+            DataplaneDriver::new(RtlMachine::new(kiwi::compile(&prog).unwrap())).unwrap();
+        let mut sw_drv =
+            DataplaneDriver::new(Machine::new(kiwi_ir::flatten(&prog).unwrap())).unwrap();
+        for len in [60usize, 64, 65, 100, 127] {
+            let mut f = Frame::new((0..len).map(|i| i as u8).collect());
+            f.in_port = (len % 4) as u8;
+            let a = rtl_drv.process(&f, &mut NullEnv, &mut NullObserver).unwrap();
+            let b = sw_drv.process(&f, &mut NullEnv, &mut NullObserver).unwrap();
+            assert_eq!(a.tx, b.tx, "targets disagree at len {len}");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let prog = mirror_program();
+        let rtl = RtlMachine::new(kiwi::compile(&prog).unwrap());
+        let mut drv = DataplaneDriver::new(rtl).unwrap();
+        let f = Frame::new(vec![0; 500]);
+        assert!(drv.process(&f, &mut NullEnv, &mut NullObserver).is_err());
+    }
+
+    #[test]
+    fn missing_contract_detected() {
+        let mut pb = ProgramBuilder::new("bare");
+        pb.thread("main", vec![forever(vec![pause()])]);
+        let prog = pb.build().unwrap();
+        let rtl = RtlMachine::new(kiwi::compile(&prog).unwrap());
+        assert!(DataplaneDriver::new(rtl).is_err());
+    }
+
+    #[test]
+    fn hung_core_times_out() {
+        // A service that never signals rx_done.
+        let mut pb = ProgramBuilder::new("hang");
+        let _dp = declare(&mut pb, 64);
+        pb.thread("main", vec![forever(vec![pause()])]);
+        let prog = pb.build().unwrap();
+        let rtl = RtlMachine::new(kiwi::compile(&prog).unwrap());
+        let mut drv = DataplaneDriver::new(rtl).unwrap();
+        drv.max_cycles_per_frame = 100;
+        let err = drv
+            .process(&Frame::new(vec![0; 60]), &mut NullEnv, &mut NullObserver)
+            .unwrap_err();
+        assert!(err.0.contains("exceeded"));
+    }
+
+    #[test]
+    fn dropping_service_produces_no_tx() {
+        // Consumes frames without transmitting: an L3 filter dropping.
+        let mut pb = ProgramBuilder::new("drop");
+        let dp = declare(&mut pb, 64);
+        pb.thread(
+            "main",
+            vec![forever(vec![
+                wait_until(sig(dp.rx_valid)),
+                sig_write(dp.rx_done, tru()),
+                pause(),
+                sig_write(dp.rx_done, fls()),
+            ])],
+        );
+        let prog = pb.build().unwrap();
+        let rtl = RtlMachine::new(kiwi::compile(&prog).unwrap());
+        let mut drv = DataplaneDriver::new(rtl).unwrap();
+        let out = drv
+            .process(&Frame::new(vec![0; 60]), &mut NullEnv, &mut NullObserver)
+            .unwrap();
+        assert!(out.tx.is_empty());
+    }
+}

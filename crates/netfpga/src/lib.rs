@@ -1,0 +1,25 @@
+//! NetFPGA SUME platform model.
+//!
+//! The paper deploys every Emu service as the "main logical core" of the
+//! NetFPGA reference pipeline (Figure 10), sharing the ports, input
+//! arbiter and output queues across services so that "no hardware
+//! expertise" is required (§5.1). This crate reproduces that platform:
+//!
+//! * [`timing`] — the 200 MHz / 4×10G timing constants,
+//! * [`dataplane`] — the frame/metadata contract between a program and
+//!   the platform (the substrate binding of Figure 6), plus the
+//!   platform-side driver,
+//! * [`native`] — the Table 3 baselines: the hand-written reference
+//!   switch and the P4FPGA-generated switch,
+//! * [`pipeline`] — the discrete-event pipeline simulation that produces
+//!   module latency, end-to-end latency and throughput, including the
+//!   multi-core configuration of §5.4.
+
+pub mod dataplane;
+pub mod native;
+pub mod pipeline;
+pub mod timing;
+
+pub use dataplane::{declare, CoreOutput, DataplaneDriver, DataplanePorts, TxFrame};
+pub use native::{MacTable, NativeCore, P4FpgaConfig, P4FpgaCore, RefSwitchCore};
+pub use pipeline::{CoreMode, FrameRecord, MultiCoreSim, PipelineSim};

@@ -1,0 +1,408 @@
+//! The reference pipeline of Figure 10: ports → input arbiter → main
+//! logical core → output queues → ports.
+//!
+//! The pipeline is simulated as a discrete-event model in nanoseconds
+//! around a functionally-exact core: every frame is actually processed by
+//! the compiled FSM (or a native baseline), and the cycles it consumed —
+//! measured by the cycle-accurate executor — drive the timing model. This
+//! split (functional model + timing model) is standard simulator practice
+//! and is what lets the same harness produce Table 3's module
+//! latency/throughput and Table 4's end-to-end service latencies.
+//!
+//! Two core timing disciplines exist, matching how the paper's designs
+//! behave:
+//!
+//! * **iterative** — the core accepts the next frame only after finishing
+//!   the current one (request/response services: ICMP echo, DNS,
+//!   Memcached, NAT). Throughput is loop-limited, as in Table 4.
+//! * **streaming** — Kiwi's "maximal pipelining" (§3.4) overlaps
+//!   iterations; admission is limited by the 256-bit stream itself (one
+//!   frame per its beat count), so the switch reaches full line rate
+//!   (Table 3) while module latency stays the measured FSM path.
+
+use crate::dataplane::{DataplaneDriver, TxFrame};
+use crate::native::NativeCore;
+use crate::timing;
+use emu_rtl::{IpEnv, RtlMachine};
+use emu_types::{Frame, Summary};
+use kiwi_ir::interp::NullObserver;
+use kiwi_ir::IrResult;
+
+/// Timing discipline for an Emu core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreMode {
+    /// One frame at a time; next admission after `rx_done`.
+    Iterative,
+    /// Pipelined admission at stream rate; latency = measured FSM cycles.
+    Streaming,
+}
+
+/// Per-frame observation, the DAG-card analogue (§5.2: "all traffic is
+/// captured by the DAG card and used to measure the latency of the
+/// device-under-test alone").
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// Arrival port.
+    pub in_port: u8,
+    /// First bit on the ingress wire, ns.
+    pub t_in_ns: f64,
+    /// Last bit off the egress wire, ns (`None`: consumed or dropped).
+    pub t_out_ns: Option<f64>,
+    /// Destination bitmap of the first transmission (0 if none).
+    pub out_ports: u8,
+    /// Core cycles consumed (module latency for this frame).
+    pub core_cycles: u64,
+}
+
+enum CoreBox {
+    Emu {
+        driver: Box<DataplaneDriver<RtlMachine>>,
+        env: IpEnv,
+        mode: CoreMode,
+    },
+    Native(Box<dyn NativeCore>),
+}
+
+/// The simulated pipeline.
+pub struct PipelineSim {
+    core: CoreBox,
+    core_free_ns: f64,
+    out_port_free_ns: [f64; timing::NUM_PORTS],
+    /// Output queue capacity in frames (per port).
+    pub out_queue_frames: usize,
+    records: Vec<FrameRecord>,
+    /// Frames dropped at full output queues.
+    pub queue_drops: u64,
+}
+
+impl PipelineSim {
+    /// Builds a pipeline around a compiled Emu core.
+    pub fn new_emu(driver: DataplaneDriver<RtlMachine>, env: IpEnv, mode: CoreMode) -> Self {
+        PipelineSim {
+            core: CoreBox::Emu {
+                driver: Box::new(driver),
+                env,
+                mode,
+            },
+            core_free_ns: 0.0,
+            out_port_free_ns: [0.0; timing::NUM_PORTS],
+            out_queue_frames: 64,
+            records: Vec::new(),
+            queue_drops: 0,
+        }
+    }
+
+    /// Builds a pipeline around a native baseline core.
+    pub fn new_native(core: Box<dyn NativeCore>) -> Self {
+        PipelineSim {
+            core: CoreBox::Native(core),
+            core_free_ns: 0.0,
+            out_port_free_ns: [0.0; timing::NUM_PORTS],
+            out_queue_frames: 64,
+            records: Vec::new(),
+            queue_drops: 0,
+        }
+    }
+
+    /// All per-frame records.
+    pub fn records(&self) -> &[FrameRecord] {
+        &self.records
+    }
+
+    /// Latency samples (ns) of frames that produced output.
+    pub fn latencies_ns(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.t_out_ns.map(|o| o - r.t_in_ns))
+            .collect()
+    }
+
+    /// Latency summary.
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::of(&self.latencies_ns())
+    }
+
+    /// Achieved throughput in packets/s over the span of completed frames.
+    pub fn throughput_pps(&self) -> f64 {
+        let outs: Vec<f64> = self.records.iter().filter_map(|r| r.t_out_ns).collect();
+        if outs.len() < 2 {
+            return 0.0;
+        }
+        let t_first_in = self
+            .records
+            .iter()
+            .map(|r| r.t_in_ns)
+            .fold(f64::INFINITY, f64::min);
+        let t_last = outs.iter().fold(0.0f64, |a, &b| a.max(b));
+        (outs.len() as f64) / ((t_last - t_first_in) / 1e9)
+    }
+
+    /// Mean module latency in cycles across processed frames.
+    pub fn mean_core_cycles(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.core_cycles as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Injects a frame whose first bit hits the ingress wire at `t_ns`.
+    /// Frames must be injected in nondecreasing time order.
+    pub fn inject(&mut self, frame: &Frame, t_ns: f64) -> IrResult<()> {
+        let in_len = frame.len();
+        // Frame fully received and through the MAC + arbiter.
+        let t_ready = t_ns + timing::wire_ns(in_len) + timing::MAC_PHY_NS + timing::ARBITER_NS;
+
+        let (outputs, cycles, t_core_start, t_core_done) = match &mut self.core {
+            CoreBox::Emu { driver, env, mode } => {
+                let out = driver.process(frame, env, &mut NullObserver)?;
+                let cycles = out.cycles;
+                match mode {
+                    CoreMode::Iterative => {
+                        let start = admit(t_ready, self.core_free_ns, timing::NS_PER_CYCLE);
+                        let done = start + cycles as f64 * timing::NS_PER_CYCLE;
+                        self.core_free_ns = done;
+                        (out.tx, cycles, start, done)
+                    }
+                    CoreMode::Streaming => {
+                        // Cut-through-ish: the core sees headers as beats
+                        // arrive; admission is limited by the stream.
+                        let t_head = t_ns + timing::MAC_PHY_NS + timing::ARBITER_NS;
+                        let start = admit(t_head, self.core_free_ns, timing::NS_PER_CYCLE);
+                        let ii = emu_rtl::beats_for_len(in_len) as f64 * timing::NS_PER_CYCLE;
+                        self.core_free_ns = start + ii;
+                        let done = start + cycles as f64 * timing::NS_PER_CYCLE;
+                        (out.tx, cycles, start, done)
+                    }
+                }
+            }
+            CoreBox::Native(core) => {
+                let tx = core.process(frame);
+                let cyc = core.module_latency_cycles();
+                let cyc_ns = 1e9 / core.clock_hz() as f64;
+                let t_head = t_ns + timing::MAC_PHY_NS + timing::ARBITER_NS;
+                // Snap to the *core's* clock grid (e.g. P4FPGA at 250 MHz).
+                let start = admit(t_head, self.core_free_ns, cyc_ns);
+                self.core_free_ns = start + core.initiation_ns(in_len);
+                let done = start + cyc as f64 * cyc_ns;
+                (tx, cyc, start, done)
+            }
+        };
+        let _ = t_core_start;
+
+        let mut rec = FrameRecord {
+            in_port: frame.in_port,
+            t_in_ns: t_ns,
+            t_out_ns: None,
+            out_ports: 0,
+            core_cycles: cycles,
+        };
+
+        for tx in &outputs {
+            let out = self.egress(tx, t_core_done);
+            if rec.t_out_ns.is_none() {
+                rec.t_out_ns = out;
+                rec.out_ports = tx.ports;
+            }
+        }
+        self.records.push(rec);
+        Ok(())
+    }
+
+    /// Enqueues a transmission on each destination port; returns the wire
+    /// completion time of the earliest copy.
+    fn egress(&mut self, tx: &TxFrame, t_core_done: f64) -> Option<f64> {
+        let len = tx.frame.len();
+        let wire = timing::wire_ns(len);
+        let mut first: Option<f64> = None;
+        for p in 0..timing::NUM_PORTS {
+            if tx.ports & (1 << p) == 0 {
+                continue;
+            }
+            let t_q = t_core_done + timing::OUT_QUEUE_NS;
+            let backlog = self.out_port_free_ns[p] - t_q;
+            if backlog > self.out_queue_frames as f64 * wire {
+                self.queue_drops += 1;
+                continue;
+            }
+            let t_egress = t_q.max(self.out_port_free_ns[p]);
+            self.out_port_free_ns[p] = t_egress + wire;
+            let t_done = t_egress + wire + timing::MAC_PHY_NS;
+            first = Some(first.map_or(t_done, |f: f64| f.min(t_done)));
+        }
+        first
+    }
+}
+
+/// Snaps a time to the next 5 ns clock edge (the only latency "jitter" a
+/// synchronous design exhibits; cf. §5.6 on hardware predictability).
+fn snap(t_ns: f64) -> f64 {
+    snap_to(t_ns, timing::NS_PER_CYCLE)
+}
+
+/// Snaps a time to the next edge of an arbitrary clock grid.
+fn snap_to(t_ns: f64, cyc_ns: f64) -> f64 {
+    (t_ns / cyc_ns).ceil() * cyc_ns
+}
+
+/// Admission time for a packet: an idle core samples the new arrival on
+/// its next clock edge; a backlogged core admits as soon as it frees up
+/// (the initiation interval is already clock-exact on average, so
+/// re-snapping would systematically over-quantize the pipeline's rate).
+fn admit(t_arrival: f64, core_free: f64, cyc_ns: f64) -> f64 {
+    if core_free > t_arrival {
+        core_free
+    } else {
+        snap_to(t_arrival, cyc_ns)
+    }
+}
+
+/// A pipeline with one Emu core per port — the §5.4 multi-core Memcached
+/// configuration ("using four Emu cores (one per port) further increases
+/// [throughput] by 3.7×... SET requests must be applied to all
+/// instances").
+pub struct MultiCoreSim {
+    cores: Vec<DataplaneDriver<RtlMachine>>,
+    envs: Vec<IpEnv>,
+    core_free_ns: Vec<f64>,
+    completions: Vec<f64>,
+    t_first_in: f64,
+}
+
+impl MultiCoreSim {
+    /// Builds an n-core pipeline from per-core drivers and environments.
+    pub fn new(cores: Vec<DataplaneDriver<RtlMachine>>, envs: Vec<IpEnv>) -> Self {
+        let n = cores.len();
+        assert_eq!(n, envs.len(), "one env per core");
+        MultiCoreSim {
+            cores,
+            envs,
+            core_free_ns: vec![0.0; n],
+            completions: Vec::new(),
+            t_first_in: f64::INFINITY,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Injects a request at `t_ns` on `port`. When `replicate` is set the
+    /// frame is applied to *every* core (SETs must hit all instances);
+    /// otherwise only `port`'s core serves it.
+    pub fn inject(&mut self, frame: &Frame, t_ns: f64, port: usize, replicate: bool) -> IrResult<()> {
+        self.t_first_in = self.t_first_in.min(t_ns);
+        let t_ready = t_ns + timing::wire_ns(frame.len()) + timing::MAC_PHY_NS + timing::ARBITER_NS;
+        let targets: Vec<usize> = if replicate {
+            (0..self.cores.len()).collect()
+        } else {
+            vec![port % self.cores.len()]
+        };
+        let mut t_reply = 0.0f64;
+        for c in targets {
+            let out = self.cores[c].process(frame, &mut self.envs[c], &mut NullObserver)?;
+            let start = snap(t_ready.max(self.core_free_ns[c]));
+            let done = start + out.cycles as f64 * timing::NS_PER_CYCLE;
+            self.core_free_ns[c] = done;
+            t_reply = t_reply.max(done);
+        }
+        self.completions
+            .push(t_reply + timing::OUT_QUEUE_NS + timing::wire_ns(frame.len()) + timing::MAC_PHY_NS);
+        Ok(())
+    }
+
+    /// Achieved request rate (requests/s).
+    pub fn throughput_rps(&self) -> f64 {
+        if self.completions.len() < 2 {
+            return 0.0;
+        }
+        let t_last = self.completions.iter().fold(0.0f64, |a, &b| a.max(b));
+        self.completions.len() as f64 / ((t_last - self.t_first_in) / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{P4FpgaCore, RefSwitchCore};
+    use emu_types::MacAddr;
+
+    fn test_frame(src: u64, dst: u64, port: u8, len: usize) -> Frame {
+        let mut f = Frame::ethernet(
+            MacAddr::from_u64(dst),
+            MacAddr::from_u64(src),
+            0x0800,
+            &vec![0u8; len.saturating_sub(14)],
+        );
+        f.in_port = port;
+        f
+    }
+
+    #[test]
+    fn native_switch_single_frame_latency() {
+        let mut sim = PipelineSim::new_native(Box::new(RefSwitchCore::new()));
+        sim.inject(&test_frame(0xA, 0xB, 0, 64), 0.0).unwrap();
+        let s = sim.summary().unwrap();
+        // Wire (67.2) + 2×MAC (640) + arbiter + 6 cycles + queue + wire:
+        // total should sit near 850–900 ns... the exact budget:
+        // in-wire is not counted at head for native (cut-through at head),
+        // so: MAC+ARB (340) + 30ns core + queue 15 + wire 67.2 + MAC 320.
+        assert!(s.mean > 600.0 && s.mean < 1200.0, "mean {}", s.mean);
+    }
+
+    /// Learns MAC `100 + p` on each port `p`, then offers 64 B frames at
+    /// aggregate line rate with each port sending to its neighbour's MAC,
+    /// so egress load spreads evenly over all four ports.
+    fn offer_line_rate(sim: &mut PipelineSim, n: u64) {
+        for p in 0..4u8 {
+            sim.inject(&test_frame(100 + u64::from(p), 0xEE, p, 64), f64::from(p) * 100.0)
+                .unwrap();
+        }
+        let gap = timing::wire_ns(64) / timing::NUM_PORTS as f64;
+        let mut t = 1000.0;
+        for i in 0..n {
+            let port = (i % 4) as u8;
+            let dst = 100 + (u64::from(port) + 1) % 4;
+            sim.inject(&test_frame(100 + u64::from(port), dst, port, 64), t)
+                .unwrap();
+            t += gap;
+        }
+    }
+
+    #[test]
+    fn line_rate_through_reference_switch() {
+        let mut sim = PipelineSim::new_native(Box::new(RefSwitchCore::new()));
+        offer_line_rate(&mut sim, 4000);
+        let mpps = sim.throughput_pps() / 1e6;
+        assert!(mpps > 55.0 && mpps < 62.0, "got {mpps} Mpps");
+        assert_eq!(sim.queue_drops, 0);
+    }
+
+    #[test]
+    fn p4fpga_saturates_below_line_rate() {
+        let mut sim = PipelineSim::new_native(Box::new(P4FpgaCore::default()));
+        offer_line_rate(&mut sim, 4000);
+        let mpps = sim.throughput_pps() / 1e6;
+        assert!(mpps > 48.0 && mpps < 56.0, "got {mpps} Mpps");
+    }
+
+    #[test]
+    fn p4fpga_latency_exceeds_reference() {
+        let mut ref_sim = PipelineSim::new_native(Box::new(RefSwitchCore::new()));
+        let mut p4_sim = PipelineSim::new_native(Box::new(P4FpgaCore::default()));
+        ref_sim.inject(&test_frame(0xA, 0xB, 0, 64), 0.0).unwrap();
+        p4_sim.inject(&test_frame(0xA, 0xB, 0, 64), 0.0).unwrap();
+        let r = ref_sim.summary().unwrap().mean;
+        let p = p4_sim.summary().unwrap().mean;
+        // 85 cycles @4 ns vs 6 cycles @5 ns: ~310 ns extra.
+        assert!(p > r + 250.0, "p4 {p} vs ref {r}");
+    }
+
+    #[test]
+    fn snap_quantizes_to_cycle_grid() {
+        assert_eq!(snap(0.0), 0.0);
+        assert_eq!(snap(0.1), 5.0);
+        assert_eq!(snap(5.0), 5.0);
+        assert_eq!(snap(12.3), 15.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Timing constants for the NetFPGA SUME platform model.
+//!
+//! Everything here reproduces §5.1's hardware description: a Virtex-7
+//! fabric clocked at 200 MHz, four 10 GbE ports, and the reference
+//! pipeline of Figure 10 (input arbiter → main logical core → output
+//! queues). The MAC/PHY constants are the usual figures for 10GBASE-R
+//! with a store-and-forward MAC, chosen so the end-to-end RTTs land in
+//! the 1.0–2.0 µs band the paper measures with the DAG card (Table 4).
+//! EXPERIMENTS.md reports measured-vs-paper per service.
+
+/// Core clock: 200 MHz (§5.1, "NetFPGA SUME's native frequency").
+pub const CLOCK_HZ: u64 = 200_000_000;
+
+/// Nanoseconds per core cycle.
+pub const NS_PER_CYCLE: f64 = 1e9 / CLOCK_HZ as f64;
+
+/// Port rate: 10 Gb/s per port.
+pub const PORT_GBPS: f64 = 10.0;
+
+/// Number of front-panel ports.
+pub const NUM_PORTS: usize = 4;
+
+/// Nanoseconds to serialize one byte on a 10G link.
+pub const NS_PER_BYTE: f64 = 8.0 / PORT_GBPS;
+
+/// One-way PHY + MAC latency per direction (10GBASE-R PCS/PMA plus a
+/// store-and-forward MAC FIFO): ~320 ns, a textbook figure for this
+/// generation of hardware.
+pub const MAC_PHY_NS: f64 = 320.0;
+
+/// Input arbiter grant delay: a 4-cycle round-robin decision.
+pub const ARBITER_NS: f64 = 4.0 * NS_PER_CYCLE;
+
+/// Output queue enqueue/dequeue overhead.
+pub const OUT_QUEUE_NS: f64 = 3.0 * NS_PER_CYCLE;
+
+/// Wire time of a frame (bytes on the wire including the 20-byte
+/// preamble/IFG overhead convention used for the paper's 59.52 Mpps).
+pub fn wire_ns(frame_bytes: usize) -> f64 {
+    (frame_bytes.max(60) + emu_types::proto::frame::WIRE_OVERHEAD) as f64 * NS_PER_BYTE
+}
+
+/// Aggregate line rate in packets/s for a given frame size across all
+/// four ports — 59.52 Mpps at 64 bytes.
+pub fn line_rate_pps(frame_bytes: usize) -> f64 {
+    NUM_PORTS as f64 * 1e9 / wire_ns(frame_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rate_matches_table3() {
+        let mpps = line_rate_pps(64) / 1e6;
+        assert!((mpps - 59.52).abs() < 0.01, "got {mpps}");
+    }
+
+    #[test]
+    fn wire_time_of_min_frame() {
+        // 84 bytes at 0.8 ns/byte = 67.2 ns.
+        assert!((wire_ns(64) - 67.2).abs() < 1e-9);
+        // Short frames are padded to the 64-byte minimum.
+        assert_eq!(wire_ns(10), wire_ns(60));
+    }
+
+    #[test]
+    fn cycle_time_is_5ns() {
+        assert!((NS_PER_CYCLE - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,351 @@
+//! A Mininet-analogue network simulator — the paper's third target.
+//!
+//! §3.3: "By using virtual interfaces, developers can test network
+//! functions in a simulator", and §4.4 compiles the NAT service "to
+//! three different targets: software, Mininet, and hardware". This crate
+//! provides that middle target: a discrete-event network of hosts and
+//! links where service nodes run the *same IR program* via the CPU
+//! backend (`emu_core::Target::Cpu`), attached to virtual interfaces.
+//!
+//! Links model propagation delay and serialization at a configurable
+//! rate; frames are delivered in global time order.
+
+use emu_core::{Service, ServiceInstance, Target};
+use emu_types::Frame;
+use kiwi_ir::IrResult;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// A received frame with its arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Arrival time (ns).
+    pub t_ns: f64,
+    /// The frame (with `in_port` set to the arrival interface).
+    pub frame: Frame,
+}
+
+enum NodeKind {
+    /// An end host: frames accumulate in its inbox.
+    Host { inbox: Vec<Delivery> },
+    /// A service node running an Emu program on the CPU target.
+    Service(Box<ServiceInstance>),
+}
+
+struct Node {
+    name: String,
+    kind: NodeKind,
+    /// Interface table: port index → (link id) when connected.
+    ifaces: Vec<Option<usize>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    a: (usize, usize), // (node, port)
+    b: (usize, usize),
+    delay_ns: f64,
+    gbps: f64,
+    busy_until_ns: f64,
+}
+
+struct Event {
+    t_ns: f64,
+    seq: u64,
+    dst_node: usize,
+    dst_port: usize,
+    frame: Frame,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, o: &Self) -> bool {
+        self.t_ns == o.t_ns && self.seq == o.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap by time (BinaryHeap is a max-heap), ties by sequence.
+        o.t_ns
+            .partial_cmp(&self.t_ns)
+            .expect("no NaN times")
+            .then(o.seq.cmp(&self.seq))
+    }
+}
+
+/// The network simulator.
+pub struct NetSim {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    events: BinaryHeap<Event>,
+    time_ns: f64,
+    seq: u64,
+    /// Frames delivered to a port with no link attached.
+    pub dropped_no_link: u64,
+}
+
+impl Default for NetSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetSim {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        NetSim {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            events: BinaryHeap::new(),
+            time_ns: 0.0,
+            seq: 0,
+            dropped_no_link: 0,
+        }
+    }
+
+    /// Adds an end host with `ports` interfaces.
+    pub fn add_host(&mut self, name: &str, ports: usize) -> NodeId {
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind: NodeKind::Host { inbox: Vec::new() },
+            ifaces: vec![None; ports],
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a service node running `service` on the CPU target.
+    pub fn add_service(&mut self, name: &str, service: &Service, ports: usize) -> IrResult<NodeId> {
+        let inst = service.instantiate(Target::Cpu)?;
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind: NodeKind::Service(Box::new(inst)),
+            ifaces: vec![None; ports],
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Connects `a.port_a ↔ b.port_b` with the given delay and rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is out of range or already connected.
+    pub fn link(&mut self, a: NodeId, port_a: usize, b: NodeId, port_b: usize, delay_ns: f64, gbps: f64) {
+        assert!(self.nodes[a.0].ifaces[port_a].is_none(), "port in use");
+        assert!(self.nodes[b.0].ifaces[port_b].is_none(), "port in use");
+        let id = self.links.len();
+        self.links.push(Link {
+            a: (a.0, port_a),
+            b: (b.0, port_b),
+            delay_ns,
+            gbps,
+            busy_until_ns: 0.0,
+        });
+        self.nodes[a.0].ifaces[port_a] = Some(id);
+        self.nodes[b.0].ifaces[port_b] = Some(id);
+    }
+
+    /// Current simulation time.
+    pub fn now_ns(&self) -> f64 {
+        self.time_ns
+    }
+
+    /// Injects a frame leaving `node`'s `port` at time `t_ns`.
+    pub fn send(&mut self, node: NodeId, port: usize, frame: Frame, t_ns: f64) {
+        self.transmit(node.0, port, frame, t_ns);
+    }
+
+    fn transmit(&mut self, node: usize, port: usize, frame: Frame, t_ns: f64) {
+        let Some(&Some(link_id)) = self.nodes[node].ifaces.get(port) else {
+            self.dropped_no_link += 1;
+            return;
+        };
+        let link = &mut self.links[link_id];
+        let ser_ns = frame.wire_bytes() as f64 * 8.0 / link.gbps;
+        let start = t_ns.max(link.busy_until_ns);
+        link.busy_until_ns = start + ser_ns;
+        let arrive = start + ser_ns + link.delay_ns;
+        let (dst_node, dst_port) = if link.a.0 == node && link.a.1 == port {
+            link.b
+        } else {
+            link.a
+        };
+        self.seq += 1;
+        self.events.push(Event {
+            t_ns: arrive,
+            seq: self.seq,
+            dst_node,
+            dst_port,
+            frame,
+        });
+    }
+
+    /// Runs until the event queue drains or `t_end_ns` passes. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, t_end_ns: f64) -> IrResult<u64> {
+        let mut processed = 0;
+        while let Some(ev) = self.events.peek() {
+            if ev.t_ns > t_end_ns {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            self.time_ns = ev.t_ns;
+            processed += 1;
+            let mut frame = ev.frame;
+            frame.in_port = ev.dst_port as u8;
+            match &mut self.nodes[ev.dst_node].kind {
+                NodeKind::Host { inbox } => inbox.push(Delivery {
+                    t_ns: ev.t_ns,
+                    frame,
+                }),
+                NodeKind::Service(inst) => {
+                    let out = inst.process(&frame)?;
+                    // Service processing time on the CPU target is not
+                    // modelled (Mininet gives functional, not temporal,
+                    // fidelity); transmissions leave "immediately".
+                    let t = ev.t_ns;
+                    let n_ports = self.nodes[ev.dst_node].ifaces.len();
+                    for tx in out.tx {
+                        for p in 0..n_ports {
+                            if tx.ports & (1 << p) != 0 {
+                                self.transmit(ev.dst_node, p, tx.frame.clone(), t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(processed)
+    }
+
+    /// Drains a host's inbox.
+    pub fn inbox(&mut self, host: NodeId) -> Vec<Delivery> {
+        match &mut self.nodes[host.0].kind {
+            NodeKind::Host { inbox } => std::mem::take(inbox),
+            NodeKind::Service(_) => Vec::new(),
+        }
+    }
+
+    /// Node name (diagnostics).
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.nodes[n.0].name
+    }
+
+    /// Access a service node's instance (reading registers in tests).
+    pub fn service_mut(&mut self, n: NodeId) -> Option<&mut ServiceInstance> {
+        match &mut self.nodes[n.0].kind {
+            NodeKind::Service(inst) => Some(inst),
+            NodeKind::Host { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu_core::service_builder;
+    use kiwi_ir::dsl::*;
+
+    fn mirror_service() -> Service {
+        let (mut pb, dp) = service_builder("mirror", 1536);
+        let mut body = vec![dp.rx_wait(), dp.set_output_port(dp.input_port())];
+        body.extend(dp.transmit(dp.rx_len()));
+        body.extend(dp.done());
+        pb.thread("main", vec![forever(body)]);
+        Service::new(pb.build().unwrap())
+    }
+
+    #[test]
+    fn frame_crosses_a_link_with_delay() {
+        let mut net = NetSim::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        net.link(a, 0, b, 0, 1000.0, 10.0);
+        net.send(a, 0, Frame::new(vec![0xaa; 60]), 0.0);
+        net.run_until(1e9).unwrap();
+        let inbox = net.inbox(b);
+        assert_eq!(inbox.len(), 1);
+        // 80 wire bytes at 10G = 64 ns + 1000 ns propagation.
+        assert!((inbox[0].t_ns - 1064.0).abs() < 1e-9, "t {}", inbox[0].t_ns);
+    }
+
+    #[test]
+    fn mirror_node_reflects() {
+        let mut net = NetSim::new();
+        let h = net.add_host("h", 1);
+        let m = net.add_service("mirror", &mirror_service(), 4).unwrap();
+        net.link(h, 0, m, 2, 500.0, 10.0);
+        net.send(h, 0, Frame::new(vec![1; 60]), 0.0);
+        net.run_until(1e9).unwrap();
+        let inbox = net.inbox(h);
+        assert_eq!(inbox.len(), 1, "mirrored frame must come back");
+        // Round trip: 2 × (serialization + delay).
+        assert!(inbox[0].t_ns > 1000.0);
+    }
+
+    #[test]
+    fn switch_learns_across_the_network() {
+        let mut net = NetSim::new();
+        let sw = net
+            .add_service("sw", &emu_services::switch_ip_cam(), 4)
+            .unwrap();
+        let h: Vec<NodeId> = (0..4)
+            .map(|i| {
+                let h = net.add_host(&format!("h{i}"), 1);
+                net.link(h, 0, sw, i, 100.0, 10.0);
+                h
+            })
+            .collect();
+
+        let mac = |i: u64| emu_types::MacAddr::from_u64(0x10 + i);
+        // h0 -> h1 (unknown: floods to h1,h2,h3).
+        let f = Frame::ethernet(mac(1), mac(0), 0x0800, &[0; 46]);
+        net.send(h[0], 0, f, 0.0);
+        net.run_until(1e6).unwrap();
+        assert_eq!(net.inbox(h[1]).len(), 1);
+        assert_eq!(net.inbox(h[2]).len(), 1);
+        assert_eq!(net.inbox(h[3]).len(), 1);
+        assert!(net.inbox(h[0]).is_empty(), "no hairpin");
+
+        // h1 -> h0 (learned: unicast).
+        let f = Frame::ethernet(mac(0), mac(1), 0x0800, &[0; 46]);
+        net.send(h[1], 0, f, 1e6);
+        net.run_until(2e6).unwrap();
+        assert_eq!(net.inbox(h[0]).len(), 1);
+        assert!(net.inbox(h[2]).is_empty());
+        assert!(net.inbox(h[3]).is_empty());
+    }
+
+    #[test]
+    fn unlinked_port_drops() {
+        let mut net = NetSim::new();
+        let h = net.add_host("h", 2);
+        net.send(h, 1, Frame::new(vec![0; 60]), 0.0);
+        net.run_until(1e9).unwrap();
+        assert_eq!(net.dropped_no_link, 1);
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back_frames() {
+        let mut net = NetSim::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        net.link(a, 0, b, 0, 0.0, 10.0);
+        for _ in 0..3 {
+            net.send(a, 0, Frame::new(vec![0; 60]), 0.0);
+        }
+        net.run_until(1e9).unwrap();
+        let inbox = net.inbox(b);
+        assert_eq!(inbox.len(), 3);
+        // Arrivals spaced by one 80-byte serialization time (64 ns).
+        assert!((inbox[1].t_ns - inbox[0].t_ns - 64.0).abs() < 1e-9);
+        assert!((inbox[2].t_ns - inbox[1].t_ns - 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,806 @@
+//! Behavioural models of hardware IP blocks.
+//!
+//! §3.4 of the paper: "to maximize the performance of a design, it is
+//! sometimes recommended to use specialized IP blocks that take advantage
+//! of the hardware capabilities, such as content addressable memory". Emu
+//! programs talk to IP blocks over explicit signal protocols (Figure 5
+//! shows the hash unit's seed handshake); because the protocol lives in
+//! ordinary program code, "this enables us to interface with any IP
+//! block".
+//!
+//! Each model here binds to program boundary signals by name, using a
+//! `<prefix>_<port>` convention, and advances one cycle per [`Env::tick`].
+//! The same models serve every target: the sequential interpreter ticks
+//! them at each `pause()`, the RTL executor at each clock edge.
+//!
+//! All protocols are level-based (request/ready), so they tolerate the
+//! extra states inserted by the scheduler's budget cuts.
+
+use kiwi::resources::IpBlock;
+use kiwi_ir::interp::{Env, MachineState};
+use kiwi_ir::program::Program;
+use emu_types::checksum::PEARSON_TABLE;
+use emu_types::Bits;
+use std::collections::VecDeque;
+
+/// A steppable IP block bound to a signal prefix.
+pub trait IpBlockModel {
+    /// One clock cycle: sample the program's outputs, drive its inputs.
+    fn step(&mut self, prog: &Program, st: &mut MachineState);
+    /// Resource accounting entry for `kiwi::resources::estimate`.
+    fn resources(&self) -> IpBlock;
+}
+
+fn out_val(prog: &Program, st: &MachineState, name: &str) -> Bits {
+    st.signal(prog, name)
+        .cloned()
+        .unwrap_or_else(|| Bits::zero(1))
+}
+
+/// An environment hosting a set of IP blocks.
+#[derive(Default)]
+pub struct IpEnv {
+    blocks: Vec<Box<dyn IpBlockModel>>,
+}
+
+impl IpEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a block.
+    pub fn attach(&mut self, b: Box<dyn IpBlockModel>) -> &mut Self {
+        self.blocks.push(b);
+        self
+    }
+
+    /// Resource entries for all attached blocks.
+    pub fn resources(&self) -> Vec<IpBlock> {
+        self.blocks.iter().map(|b| b.resources()).collect()
+    }
+}
+
+impl Env for IpEnv {
+    fn tick(&mut self, _cycle: u64, prog: &Program, st: &mut MachineState) {
+        for b in &mut self.blocks {
+            b.step(prog, st);
+        }
+    }
+}
+
+/// Chains two environments: `first` ticks before `second`.
+pub struct ChainEnv<'a> {
+    /// Ticked first (typically the platform).
+    pub first: &'a mut dyn Env,
+    /// Ticked second (typically the IP blocks).
+    pub second: &'a mut dyn Env,
+}
+
+impl Env for ChainEnv<'_> {
+    fn tick(&mut self, cycle: u64, prog: &Program, st: &mut MachineState) {
+        self.first.tick(cycle, prog, st);
+        self.second.tick(cycle, prog, st);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CAM
+// ---------------------------------------------------------------------
+
+/// Content-addressable memory with single-cycle lookup.
+///
+/// Ports (program side): out `{p}_lookup_en`, `{p}_lookup_key`,
+/// `{p}_write_en`, `{p}_write_key`, `{p}_write_value`; in `{p}_match`,
+/// `{p}_value`.
+///
+/// A lookup launched in cycle *n* presents `match`/`value` during cycle
+/// *n + 1*. Writes replace an existing key in place, otherwise fill a free
+/// slot, otherwise overwrite round-robin (how the NetFPGA reference switch
+/// handles MAC-table overflow).
+pub struct CamModel {
+    prefix: String,
+    key_bits: u16,
+    value_bits: u16,
+    entries: Vec<Option<(Bits, Bits)>>,
+    rr: usize,
+    native: bool,
+    /// Lifetime statistics: (lookups, hits, writes, evictions).
+    pub stats: CamStats,
+}
+
+/// CAM lifetime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CamStats {
+    /// Lookup strobes observed.
+    pub lookups: u64,
+    /// Lookups that matched.
+    pub hits: u64,
+    /// Write strobes observed.
+    pub writes: u64,
+    /// Writes that displaced a live entry.
+    pub evictions: u64,
+}
+
+impl CamModel {
+    /// Creates a CAM bound to `prefix` with the given geometry.
+    pub fn new(prefix: &str, entries: usize, key_bits: u16, value_bits: u16, native: bool) -> Self {
+        CamModel {
+            prefix: prefix.to_string(),
+            key_bits,
+            value_bits,
+            entries: vec![None; entries],
+            rr: 0,
+            native,
+            stats: CamStats::default(),
+        }
+    }
+
+    /// Declares the CAM's ports on a program builder; returns nothing, the
+    /// program looks signals up by name.
+    pub fn declare_ports(pb: &mut kiwi_ir::ProgramBuilder, prefix: &str, key_bits: u16, value_bits: u16) {
+        pb.sig_out(&format!("{prefix}_lookup_en"), 1);
+        pb.sig_out(&format!("{prefix}_lookup_key"), key_bits);
+        pb.sig_out(&format!("{prefix}_write_en"), 1);
+        pb.sig_out(&format!("{prefix}_write_key"), key_bits);
+        pb.sig_out(&format!("{prefix}_write_value"), value_bits);
+        pb.sig_in(&format!("{prefix}_match"), 1);
+        pb.sig_in(&format!("{prefix}_value"), value_bits);
+    }
+
+    /// Number of live entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Preloads an entry (control-plane table population, e.g. a DNS
+    /// resolution table or static NAT mappings).
+    pub fn insert(&mut self, key: Bits, value: Bits) {
+        let key = key.resize(self.key_bits);
+        let value = value.resize(self.value_bits);
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.as_ref().is_some_and(|(k, _)| *k == key))
+        {
+            *slot = Some((key, value));
+        } else if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
+            *slot = Some((key, value));
+        } else {
+            let n = self.entries.len();
+            self.entries[self.rr % n] = Some((key, value));
+            self.rr = (self.rr + 1) % n;
+        }
+    }
+}
+
+impl IpBlockModel for CamModel {
+    fn step(&mut self, prog: &Program, st: &mut MachineState) {
+        let p = &self.prefix;
+        // Optional delete strobe (programs that never declare the signal
+        // read back zero, so legacy CAM users are unaffected).
+        if out_val(prog, st, &format!("{p}_delete_en")).to_bool() {
+            let key = out_val(prog, st, &format!("{p}_delete_key")).resize(self.key_bits);
+            for slot in self.entries.iter_mut() {
+                if slot.as_ref().is_some_and(|(k, _)| *k == key) {
+                    *slot = None;
+                }
+            }
+        }
+        if out_val(prog, st, &format!("{p}_write_en")).to_bool() {
+            self.stats.writes += 1;
+            let key = out_val(prog, st, &format!("{p}_write_key")).resize(self.key_bits);
+            let val = out_val(prog, st, &format!("{p}_write_value")).resize(self.value_bits);
+            if let Some(slot) = self
+                .entries
+                .iter_mut()
+                .find(|e| e.as_ref().is_some_and(|(k, _)| *k == key))
+            {
+                *slot = Some((key, val));
+            } else if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
+                *slot = Some((key, val));
+            } else {
+                self.stats.evictions += 1;
+                let n = self.entries.len();
+                self.entries[self.rr % n] = Some((key, val));
+                self.rr = (self.rr + 1) % n;
+            }
+        }
+        if out_val(prog, st, &format!("{p}_lookup_en")).to_bool() {
+            self.stats.lookups += 1;
+            let key = out_val(prog, st, &format!("{p}_lookup_key")).resize(self.key_bits);
+            let hit = self
+                .entries
+                .iter()
+                .flatten()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone());
+            self.stats.hits += u64::from(hit.is_some());
+            st.drive(prog, &format!("{p}_match"), Bits::from_bool(hit.is_some()));
+            st.drive(
+                prog,
+                &format!("{p}_value"),
+                hit.unwrap_or_else(|| Bits::zero(self.value_bits)),
+            );
+        }
+    }
+
+    fn resources(&self) -> IpBlock {
+        IpBlock::Cam {
+            entries: self.entries.len(),
+            key_bits: self.key_bits,
+            value_bits: self.value_bits,
+            native: self.native,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pearson hash (Figure 5)
+// ---------------------------------------------------------------------
+
+/// Streaming Pearson hash unit with the Figure 5 seed handshake.
+///
+/// Ports: out `{p}_data_in` (8), `{p}_init_enable`, `{p}_feed_en`,
+/// `{p}_clear`; in `{p}_init_ready`, `{p}_digest` (8).
+///
+/// Seeding (paper Figure 5): the program waits for `init_ready` low, puts
+/// the seed on `data_in`, raises `init_enable`; the unit latches the seed,
+/// raises `init_ready`; the program drops `init_enable`; the unit drops
+/// `init_ready` and is seeded. Feeding: each cycle with `feed_en` high
+/// absorbs one byte from `data_in`. `clear` resets the digest.
+pub struct PearsonHashModel {
+    prefix: String,
+    h: u8,
+    init_ready: bool,
+    /// Bytes absorbed since the last clear/seed.
+    pub fed: u64,
+}
+
+impl PearsonHashModel {
+    /// Creates a hash unit bound to `prefix`.
+    pub fn new(prefix: &str) -> Self {
+        PearsonHashModel {
+            prefix: prefix.to_string(),
+            h: 0,
+            init_ready: false,
+            fed: 0,
+        }
+    }
+
+    /// Declares the unit's ports.
+    pub fn declare_ports(pb: &mut kiwi_ir::ProgramBuilder, prefix: &str) {
+        pb.sig_out(&format!("{prefix}_data_in"), 8);
+        pb.sig_out(&format!("{prefix}_init_enable"), 1);
+        pb.sig_out(&format!("{prefix}_feed_en"), 1);
+        pb.sig_out(&format!("{prefix}_clear"), 1);
+        pb.sig_in(&format!("{prefix}_init_ready"), 1);
+        pb.sig_in(&format!("{prefix}_digest"), 8);
+    }
+}
+
+impl IpBlockModel for PearsonHashModel {
+    fn step(&mut self, prog: &Program, st: &mut MachineState) {
+        let p = &self.prefix;
+        let data = out_val(prog, st, &format!("{p}_data_in")).to_u64() as u8;
+        let init_en = out_val(prog, st, &format!("{p}_init_enable")).to_bool();
+        let feed_en = out_val(prog, st, &format!("{p}_feed_en")).to_bool();
+        let clear = out_val(prog, st, &format!("{p}_clear")).to_bool();
+
+        if clear {
+            self.h = 0;
+            self.fed = 0;
+        }
+        if init_en && !self.init_ready {
+            // Latch seed, acknowledge.
+            self.h = PEARSON_TABLE[usize::from(data)];
+            self.fed = 0;
+            self.init_ready = true;
+        } else if !init_en && self.init_ready {
+            self.init_ready = false;
+        } else if feed_en {
+            self.h = PEARSON_TABLE[usize::from(self.h ^ data)];
+            self.fed += 1;
+        }
+
+        st.drive(prog, &format!("{p}_init_ready"), Bits::from_bool(self.init_ready));
+        st.drive(prog, &format!("{p}_digest"), Bits::from_u64(u64::from(self.h), 8));
+    }
+
+    fn resources(&self) -> IpBlock {
+        IpBlock::Hash
+    }
+}
+
+// ---------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------
+
+/// A synchronous FIFO.
+///
+/// Ports: out `{p}_push`, `{p}_push_data`, `{p}_pop`; in `{p}_pop_data`,
+/// `{p}_empty`, `{p}_full`. `pop_data` always shows the head; a `pop`
+/// strobe consumes it. Pushing into a full FIFO drops the element (as an
+/// overflowing output queue drops frames, §5's output-queue model).
+pub struct FifoModel {
+    prefix: String,
+    width: u16,
+    depth: usize,
+    q: VecDeque<Bits>,
+    /// Elements dropped on overflow.
+    pub drops: u64,
+}
+
+impl FifoModel {
+    /// Creates a FIFO bound to `prefix`.
+    pub fn new(prefix: &str, depth: usize, width: u16) -> Self {
+        FifoModel {
+            prefix: prefix.to_string(),
+            width,
+            depth,
+            q: VecDeque::new(),
+            drops: 0,
+        }
+    }
+
+    /// Declares the FIFO's ports.
+    pub fn declare_ports(pb: &mut kiwi_ir::ProgramBuilder, prefix: &str, width: u16) {
+        pb.sig_out(&format!("{prefix}_push"), 1);
+        pb.sig_out(&format!("{prefix}_push_data"), width);
+        pb.sig_out(&format!("{prefix}_pop"), 1);
+        pb.sig_in(&format!("{prefix}_pop_data"), width);
+        pb.sig_in(&format!("{prefix}_empty"), 1);
+        pb.sig_in(&format!("{prefix}_full"), 1);
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+impl IpBlockModel for FifoModel {
+    fn step(&mut self, prog: &Program, st: &mut MachineState) {
+        let p = &self.prefix;
+        if out_val(prog, st, &format!("{p}_pop")).to_bool() {
+            self.q.pop_front();
+        }
+        if out_val(prog, st, &format!("{p}_push")).to_bool() {
+            if self.q.len() >= self.depth {
+                self.drops += 1;
+            } else {
+                self.q
+                    .push_back(out_val(prog, st, &format!("{p}_push_data")).resize(self.width));
+            }
+        }
+        let head = self
+            .q
+            .front()
+            .cloned()
+            .unwrap_or_else(|| Bits::zero(self.width));
+        st.drive(prog, &format!("{p}_pop_data"), head);
+        st.drive(prog, &format!("{p}_empty"), Bits::from_bool(self.q.is_empty()));
+        st.drive(prog, &format!("{p}_full"), Bits::from_bool(self.q.len() >= self.depth));
+    }
+
+    fn resources(&self) -> IpBlock {
+        IpBlock::Fifo {
+            depth: self.depth,
+            width: self.width,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// NaughtyQ (the LRU recency queue of Figure 9)
+// ---------------------------------------------------------------------
+
+/// The slot-store + recency-queue block behind the paper's LRU cache
+/// (Figure 9: `NaughtyQ.Enlist`, `NaughtyQ.Read`, `NaughtyQ.BackOfQ`).
+///
+/// Ports: out `{p}_op` (2: 0 idle, 1 enlist, 2 read, 3 back-of-q),
+/// `{p}_value_in`, `{p}_idx_in`; in `{p}_idx_out`, `{p}_value_out`,
+/// `{p}_evicted` (1), `{p}_evicted_idx`.
+///
+/// `Enlist` allocates a slot for a value (evicting the least-recently-used
+/// slot when full — the eviction logic that would have to live in the
+/// control plane under P4, §4.4) and reports the slot index. `Read`
+/// returns a slot's value. `BackOfQ` marks a slot most-recently-used.
+pub struct NaughtyQModel {
+    prefix: String,
+    width: u16,
+    slots: Vec<Option<Bits>>,
+    /// Recency order: front = least recently used.
+    order: VecDeque<usize>,
+}
+
+impl NaughtyQModel {
+    /// Creates a queue bound to `prefix` with `cap` slots.
+    pub fn new(prefix: &str, cap: usize, width: u16) -> Self {
+        NaughtyQModel {
+            prefix: prefix.to_string(),
+            width,
+            slots: vec![None; cap],
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Declares the block's ports.
+    pub fn declare_ports(pb: &mut kiwi_ir::ProgramBuilder, prefix: &str, width: u16) {
+        pb.sig_out(&format!("{prefix}_op"), 2);
+        pb.sig_out(&format!("{prefix}_value_in"), width);
+        pb.sig_out(&format!("{prefix}_idx_in"), 16);
+        pb.sig_in(&format!("{prefix}_idx_out"), 16);
+        pb.sig_in(&format!("{prefix}_value_out"), width);
+        pb.sig_in(&format!("{prefix}_evicted"), 1);
+        pb.sig_in(&format!("{prefix}_evicted_idx"), 16);
+    }
+
+    /// Live slot count.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl IpBlockModel for NaughtyQModel {
+    fn step(&mut self, prog: &Program, st: &mut MachineState) {
+        let p = &self.prefix;
+        let op = out_val(prog, st, &format!("{p}_op")).to_u64();
+        let mut evicted = false;
+        let mut evicted_idx = 0usize;
+        match op {
+            1 => {
+                // Enlist.
+                let v = out_val(prog, st, &format!("{p}_value_in")).resize(self.width);
+                let idx = if let Some(free) = self.slots.iter().position(|s| s.is_none()) {
+                    free
+                } else {
+                    let lru = self.order.pop_front().unwrap_or(0);
+                    evicted = true;
+                    evicted_idx = lru;
+                    lru
+                };
+                self.slots[idx] = Some(v);
+                self.order.retain(|&i| i != idx);
+                self.order.push_back(idx);
+                st.drive(prog, &format!("{p}_idx_out"), Bits::from_u64(idx as u64, 16));
+            }
+            2 => {
+                // Read.
+                let idx = out_val(prog, st, &format!("{p}_idx_in")).to_u64() as usize;
+                let v = self
+                    .slots
+                    .get(idx)
+                    .and_then(|s| s.clone())
+                    .unwrap_or_else(|| Bits::zero(self.width));
+                st.drive(prog, &format!("{p}_value_out"), v);
+            }
+            3 => {
+                // BackOfQ.
+                let idx = out_val(prog, st, &format!("{p}_idx_in")).to_u64() as usize;
+                if idx < self.slots.len() {
+                    self.order.retain(|&i| i != idx);
+                    self.order.push_back(idx);
+                }
+            }
+            _ => {}
+        }
+        st.drive(prog, &format!("{p}_evicted"), Bits::from_bool(evicted));
+        st.drive(
+            prog,
+            &format!("{p}_evicted_idx"),
+            Bits::from_u64(evicted_idx as u64, 16),
+        );
+    }
+
+    fn resources(&self) -> IpBlock {
+        IpBlock::Fifo {
+            depth: self.slots.len(),
+            width: self.width,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// BRAM
+// ---------------------------------------------------------------------
+
+/// Single-port block RAM with one-cycle read latency — the "on-chip
+/// memory" scaling option of §5.4's optimizations discussion.
+///
+/// Ports: out `{p}_addr` (32), `{p}_wdata`, `{p}_we`; in `{p}_rdata`.
+pub struct BramModel {
+    prefix: String,
+    width: u16,
+    data: Vec<Bits>,
+}
+
+impl BramModel {
+    /// Creates a RAM bound to `prefix` with `words` entries.
+    pub fn new(prefix: &str, words: usize, width: u16) -> Self {
+        BramModel {
+            prefix: prefix.to_string(),
+            width,
+            data: vec![Bits::zero(width); words],
+        }
+    }
+
+    /// Declares the RAM's ports.
+    pub fn declare_ports(pb: &mut kiwi_ir::ProgramBuilder, prefix: &str, width: u16) {
+        pb.sig_out(&format!("{prefix}_addr"), 32);
+        pb.sig_out(&format!("{prefix}_wdata"), width);
+        pb.sig_out(&format!("{prefix}_we"), 1);
+        pb.sig_in(&format!("{prefix}_rdata"), width);
+    }
+}
+
+impl IpBlockModel for BramModel {
+    fn step(&mut self, prog: &Program, st: &mut MachineState) {
+        let p = &self.prefix;
+        let addr = out_val(prog, st, &format!("{p}_addr")).to_u64() as usize;
+        if out_val(prog, st, &format!("{p}_we")).to_bool() {
+            if let Some(slot) = self.data.get_mut(addr) {
+                *slot = out_val(prog, st, &format!("{p}_wdata")).resize(self.width);
+            }
+        }
+        let rd = self
+            .data
+            .get(addr)
+            .cloned()
+            .unwrap_or_else(|| Bits::zero(self.width));
+        st.drive(prog, &format!("{p}_rdata"), rd);
+    }
+
+    fn resources(&self) -> IpBlock {
+        IpBlock::Bram {
+            bits: self.data.len() as u64 * u64::from(self.width),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiwi_ir::dsl::*;
+    use kiwi_ir::interp::{NullObserver};
+    use kiwi_ir::{Machine, ProgramBuilder};
+
+    #[test]
+    fn cam_write_then_lookup_hits() {
+        let mut pb = ProgramBuilder::new("t");
+        let lookup_en = pb.sig_out("cam_lookup_en", 1);
+        let lookup_key = pb.sig_out("cam_lookup_key", 48);
+        let write_en = pb.sig_out("cam_write_en", 1);
+        let write_key = pb.sig_out("cam_write_key", 48);
+        let write_value = pb.sig_out("cam_write_value", 16);
+        let m_in = pb.sig_in("cam_match", 1);
+        let v_in = pb.sig_in("cam_value", 16);
+        let matched = pb.reg("matched", 1);
+        let value = pb.reg("value", 16);
+        pb.thread(
+            "main",
+            vec![
+                // Write 0xAABB -> 7.
+                sig_write(write_key, lit(0xAABB, 48)),
+                sig_write(write_value, lit(7, 16)),
+                sig_write(write_en, lit(1, 1)),
+                pause(),
+                sig_write(write_en, lit(0, 1)),
+                // Look it up.
+                sig_write(lookup_key, lit(0xAABB, 48)),
+                sig_write(lookup_en, lit(1, 1)),
+                pause(),
+                sig_write(lookup_en, lit(0, 1)),
+                assign(matched, sig(m_in)),
+                assign(value, sig(v_in)),
+                halt(),
+            ],
+        );
+        let prog = pb.build().unwrap();
+        let mut m = Machine::new(kiwi_ir::flatten(&prog).unwrap());
+        let mut env = IpEnv::new();
+        env.attach(Box::new(CamModel::new("cam", 16, 48, 16, false)));
+        m.run_cycles(10, &mut env, &mut NullObserver).unwrap();
+        assert!(m.halted());
+        assert_eq!(m.state().vars[0].to_u64(), 1, "lookup must match");
+        assert_eq!(m.state().vars[1].to_u64(), 7);
+    }
+
+    #[test]
+    fn cam_miss_reports_no_match() {
+        let mut pb = ProgramBuilder::new("t");
+        let lookup_en = pb.sig_out("cam_lookup_en", 1);
+        let lookup_key = pb.sig_out("cam_lookup_key", 48);
+        pb.sig_out("cam_write_en", 1);
+        pb.sig_out("cam_write_key", 48);
+        pb.sig_out("cam_write_value", 16);
+        let m_in = pb.sig_in("cam_match", 1);
+        pb.sig_in("cam_value", 16);
+        let matched = pb.reg_init("matched", 1, Bits::from_u64(1, 1));
+        pb.thread(
+            "main",
+            vec![
+                sig_write(lookup_key, lit(0x1234, 48)),
+                sig_write(lookup_en, lit(1, 1)),
+                pause(),
+                assign(matched, sig(m_in)),
+                halt(),
+            ],
+        );
+        let prog = pb.build().unwrap();
+        let mut m = Machine::new(kiwi_ir::flatten(&prog).unwrap());
+        let mut env = IpEnv::new();
+        env.attach(Box::new(CamModel::new("cam", 4, 48, 16, false)));
+        m.run_cycles(10, &mut env, &mut NullObserver).unwrap();
+        assert_eq!(m.state().vars[0].to_u64(), 0);
+    }
+
+    #[test]
+    fn cam_model_direct_eviction_round_robin() {
+        // Drive the model directly (no program) to test replacement.
+        let mut pb = ProgramBuilder::new("t");
+        CamModel::declare_ports(&mut pb, "c", 8, 8);
+        pb.thread("main", vec![halt()]);
+        let prog = pb.build().unwrap();
+        let mut st = kiwi_ir::MachineState::init(&prog);
+        let mut cam = CamModel::new("c", 2, 8, 8, true);
+
+        let we = prog.signal_by_name("c_write_en").unwrap();
+        let wk = prog.signal_by_name("c_write_key").unwrap();
+        let wv = prog.signal_by_name("c_write_value").unwrap();
+        for i in 0..3u64 {
+            st.sigs_out[we.0 as usize] = Bits::from_u64(1, 1);
+            st.sigs_out[wk.0 as usize] = Bits::from_u64(i, 8);
+            st.sigs_out[wv.0 as usize] = Bits::from_u64(i * 10, 8);
+            cam.step(&prog, &mut st);
+        }
+        assert_eq!(cam.occupancy(), 2);
+        assert_eq!(cam.stats.writes, 3);
+        assert_eq!(cam.stats.evictions, 1);
+    }
+
+    #[test]
+    fn hash_handshake_matches_software_pearson() {
+        // Program follows Figure 5: seed with 0x5A, then feed "ab".
+        let mut pb = ProgramBuilder::new("t");
+        let data_in = pb.sig_out("h_data_in", 8);
+        let init_en = pb.sig_out("h_init_enable", 1);
+        let feed_en = pb.sig_out("h_feed_en", 1);
+        pb.sig_out("h_clear", 1);
+        let ready = pb.sig_in("h_init_ready", 1);
+        let digest = pb.sig_in("h_digest", 8);
+        let out = pb.reg("out", 8);
+        pb.thread(
+            "main",
+            vec![
+                // Seed(0x5A), transliterating Figure 5.
+                wait_until(lnot(sig(ready))),
+                sig_write(data_in, lit(0x5A, 8)),
+                sig_write(init_en, lit(1, 1)),
+                pause(),
+                wait_until(sig(ready)),
+                pause(),
+                sig_write(init_en, lit(0, 1)),
+                pause(),
+                // Feed 'a' then 'b'.
+                sig_write(data_in, lit(b'a' as u64, 8)),
+                sig_write(feed_en, lit(1, 1)),
+                pause(),
+                sig_write(data_in, lit(b'b' as u64, 8)),
+                pause(),
+                sig_write(feed_en, lit(0, 1)),
+                pause(),
+                assign(out, sig(digest)),
+                halt(),
+            ],
+        );
+        let prog = pb.build().unwrap();
+        let mut m = Machine::new(kiwi_ir::flatten(&prog).unwrap());
+        let mut env = IpEnv::new();
+        env.attach(Box::new(PearsonHashModel::new("h")));
+        m.run_cycles(40, &mut env, &mut NullObserver).unwrap();
+        assert!(m.halted());
+        let expect = emu_types::checksum::pearson8_seeded(0x5A, b"ab");
+        assert_eq!(m.state().vars[0].to_u64(), u64::from(expect));
+    }
+
+    #[test]
+    fn fifo_round_trip_and_overflow() {
+        let mut pb = ProgramBuilder::new("t");
+        FifoModel::declare_ports(&mut pb, "q", 16);
+        pb.thread("main", vec![halt()]);
+        let prog = pb.build().unwrap();
+        let mut st = kiwi_ir::MachineState::init(&prog);
+        let mut q = FifoModel::new("q", 2, 16);
+
+        let push = prog.signal_by_name("q_push").unwrap();
+        let pd = prog.signal_by_name("q_push_data").unwrap();
+        let pop = prog.signal_by_name("q_pop").unwrap();
+
+        for i in 1..=3u64 {
+            st.sigs_out[push.0 as usize] = Bits::from_u64(1, 1);
+            st.sigs_out[pd.0 as usize] = Bits::from_u64(i, 16);
+            q.step(&prog, &mut st);
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.drops, 1);
+        st.sigs_out[push.0 as usize] = Bits::from_u64(0, 1);
+
+        // Head must be 1; pop it; head becomes 2.
+        assert_eq!(st.signal(&prog, "q_pop_data").unwrap().to_u64(), 1);
+        st.sigs_out[pop.0 as usize] = Bits::from_u64(1, 1);
+        q.step(&prog, &mut st);
+        assert_eq!(st.signal(&prog, "q_pop_data").unwrap().to_u64(), 2);
+    }
+
+    #[test]
+    fn naughtyq_lru_eviction_order() {
+        let mut pb = ProgramBuilder::new("t");
+        NaughtyQModel::declare_ports(&mut pb, "nq", 32);
+        pb.thread("main", vec![halt()]);
+        let prog = pb.build().unwrap();
+        let mut st = kiwi_ir::MachineState::init(&prog);
+        let mut nq = NaughtyQModel::new("nq", 2, 32);
+
+        let op = prog.signal_by_name("nq_op").unwrap();
+        let vin = prog.signal_by_name("nq_value_in").unwrap();
+        let iin = prog.signal_by_name("nq_idx_in").unwrap();
+
+        // Enlist A, B (fills both slots).
+        st.sigs_out[op.0 as usize] = Bits::from_u64(1, 2);
+        st.sigs_out[vin.0 as usize] = Bits::from_u64(0xA, 32);
+        nq.step(&prog, &mut st);
+        let idx_a = st.signal(&prog, "nq_idx_out").unwrap().to_u64();
+        st.sigs_out[vin.0 as usize] = Bits::from_u64(0xB, 32);
+        nq.step(&prog, &mut st);
+
+        // Touch A (BackOfQ) so B becomes LRU.
+        st.sigs_out[op.0 as usize] = Bits::from_u64(3, 2);
+        st.sigs_out[iin.0 as usize] = Bits::from_u64(idx_a, 16);
+        nq.step(&prog, &mut st);
+
+        // Enlist C: must evict B's slot, not A's.
+        st.sigs_out[op.0 as usize] = Bits::from_u64(1, 2);
+        st.sigs_out[vin.0 as usize] = Bits::from_u64(0xC, 32);
+        nq.step(&prog, &mut st);
+        assert_eq!(st.signal(&prog, "nq_evicted").unwrap().to_u64(), 1);
+
+        // Read A's slot: still 0xA.
+        st.sigs_out[op.0 as usize] = Bits::from_u64(2, 2);
+        st.sigs_out[iin.0 as usize] = Bits::from_u64(idx_a, 16);
+        nq.step(&prog, &mut st);
+        assert_eq!(st.signal(&prog, "nq_value_out").unwrap().to_u64(), 0xA);
+    }
+
+    #[test]
+    fn bram_read_write() {
+        let mut pb = ProgramBuilder::new("t");
+        BramModel::declare_ports(&mut pb, "m", 64);
+        pb.thread("main", vec![halt()]);
+        let prog = pb.build().unwrap();
+        let mut st = kiwi_ir::MachineState::init(&prog);
+        let mut ram = BramModel::new("m", 16, 64);
+
+        let addr = prog.signal_by_name("m_addr").unwrap();
+        let wd = prog.signal_by_name("m_wdata").unwrap();
+        let we = prog.signal_by_name("m_we").unwrap();
+
+        st.sigs_out[addr.0 as usize] = Bits::from_u64(5, 32);
+        st.sigs_out[wd.0 as usize] = Bits::from_u64(0xFEED, 64);
+        st.sigs_out[we.0 as usize] = Bits::from_u64(1, 1);
+        ram.step(&prog, &mut st);
+        st.sigs_out[we.0 as usize] = Bits::from_u64(0, 1);
+        ram.step(&prog, &mut st);
+        assert_eq!(st.signal(&prog, "m_rdata").unwrap().to_u64(), 0xFEED);
+
+        // Out-of-range address reads zero and writes are dropped.
+        st.sigs_out[addr.0 as usize] = Bits::from_u64(999, 32);
+        ram.step(&prog, &mut st);
+        assert_eq!(st.signal(&prog, "m_rdata").unwrap().to_u64(), 0);
+    }
+}

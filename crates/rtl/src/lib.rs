@@ -1,0 +1,27 @@
+//! Cycle-accurate execution substrate: the reproduction's "FPGA".
+//!
+//! The paper runs compiled services on a NetFPGA SUME card; this crate
+//! runs the same compiled FSMs in a cycle-accurate simulator instead
+//! (DESIGN.md explains the substitution). It provides:
+//!
+//! * [`RtlMachine`] — one 5 ns clock edge per step, with a state-occupancy
+//!   profiler,
+//! * behavioural IP-block models ([`ipblocks`]) with signal-level
+//!   protocols: CAM, Pearson hash (Figure 5), FIFO, the Figure 9 LRU
+//!   queue, and BRAM,
+//! * AXI4-Stream framing ([`axis`]) matching the SUME 256-bit datapath,
+//! * VCD waveform dumping ([`vcd`]) for debugging without an RTL
+//!   simulator.
+
+pub mod axis;
+pub mod exec;
+pub mod ipblocks;
+pub mod vcd;
+
+pub use axis::{beats_for_len, beats_to_frame, frame_to_beats, Beat, BEAT_BYTES};
+pub use exec::{ExecBackend, RtlMachine};
+pub use ipblocks::{
+    BramModel, CamModel, CamStats, ChainEnv, FifoModel, IpBlockModel, IpEnv, NaughtyQModel,
+    PearsonHashModel,
+};
+pub use vcd::VcdTrace;

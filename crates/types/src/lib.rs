@@ -1,0 +1,25 @@
+//! Primitive types shared by every crate in the Emu reproduction.
+//!
+//! This crate is the bottom of the dependency stack: arbitrary-width words
+//! ([`Bits`]), the operator-overloaded wide word types of the paper's
+//! §3.2(iv) ([`U128`]/[`U256`]/[`U512`]), the `BitUtil` field accessors of
+//! Figure 4 ([`bitutil`]), Internet checksum and Pearson hashing
+//! ([`checksum`]), addresses ([`MacAddr`], [`Ipv4`]), protocol constants
+//! ([`proto`]), and the common [`Frame`] buffer.
+//!
+//! Nothing here knows about the IR, the compiler, or any simulator.
+
+pub mod addr;
+pub mod bits;
+pub mod bitutil;
+pub mod checksum;
+pub mod frame;
+pub mod proto;
+pub mod stats;
+pub mod wide;
+
+pub use addr::{AddrParseError, Ipv4, MacAddr};
+pub use bits::Bits;
+pub use frame::{hexdump, Frame};
+pub use stats::Summary;
+pub use wide::{U128, U256, U512};

@@ -1,0 +1,294 @@
+//! Fixed-width wide word types with full operator overloads.
+//!
+//! Reproduces Emu's user-defined wide word types (§3.2(iv)): "the largest
+//! primitive datatype in C# is the 64-bit word. To achieve higher
+//! performance, we require wider I/O busses. Emu defines user types for
+//! larger words and provides overloads for all of the arithmetic operators
+//! needed." [`U128`], [`U256`] and [`U512`] are the datapath widths that
+//! matter on NetFPGA SUME (the reference pipeline bus is 256 bits).
+
+use crate::bits::Bits;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Mul, Not, Shl, Shr, Sub};
+
+macro_rules! wide_type {
+    ($(#[$doc:meta])* $name:ident, $width:expr, $nlimbs:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name {
+            limbs: [u64; $nlimbs],
+        }
+
+        impl $name {
+            /// Width of this type in bits.
+            pub const WIDTH: u16 = $width;
+
+            /// The zero value.
+            pub const ZERO: Self = Self { limbs: [0; $nlimbs] };
+
+            /// Constructs from little-endian 64-bit limbs.
+            pub fn from_limbs(limbs: [u64; $nlimbs]) -> Self {
+                Self { limbs }
+            }
+
+            /// Returns the little-endian 64-bit limbs.
+            pub fn limbs(&self) -> [u64; $nlimbs] {
+                self.limbs
+            }
+
+            /// Constructs from a `u64` (zero-extended).
+            pub fn from_u64(v: u64) -> Self {
+                let mut limbs = [0u64; $nlimbs];
+                limbs[0] = v;
+                Self { limbs }
+            }
+
+            /// Low 64 bits.
+            pub fn low_u64(&self) -> u64 {
+                self.limbs[0]
+            }
+
+            /// Converts to the dynamic-width representation.
+            pub fn to_bits(&self) -> Bits {
+                let bytes: Vec<u8> = self
+                    .limbs
+                    .iter()
+                    .rev()
+                    .flat_map(|l| l.to_be_bytes())
+                    .collect();
+                let b = Bits::from_be_bytes(&bytes);
+                debug_assert_eq!(b.width(), $width);
+                b
+            }
+
+            /// Converts from the dynamic-width representation, truncating or
+            /// zero-extending as needed.
+            pub fn from_bits(b: &Bits) -> Self {
+                let b = b.resize($width);
+                let mut limbs = [0u64; $nlimbs];
+                limbs.copy_from_slice(&b.limbs()[..$nlimbs]);
+                Self { limbs }
+            }
+
+            /// Constructs from big-endian bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `bytes.len() != WIDTH / 8`.
+            pub fn from_be_bytes(bytes: &[u8]) -> Self {
+                assert_eq!(bytes.len(), usize::from(Self::WIDTH / 8));
+                Self::from_bits(&Bits::from_be_bytes(bytes))
+            }
+
+            /// Returns the value as big-endian bytes.
+            pub fn to_be_bytes(&self) -> Vec<u8> {
+                self.to_bits().to_be_bytes()
+            }
+
+            /// Returns true iff zero.
+            pub fn is_zero(&self) -> bool {
+                self.limbs.iter().all(|&l| l == 0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            /// Modular addition in `WIDTH` bits (hardware semantics).
+            fn add(self, rhs: Self) -> Self {
+                Self::from_bits(&self.to_bits().wrapping_add(&rhs.to_bits()))
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            /// Modular subtraction in `WIDTH` bits.
+            fn sub(self, rhs: Self) -> Self {
+                Self::from_bits(&self.to_bits().wrapping_sub(&rhs.to_bits()))
+            }
+        }
+
+        impl Mul for $name {
+            type Output = Self;
+            /// Modular multiplication (low `WIDTH` bits).
+            fn mul(self, rhs: Self) -> Self {
+                Self::from_bits(&self.to_bits().wrapping_mul(&rhs.to_bits()))
+            }
+        }
+
+        impl BitAnd for $name {
+            type Output = Self;
+            fn bitand(self, rhs: Self) -> Self {
+                let mut limbs = self.limbs;
+                for i in 0..$nlimbs {
+                    limbs[i] &= rhs.limbs[i];
+                }
+                Self { limbs }
+            }
+        }
+
+        impl BitOr for $name {
+            type Output = Self;
+            fn bitor(self, rhs: Self) -> Self {
+                let mut limbs = self.limbs;
+                for i in 0..$nlimbs {
+                    limbs[i] |= rhs.limbs[i];
+                }
+                Self { limbs }
+            }
+        }
+
+        impl BitXor for $name {
+            type Output = Self;
+            fn bitxor(self, rhs: Self) -> Self {
+                let mut limbs = self.limbs;
+                for i in 0..$nlimbs {
+                    limbs[i] ^= rhs.limbs[i];
+                }
+                Self { limbs }
+            }
+        }
+
+        impl Not for $name {
+            type Output = Self;
+            fn not(self) -> Self {
+                let mut limbs = self.limbs;
+                for i in 0..$nlimbs {
+                    limbs[i] = !limbs[i];
+                }
+                Self { limbs }
+            }
+        }
+
+        impl Shl<u32> for $name {
+            type Output = Self;
+            fn shl(self, n: u32) -> Self {
+                Self::from_bits(&self.to_bits().shl(n))
+            }
+        }
+
+        impl Shr<u32> for $name {
+            type Output = Self;
+            fn shr(self, n: u32) -> Self {
+                Self::from_bits(&self.to_bits().shr(n))
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.to_bits().cmp_u(&other.to_bits())
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self::from_u64(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.to_bits())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.to_bits())
+            }
+        }
+    };
+}
+
+wide_type!(
+    /// A 128-bit unsigned word with hardware (modular) arithmetic.
+    U128,
+    128,
+    2
+);
+wide_type!(
+    /// A 256-bit unsigned word — the width of one AXI4-Stream beat on the
+    /// NetFPGA SUME reference pipeline.
+    U256,
+    256,
+    4
+);
+wide_type!(
+    /// A 512-bit unsigned word, the widest bus Emu's library supports.
+    U512,
+    512,
+    8
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u128_matches_native() {
+        let a = U128::from_limbs([u64::MAX, 0]);
+        let b = U128::from_u64(1);
+        let sum = a + b;
+        assert_eq!(sum.limbs(), [0, 1]);
+        let native: u128 = u128::from(u64::MAX) + 1;
+        assert_eq!(sum.to_bits().to_u128(), native);
+    }
+
+    #[test]
+    fn u256_add_wraps() {
+        let max = !U256::ZERO;
+        assert_eq!(max + U256::from_u64(1), U256::ZERO);
+    }
+
+    #[test]
+    fn u256_mul_low() {
+        let a = U256::from_u64(1) << 255;
+        assert_eq!(a * U256::from_u64(2), U256::ZERO);
+        assert_eq!(U256::from_u64(6) * U256::from_u64(7), U256::from_u64(42));
+    }
+
+    #[test]
+    fn u512_shift_round_trip() {
+        let a = U512::from_u64(0xdead);
+        assert_eq!((a << 300) >> 300, a);
+        assert!((a << 512).is_zero());
+    }
+
+    #[test]
+    fn ordering() {
+        let small = U256::from_u64(5);
+        let big = U256::from_u64(1) << 200;
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big), Ordering::Equal);
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let bytes: Vec<u8> = (0u8..32).collect();
+        let v = U256::from_be_bytes(&bytes);
+        assert_eq!(v.to_be_bytes(), bytes);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = U128::from_u64(0xff00);
+        let b = U128::from_u64(0x0ff0);
+        assert_eq!((a & b).low_u64(), 0x0f00);
+        assert_eq!((a | b).low_u64(), 0xfff0);
+        assert_eq!((a ^ b).low_u64(), 0xf0f0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(U128::from_u64(0xab).to_string(), "128'hab");
+        let dbg = format!("{:?}", U256::from_u64(1));
+        assert!(dbg.starts_with("U256("));
+    }
+}

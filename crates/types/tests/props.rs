@@ -1,0 +1,125 @@
+//! Property tests for the primitive types: `Bits` arithmetic is checked
+//! against native `u128` arithmetic for widths ≤ 128, checksum updates are
+//! checked against full recomputation, and codecs round-trip.
+
+use emu_types::bits::Bits;
+use emu_types::{bitutil, checksum};
+use proptest::prelude::*;
+
+fn mask(w: u16) -> u128 {
+    if w == 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u128>(), b in any::<u128>(), w in 1u16..=128) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        let expect = (a & mask(w)).wrapping_add(b & mask(w)) & mask(w);
+        prop_assert_eq!(ba.wrapping_add(&bb).to_u128(), expect);
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>(), w in 1u16..=128) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        let expect = (a & mask(w)).wrapping_sub(b & mask(w)) & mask(w);
+        prop_assert_eq!(ba.wrapping_sub(&bb).to_u128(), expect);
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u128>(), b in any::<u128>(), w in 1u16..=128) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        let expect = (a & mask(w)).wrapping_mul(b & mask(w)) & mask(w);
+        prop_assert_eq!(ba.wrapping_mul(&bb).to_u128(), expect);
+    }
+
+    #[test]
+    fn logic_matches_u128(a in any::<u128>(), b in any::<u128>(), w in 1u16..=128) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        prop_assert_eq!(ba.and(&bb).to_u128(), a & b & mask(w));
+        prop_assert_eq!(ba.or(&bb).to_u128(), (a | b) & mask(w));
+        prop_assert_eq!(ba.xor(&bb).to_u128(), (a ^ b) & mask(w));
+        prop_assert_eq!(ba.not().to_u128(), !a & mask(w));
+    }
+
+    #[test]
+    fn shifts_match_u128(a in any::<u128>(), n in 0u32..200, w in 1u16..=128) {
+        let ba = Bits::from_u128(a, w);
+        let expect_shl = if n >= 128 { 0 } else { ((a & mask(w)) << n) & mask(w) };
+        let expect_shr = if n >= 128 { 0 } else { (a & mask(w)) >> n };
+        prop_assert_eq!(ba.shl(n).to_u128(), expect_shl);
+        prop_assert_eq!(ba.shr(n).to_u128(), expect_shr);
+    }
+
+    #[test]
+    fn cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let ba = Bits::from_u128(a, 128);
+        let bb = Bits::from_u128(b, 128);
+        prop_assert_eq!(ba.cmp_u(&bb), a.cmp(&b));
+    }
+
+    #[test]
+    fn be_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 1..=64)) {
+        let b = Bits::from_be_bytes(&bytes);
+        prop_assert_eq!(b.to_be_bytes(), bytes);
+    }
+
+    #[test]
+    fn slice_concat_inverse(a in any::<u128>(), split in 1u16..127) {
+        let b = Bits::from_u128(a, 128);
+        let hi = b.slice(127, split);
+        let lo = b.slice(split - 1, 0);
+        prop_assert_eq!(hi.concat(&lo), b);
+    }
+
+    #[test]
+    fn bitutil_round_trip(off in 0usize..28, v in any::<u32>()) {
+        let mut buf = [0u8; 32];
+        bitutil::set32(&mut buf, off, v);
+        prop_assert_eq!(bitutil::get32(&buf, off), v);
+    }
+
+    #[test]
+    fn checksum_update_equals_recompute(
+        mut data in proptest::collection::vec(any::<u8>(), 4..64),
+        idx in 0usize..30,
+        new_word in any::<u16>(),
+    ) {
+        // Force even length so word indices are stable.
+        if data.len() % 2 == 1 { data.pop(); }
+        let idx = (idx * 2) % data.len();
+        let old_csum = checksum::internet_checksum(&data);
+        let old_w = u16::from_be_bytes([data[idx], data[idx + 1]]);
+        data[idx] = (new_word >> 8) as u8;
+        data[idx + 1] = new_word as u8;
+        let updated = checksum::update_word(old_csum, old_w, new_word);
+        let recomputed = checksum::internet_checksum(&data);
+        prop_assert_eq!(updated, recomputed);
+    }
+
+    #[test]
+    fn checksum_verify_after_embedding(data in proptest::collection::vec(any::<u8>(), 2..64)) {
+        // Append a checksum and verify the whole buffer folds to zero.
+        let mut data = data;
+        if data.len() % 2 == 1 { data.push(0); }
+        let c = checksum::internet_checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        prop_assert!(checksum::verify(&data));
+    }
+
+    #[test]
+    fn field_set_get(v in any::<u64>(), lo in 0u32..63, len in 1u32..16, x in any::<u64>()) {
+        let hi = (lo + len - 1).min(63);
+        let v2 = bitutil::set_field(v, hi, lo, x);
+        let w = hi - lo + 1;
+        let m = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        prop_assert_eq!(bitutil::field(v2, hi, lo), x & m);
+    }
+}

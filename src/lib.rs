@@ -1,0 +1,59 @@
+//! # Emu — a Rust reproduction of *Rapid Prototyping of Networking Services*
+//!
+//! This crate is the facade over the full reproduction of Sultana et al.,
+//! USENIX ATC 2017. The paper's system — a standard library and HLS
+//! toolchain that lets network services written in a high-level language
+//! run unchanged on CPUs, in network simulation, and on NetFPGA — is
+//! rebuilt here with every hardware dependency replaced by a simulator
+//! (see `DESIGN.md` for the substitution table).
+//!
+//! ## Layout
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`types`] | `emu-types` | wide words, bit utilities, checksums, frames |
+//! | [`ir`] | `kiwi-ir` | the IR + builder DSL + interpreter (CPU target) |
+//! | [`compiler`] | `kiwi` | scheduling → FSM, resources, Verilog emission |
+//! | [`rtl`] | `emu-rtl` | cycle-accurate executor + IP-block models |
+//! | [`platform`] | `netfpga-sim` | NetFPGA pipeline model + baselines |
+//! | [`stdlib`] | `emu-core` | the Emu standard library + multi-target runner |
+//! | [`debug`] | `direction` | direction commands / controller / packets |
+//! | [`services`] | `emu-services` | the eight §4 services |
+//! | [`host`] | `hoststack` | Linux-path baseline model |
+//! | [`simnet`] | `netsim` | Mininet-analogue network simulator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use emu::prelude::*;
+//!
+//! // Build the paper's learning switch and run it on the FPGA target.
+//! let svc = emu::services::switch_ip_cam();
+//! let mut inst = svc.instantiate(Target::Fpga).unwrap();
+//! let mut frame = Frame::ethernet(
+//!     MacAddr::from_u64(0xB), MacAddr::from_u64(0xA), 0x0800, &[0; 46]);
+//! frame.in_port = 0;
+//! let out = inst.process(&frame).unwrap();
+//! assert_eq!(out.tx[0].ports, 0b1110); // unknown destination floods
+//! ```
+
+pub use direction as debug;
+pub use emu_core as stdlib;
+pub use emu_rtl as rtl;
+pub use emu_services as services;
+pub use emu_types as types;
+pub use hoststack as host;
+pub use kiwi as compiler;
+pub use kiwi_ir as ir;
+pub use netfpga_sim as platform;
+pub use netsim as simnet;
+
+/// The handful of names nearly every user needs.
+pub mod prelude {
+    pub use direction::{ControllerConfig, Director, DirectionPacket};
+    pub use emu_core::{Service, ServiceInstance, Target};
+    pub use emu_types::{Frame, Ipv4, MacAddr, Summary};
+    pub use kiwi::{compile, emit, estimate, CostModel, IpBlock};
+    pub use kiwi_ir::{dsl, ProgramBuilder};
+    pub use netfpga_sim::{CoreMode, PipelineSim};
+}

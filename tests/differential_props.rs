@@ -1,0 +1,116 @@
+//! Property-based differential tests: random traffic through the same
+//! service on both execution targets, and random programs through the
+//! interpreter and the cycle-accurate executor, must agree exactly.
+
+use emu::prelude::*;
+use emu::services as s;
+use kiwi_ir::dsl::*;
+use kiwi_ir::interp::{NullEnv, NullObserver};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn switch_targets_agree_on_random_traffic(
+        seeds in proptest::collection::vec((0u64..16, 0u64..16, 0u8..4), 1..24)
+    ) {
+        let svc = s::switch::switch_ip_cam();
+        let mut cpu = svc.instantiate(Target::Cpu).unwrap();
+        let mut fpga = svc.instantiate(Target::Fpga).unwrap();
+        for (i, (src, dst, port)) in seeds.iter().enumerate() {
+            let mut f = Frame::ethernet(
+                MacAddr::from_u64(0x100 + dst),
+                MacAddr::from_u64(0x100 + src),
+                0x0800,
+                &[0u8; 46],
+            );
+            f.in_port = *port;
+            let a = cpu.process(&f).unwrap();
+            let b = fpga.process(&f).unwrap();
+            prop_assert_eq!(&a.tx, &b.tx, "frame {}", i);
+        }
+    }
+
+    #[test]
+    fn memcached_targets_agree_on_random_scripts(
+        ops in proptest::collection::vec((0u8..3, 0u64..8), 1..16)
+    ) {
+        let svc = s::memcached::memcached();
+        let mut cpu = svc.instantiate(Target::Cpu).unwrap();
+        let mut fpga = svc.instantiate(Target::Fpga).unwrap();
+        for (i, (kind, key)) in ops.iter().enumerate() {
+            let body = match kind {
+                0 => format!("get key{key}\r\n"),
+                1 => format!("set key{key} 0 0 8\r\nV{key:07}\r\n"),
+                _ => format!("delete key{key}\r\n"),
+            };
+            let f = s::memcached::request_frame(&body, i as u16);
+            let a = cpu.process(&f).unwrap();
+            let b = fpga.process(&f).unwrap();
+            prop_assert_eq!(&a.tx, &b.tx, "op {}: {}", i, body);
+        }
+    }
+
+    #[test]
+    fn random_straightline_programs_interp_equals_rtl(
+        vals in proptest::collection::vec((0u64..1u64<<32, 0u8..6), 2..20)
+    ) {
+        // Build a random straight-line program over three registers.
+        let mut pb = ProgramBuilder::new("rand");
+        let a = pb.reg("a", 64);
+        let b = pb.reg("b", 64);
+        let c = pb.reg("c", 64);
+        let regs = [a, b, c];
+        let mut body = Vec::new();
+        for (i, (v, op)) in vals.iter().enumerate() {
+            let dst = regs[i % 3];
+            let srcv = var(regs[(i + 1) % 3]);
+            let k = lit(*v, 64);
+            let e = match op {
+                0 => add(srcv, k),
+                1 => sub(srcv, k),
+                2 => mul(srcv, k),
+                3 => bxor(srcv, k),
+                4 => shl(srcv, lit(v % 63, 8)),
+                _ => mux(gt(srcv.clone(), k.clone()), srcv, k),
+            };
+            body.push(assign(dst, e));
+            if i % 3 == 2 {
+                body.push(pause());
+            }
+        }
+        body.push(halt());
+        pb.thread("main", body);
+        let prog = pb.build().unwrap();
+
+        let mut interp = kiwi_ir::Machine::new(kiwi_ir::flatten(&prog).unwrap());
+        interp.run_cycles(10_000, &mut NullEnv, &mut NullObserver).unwrap();
+
+        // A tight budget forces extra state splits — results must agree.
+        let fsm = kiwi::compile_with(&prog, CostModel { period_units: 10, clock_hz: 200_000_000 }).unwrap();
+        let mut rtl = emu::rtl::RtlMachine::new(fsm);
+        rtl.run_cycles(100_000, &mut NullEnv, &mut NullObserver).unwrap();
+
+        prop_assert!(interp.halted() && rtl.halted());
+        for i in 0..3 {
+            prop_assert_eq!(
+                &interp.state().vars[i], &rtl.state().vars[i],
+                "register {} diverged", i
+            );
+        }
+    }
+
+    #[test]
+    fn icmp_replies_always_checksum_valid(len in 0usize..512, seq in any::<u16>()) {
+        let svc = s::icmp::icmp_echo();
+        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let req = s::icmp::echo_request_frame(len, seq);
+        let out = inst.process(&req).unwrap();
+        prop_assert_eq!(out.tx.len(), 1);
+        let b = out.tx[0].frame.bytes();
+        let total = emu_types::bitutil::get16(b, 16) as usize;
+        prop_assert!(emu_types::checksum::verify(&b[34..14 + total]));
+        prop_assert!(emu_types::checksum::verify(&b[14..34]));
+    }
+}

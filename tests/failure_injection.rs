@@ -1,0 +1,153 @@
+//! Failure injection across the stack: malformed frames, truncated
+//! packets, table exhaustion, queue overflow, and bad direction packets
+//! must degrade gracefully — dropped or rejected, never wedging a core.
+
+use emu::debug::{extend_program, ControllerConfig, DirectionPacket, Opcode};
+use emu::prelude::*;
+use emu::services as s;
+use emu::stdlib::Service;
+
+#[test]
+fn truncated_and_garbage_frames_are_survivable() {
+    for svc in [
+        s::icmp::icmp_echo(),
+        s::tcp_ping::tcp_ping(),
+        s::dns::dns_server(vec![("a.b".into(), "1.2.3.4".parse().unwrap())]),
+        s::memcached::memcached(),
+        s::nat::nat("203.0.113.1".parse().unwrap()),
+    ] {
+        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        // A runt frame (padded to 60 by the Frame type, all zeroes).
+        inst.process(&Frame::new(vec![0; 10])).unwrap();
+        // Random-ish garbage.
+        let junk: Vec<u8> = (0..90).map(|i| (i * 37 % 251) as u8).collect();
+        inst.process(&Frame::new(junk)).unwrap();
+        // An IPv4 header claiming a huge total length.
+        let mut evil = s::icmp::echo_request_frame(56, 1);
+        evil.bytes_mut()[16] = 0xff;
+        evil.bytes_mut()[17] = 0xff;
+        let out = inst.process(&evil);
+        // Either cleanly dropped or cleanly errored — never a wedged core.
+        if let Ok(o) = out {
+            let _ = o;
+        }
+        // The service must still answer well-formed traffic afterwards.
+        let probe = s::icmp::echo_request_frame(8, 2);
+        inst.process(&probe).unwrap();
+    }
+}
+
+#[test]
+fn memcached_handles_malformed_commands() {
+    let svc = s::memcached::memcached();
+    let mut inst = svc.instantiate(Target::Fpga).unwrap();
+    for body in [
+        "gibberish\r\n",
+        "get \r\n",          // empty key
+        "set x 0 0 8\r\n",   // missing data block
+        "get nokeyhereatall\r\n", // oversized key
+        "\r\n",
+    ] {
+        // Must not wedge; replies optional.
+        inst.process(&s::memcached::request_frame(body, 1)).unwrap();
+    }
+    // Still functional.
+    inst.process(&s::memcached::request_frame("set ok 0 0 8\r\nVVVVVVVV\r\n", 2))
+        .unwrap();
+    let out = inst
+        .process(&s::memcached::request_frame("get ok\r\n", 3))
+        .unwrap();
+    assert_eq!(
+        s::memcached::reply_text(&out.tx[0].frame),
+        b"VALUE ok 0 8\r\nVVVVVVVV\r\nEND\r\n"
+    );
+}
+
+#[test]
+fn mac_table_exhaustion_keeps_forwarding() {
+    // More sources than table entries: the switch must keep forwarding
+    // (with evictions), never crash or stall.
+    let svc = s::switch::switch_behavioural(4);
+    let mut inst = svc.instantiate(Target::Fpga).unwrap();
+    for i in 0..64u64 {
+        let mut f = Frame::ethernet(
+            MacAddr::from_u64(0xE000 + (i % 7)),
+            MacAddr::from_u64(0x1000 + i),
+            0x0800,
+            &[0; 46],
+        );
+        f.in_port = (i % 4) as u8;
+        let out = inst.process(&f).unwrap();
+        assert!(!out.tx.is_empty(), "frame {i} must still forward");
+    }
+}
+
+#[test]
+fn output_queue_overflow_drops_cleanly() {
+    use emu::platform::{PipelineSim, RefSwitchCore};
+    let mut sim = PipelineSim::new_native(Box::new(RefSwitchCore::new()));
+    sim.out_queue_frames = 4;
+    // All traffic converges on one egress port at 4x its line rate.
+    sim.inject(&learned(0xB, 0xA, 1), 0.0).unwrap(); // learn A@1... (src 0xB)
+    let gap = 4.2; // far beyond line rate
+    let mut t = 1000.0;
+    for i in 0..2000u64 {
+        let mut f = Frame::ethernet(
+            MacAddr::from_u64(0xB),
+            MacAddr::from_u64(0xA),
+            0x0800,
+            &[0; 46],
+        );
+        f.in_port = (i % 3) as u8;
+        if f.in_port == 1 {
+            f.in_port = 3;
+        }
+        sim.inject(&f, t).unwrap();
+        t += gap;
+    }
+    assert!(sim.queue_drops > 0, "oversubscription must drop");
+    // And completed frames still have sane latencies.
+    let s = sim.summary().unwrap();
+    assert!(s.min > 0.0);
+}
+
+fn learned(src: u64, dst: u64, port: u8) -> Frame {
+    let mut f = Frame::ethernet(
+        MacAddr::from_u64(dst),
+        MacAddr::from_u64(src),
+        0x0800,
+        &[0; 46],
+    );
+    f.in_port = port;
+    f
+}
+
+#[test]
+fn malformed_direction_packets_rejected() {
+    let base = s::memcached::memcached();
+    let cfg = ControllerConfig::read_only(&["n_get"]);
+    let prog = extend_program(&base.program, &cfg).unwrap();
+    let svc = Service::with_env(prog, move || (base.make_env)());
+    let mut inst = svc.instantiate(Target::Fpga).unwrap();
+
+    // Unknown opcode byte: the controller answers BAD_OP (the opcode
+    // decode falls through every compiled feature).
+    let mut f = DirectionPacket::request(Opcode::ReadVar, 0, 0)
+        .encode(MacAddr::from_u64(1), MacAddr::from_u64(2));
+    f.bytes_mut()[14] = 0x55;
+    let out = inst.process(&f).unwrap();
+    assert_eq!(out.tx.len(), 1);
+    assert_eq!(out.tx[0].frame.bytes()[24], 2, "BAD_OP status expected");
+
+    // Bad variable index.
+    let f = DirectionPacket::request(Opcode::ReadVar, 200, 0)
+        .encode(MacAddr::from_u64(1), MacAddr::from_u64(2));
+    let out = inst.process(&f).unwrap();
+    assert_eq!(out.tx[0].frame.bytes()[24], 1, "BAD_VAR status expected");
+
+    // Normal service traffic still works afterwards.
+    let out = inst
+        .process(&s::memcached::request_frame("get zz\r\n", 1))
+        .unwrap();
+    assert_eq!(s::memcached::reply_text(&out.tx[0].frame), b"END\r\n");
+}
