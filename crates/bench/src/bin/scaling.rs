@@ -33,7 +33,8 @@ fn run(cores: usize, n: usize, seed: u64) -> f64 {
     // Warm every core with the keyspace (SETs replicate).
     let mut t = 0.0;
     for (i, op) in gen.warmup().iter().enumerate() {
-        sim.inject(&frame_of(op, i as u64), t, i % 4, true).expect("warm");
+        sim.inject(&frame_of(op, i as u64), t, i % 4, true)
+            .expect("warm");
         t += 5_000.0;
     }
     // Offered load beyond single-core capacity.
@@ -54,7 +55,11 @@ fn main() {
     let mut four_x = 0.0;
     for cores in [2usize, 4] {
         let rps = run(cores, n, 11);
-        println!("{cores} cores: {:>10.3} Mq/s  ({:.2}x)", rps / 1e6, rps / single);
+        println!(
+            "{cores} cores: {:>10.3} Mq/s  ({:.2}x)",
+            rps / 1e6,
+            rps / single
+        );
         if cores == 4 {
             four_x = rps / single;
         }

@@ -25,8 +25,11 @@ fn test_frame(src: u64, dst: u64, port: u8) -> Frame {
 /// four ports; returns achieved Mpps.
 fn line_rate_mpps(sim: &mut PipelineSim, n: u64) -> f64 {
     for p in 0..4u8 {
-        sim.inject(&test_frame(100 + u64::from(p), 0xEE, p), f64::from(p) * 100.0)
-            .expect("inject");
+        sim.inject(
+            &test_frame(100 + u64::from(p), 0xEE, p),
+            f64::from(p) * 100.0,
+        )
+        .expect("inject");
     }
     let gap = timing::wire_ns(64) / timing::NUM_PORTS as f64;
     let mut t = 1000.0;
@@ -78,8 +81,20 @@ fn main() {
     let row = |name: &str, logic: u64, mem: u64, lat: u64, mpps: f64| {
         println!("{name:<22} {logic:>12} {mem:>12} {lat:>16} {mpps:>14.2}");
     };
-    row("emu (C#)", resources.logic, resources.memory, emu_latency, emu_mpps);
-    row("netfpga-reference", ref_res.logic, ref_res.memory, ref_latency, ref_mpps);
+    row(
+        "emu (C#)",
+        resources.logic,
+        resources.memory,
+        emu_latency,
+        emu_mpps,
+    );
+    row(
+        "netfpga-reference",
+        ref_res.logic,
+        ref_res.memory,
+        ref_latency,
+        ref_mpps,
+    );
     row("p4fpga", p4_res.logic, p4_res.memory, p4_latency, p4_mpps);
 
     println!("\npaper values:");

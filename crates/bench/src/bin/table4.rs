@@ -16,8 +16,10 @@ fn main() {
         "{:<12} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
         "", "emu avg", "emu p99", "emu Mq/s", "host avg", "host p99", "host Mq/s"
     );
-    println!("{:<12} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
-        "service", "(us)", "(us)", "", "(us)", "(us)", "");
+    println!(
+        "{:<12} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "service", "(us)", "(us)", "", "(us)", "(us)", ""
+    );
     println!("{}", "-".repeat(84));
 
     let hosts = HostProfile::all();
@@ -26,7 +28,8 @@ fn main() {
         let warm = svc.name == "memcached";
 
         let lat = emu_latency(&service, svc.request, EMU_LATENCY_SAMPLES, warm).expect(svc.name);
-        let tput = emu_throughput(&service, svc.request, THROUGHPUT_REQUESTS, warm).expect(svc.name);
+        let tput =
+            emu_throughput(&service, svc.request, THROUGHPUT_REQUESTS, warm).expect(svc.name);
 
         let host_lat = host.latency_run(HOST_LATENCY_SAMPLES, 42);
         let host_tput = host.throughput_rps(500_000, 7);
@@ -52,8 +55,6 @@ fn main() {
         ("memcached", 1.21, 1.26, 1.932, 24.29, 28.65, 0.876),
     ];
     for (n, a, b, c, d, e, f) in paper {
-        println!(
-            "{n:<12} | {a:>10.2} {b:>10.2} {c:>10.3} | {d:>10.2} {e:>10.2} {f:>10.3}"
-        );
+        println!("{n:<12} | {a:>10.2} {b:>10.2} {c:>10.3} | {d:>10.2} {e:>10.2} {f:>10.3}");
     }
 }

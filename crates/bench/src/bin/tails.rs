@@ -12,7 +12,14 @@ fn main() {
     println!("== §5.6: latency predictability (tail-to-average, p99 - median) ==\n");
     println!(
         "{:<12} | {:>10} {:>12} {:>10} | {:>10} {:>12} {:>10} | {:>8}",
-        "service", "emu p50", "emu p99-p50", "emu t/a", "host p50", "host p99-p50", "host t/a", "p50 gap"
+        "service",
+        "emu p50",
+        "emu p99-p50",
+        "emu t/a",
+        "host p50",
+        "host p99-p50",
+        "host t/a",
+        "p50 gap"
     );
     println!("{}", "-".repeat(104));
 

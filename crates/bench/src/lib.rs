@@ -36,8 +36,14 @@ pub struct Table4Service {
 /// DNS zone used across benches.
 pub fn bench_zone() -> Vec<(String, Ipv4)> {
     vec![
-        ("example.com".into(), "93.184.216.34".parse().expect("valid")),
-        ("emu.cam.ac.uk".into(), "128.232.0.20".parse().expect("valid")),
+        (
+            "example.com".into(),
+            "93.184.216.34".parse().expect("valid"),
+        ),
+        (
+            "emu.cam.ac.uk".into(),
+            "128.232.0.20".parse().expect("valid"),
+        ),
         ("a.b".into(), "1.2.3.4".parse().expect("valid")),
         ("cache.io".into(), "10.9.8.7".parse().expect("valid")),
     ]
@@ -144,7 +150,12 @@ pub fn warm_memcached(sim: &mut PipelineSim) -> IrResult<()> {
 /// Measures request/response latency: `n` requests spaced far apart (an
 /// unloaded DUT, as the paper's latency runs are), returning the summary
 /// in nanoseconds.
-pub fn emu_latency(svc: &Service, request: fn(u64) -> Frame, n: usize, warm_mc: bool) -> IrResult<Summary> {
+pub fn emu_latency(
+    svc: &Service,
+    request: fn(u64) -> Frame,
+    n: usize,
+    warm_mc: bool,
+) -> IrResult<Summary> {
     let mut sim = emu_pipeline(svc, CoreMode::Iterative)?;
     if warm_mc {
         warm_memcached(&mut sim)?;
@@ -171,7 +182,12 @@ pub fn emu_latency(svc: &Service, request: fn(u64) -> Frame, n: usize, warm_mc: 
 /// Measures saturation throughput: requests offered faster than the core
 /// can serve, completions counted over the busy interval. Returns
 /// requests/s.
-pub fn emu_throughput(svc: &Service, request: fn(u64) -> Frame, n: usize, warm_mc: bool) -> IrResult<f64> {
+pub fn emu_throughput(
+    svc: &Service,
+    request: fn(u64) -> Frame,
+    n: usize,
+    warm_mc: bool,
+) -> IrResult<f64> {
     let mut sim = emu_pipeline(svc, CoreMode::Iterative)?;
     if warm_mc {
         warm_memcached(&mut sim)?;
@@ -189,12 +205,144 @@ pub fn emu_throughput(svc: &Service, request: fn(u64) -> Frame, n: usize, warm_m
     if outs.len() < 2 {
         return Err(kiwi_ir::IrError("too few completions".into()));
     }
-    let t_first = recs
-        .iter()
-        .map(|r| r.t_in_ns)
-        .fold(f64::INFINITY, f64::min);
+    let t_first = recs.iter().map(|r| r.t_in_ns).fold(f64::INFINITY, f64::min);
     let t_last = outs.iter().fold(0.0f64, |a, &b| a.max(b));
     Ok(outs.len() as f64 / ((t_last - t_first) / 1e9))
+}
+
+/// A Table 4 service prepared for shard-scaling runs: like
+/// [`Table4Service`] but with a request generator that varies the *flow*
+/// (addresses/ports) across a pool of client flows, so an RSS dispatcher
+/// has entropy to spread — a single-flow workload degenerates to one
+/// shard by design.
+pub struct ShardScaleService {
+    /// Row label.
+    pub name: &'static str,
+    /// Builds the Emu service.
+    pub build: fn() -> Service,
+    /// Builds the i-th request frame, cycling through `FLOW_POOL` flows.
+    pub request: fn(u64) -> Frame,
+    /// Whether per-shard state partitioning is semantics-preserving for
+    /// arbitrary traffic (true) or requires flow affinity (false).
+    pub stateless: bool,
+}
+
+/// Number of distinct client flows the shard-scaling generators cycle
+/// through.
+pub const FLOW_POOL: u64 = 64;
+
+/// Rewrites the IPv4 source address of `f` and refreshes the IP header
+/// checksum (the L4 checksum, where present, is left for the caller —
+/// the generators below only patch frames whose L4 checksum is absent
+/// or does not cover the mutated field).
+pub fn set_src_ip(f: &mut Frame, ip: Ipv4) {
+    use emu_types::{bitutil, checksum, proto::offset};
+    let b = f.bytes_mut();
+    b[offset::IPV4_SRC..offset::IPV4_SRC + 4].copy_from_slice(&ip.octets());
+    bitutil::set16(b, offset::IPV4_CSUM, 0);
+    let ihl = usize::from(b[offset::IPV4] & 0x0f) * 4;
+    let c = checksum::internet_checksum(&b[offset::IPV4..offset::IPV4 + ihl]);
+    bitutil::set16(b, offset::IPV4_CSUM, c);
+}
+
+fn icmp_flow_request(i: u64) -> Frame {
+    // Vary the pinging client's address: ICMP has no ports, so the RSS
+    // hash falls back to MACs+IPs. The ICMP checksum does not cover the
+    // IP header, so only the IP checksum needs refreshing.
+    let mut f = icmp::echo_request_frame(56, i as u16);
+    set_src_ip(&mut f, Ipv4::new(10, 1, (i % FLOW_POOL) as u8, 2));
+    f.in_port = (i % 4) as u8;
+    f
+}
+
+fn tcp_flow_request(i: u64) -> Frame {
+    let mut f = tcp_ping::syn_frame(40_000 + (i % FLOW_POOL) as u16, 80, i as u32);
+    f.in_port = (i % 4) as u8;
+    f
+}
+
+fn dns_flow_request(i: u64) -> Frame {
+    let names = ["example.com", "emu.cam.ac.uk", "a.b", "cache.io"];
+    let mut f = dns::query_frame(names[(i % 4) as usize], i as u16);
+    // Vary the resolver client's source port (the query's UDP checksum
+    // is 0 = absent, so no fixup is needed).
+    emu_types::bitutil::set16(
+        f.bytes_mut(),
+        emu_types::proto::offset::L4,
+        4000 + (i % FLOW_POOL) as u16,
+    );
+    f.in_port = (i % 4) as u8;
+    f
+}
+
+fn nat_flow_request(i: u64) -> Frame {
+    // Outbound flows from the internal side; flow affinity is what keeps
+    // the per-flow translation state consistent (see `emu_services::nat`).
+    let mut f = nat::udp_frame(
+        "192.168.1.50".parse().expect("valid"),
+        2000 + (i % FLOW_POOL) as u16,
+        "8.8.8.8".parse().expect("valid"),
+        53,
+        1 + (i % 3) as u8,
+    );
+    f.in_port = 1 + (i % 3) as u8;
+    f
+}
+
+fn memcached_flow_request(i: u64) -> Frame {
+    // Key and client flow move in lockstep, so one key's GETs and SETs
+    // always share a shard and per-shard stores stay coherent.
+    let key = format!("k{:04}", i % FLOW_POOL);
+    let body = if i % 10 == 9 {
+        format!("set {key} 0 0 8\r\nVALUE{:03}\r\n", i % 1000)
+    } else {
+        format!("get {key}\r\n")
+    };
+    let mut f = memcached::request_frame(&body, i as u16);
+    emu_types::bitutil::set16(
+        f.bytes_mut(),
+        emu_types::proto::offset::L4,
+        5000 + (i % FLOW_POOL) as u16,
+    );
+    f.in_port = (i % 4) as u8;
+    f
+}
+
+/// The Table 4 service set with flow-varied request generators, for the
+/// `scaling_shards` harness.
+pub fn shard_scale_services() -> Vec<ShardScaleService> {
+    vec![
+        ShardScaleService {
+            name: "icmp-echo",
+            build: icmp::icmp_echo,
+            request: icmp_flow_request,
+            stateless: true,
+        },
+        ShardScaleService {
+            name: "tcp-ping",
+            build: tcp_ping::tcp_ping,
+            request: tcp_flow_request,
+            stateless: true,
+        },
+        ShardScaleService {
+            name: "dns",
+            build: || dns::dns_server(bench_zone()),
+            request: dns_flow_request,
+            stateless: true,
+        },
+        ShardScaleService {
+            name: "nat",
+            build: || nat::nat("203.0.113.1".parse().expect("valid")),
+            request: nat_flow_request,
+            stateless: false,
+        },
+        ShardScaleService {
+            name: "memcached",
+            build: memcached::memcached,
+            request: memcached_flow_request,
+            stateless: false,
+        },
+    ]
 }
 
 /// Deterministic "place-and-route noise" for utilization comparisons.
@@ -232,7 +380,12 @@ mod tests {
             let warm = svc.name == "memcached";
             let sum = emu_latency(&s, svc.request, 50, warm).expect(svc.name);
             assert!(sum.count >= 45, "{}: only {} samples", svc.name, sum.count);
-            assert!(sum.mean > 500.0 && sum.mean < 10_000.0, "{}: {}", svc.name, sum.mean);
+            assert!(
+                sum.mean > 500.0 && sum.mean < 10_000.0,
+                "{}: {}",
+                svc.name,
+                sum.mean
+            );
         }
     }
 

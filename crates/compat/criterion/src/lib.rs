@@ -1,0 +1,99 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container build has no network access to crates.io, so this crate
+//! provides the tiny API surface `benches/micro.rs` uses: `Criterion`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple time-boxed loop that
+//! prints ns/iter — enough to track relative regressions, with none of
+//! real criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark driver handed to the closure.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for a short, fixed time budget and records the
+    /// mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..8 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(30);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..64 {
+                black_box(f());
+            }
+            iters += 64;
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// No-op for CLI-argument compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark and prints its result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{id:<40} {:>12.1} ns/iter ({} iters)",
+            b.ns_per_iter, b.iters
+        );
+        self
+    }
+}
+
+/// Groups benchmark functions under one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u64;
+        Criterion::default().bench_function("t", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+}

@@ -22,14 +22,8 @@ pub fn not16(e: Expr) -> Expr {
 /// classic `while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16)`.
 pub fn fold16(acc: Expr) -> Expr {
     let acc = resize(acc, 32);
-    let once = add(
-        band(acc.clone(), lit(0xffff, 32)),
-        shr(acc, lit(16, 8)),
-    );
-    let twice = add(
-        band(once.clone(), lit(0xffff, 32)),
-        shr(once, lit(16, 8)),
-    );
+    let once = add(band(acc.clone(), lit(0xffff, 32)), shr(acc, lit(16, 8)));
+    let twice = add(band(once.clone(), lit(0xffff, 32)), shr(once, lit(16, 8)));
     resize(twice, 16)
 }
 
@@ -137,9 +131,7 @@ mod tests {
         ];
         let bytes: Vec<u8> = hdr.iter().flat_map(|w| w.to_be_bytes()).collect();
         let expect = checksum::internet_checksum(&bytes);
-        let got = eval_const(&csum_of_words(
-            hdr.iter().map(|&w| lit(u64::from(w), 16)),
-        ));
+        let got = eval_const(&csum_of_words(hdr.iter().map(|&w| lit(u64::from(w), 16))));
         assert_eq!(got, u64::from(expect));
         assert_eq!(got, 0xb861);
     }

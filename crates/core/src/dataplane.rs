@@ -208,10 +208,7 @@ impl Dataplane {
     pub fn broadcast(&self) -> Stmt {
         sig_write(
             self.ports.tx_ports,
-            band(
-                lit(0b1111, 8),
-                not(shl(lit(1, 8), sig(self.ports.rx_port))),
-            ),
+            band(lit(0b1111, 8), not(shl(lit(1, 8), sig(self.ports.rx_port)))),
         )
     }
 

@@ -294,7 +294,13 @@ impl LruIf {
     ///     NaughtyQ.BackOfQ(idx);
     /// }
     /// ```
-    pub fn lookup(&self, key: Expr, matched: VarId, result: VarId, idx_scratch: VarId) -> Vec<Stmt> {
+    pub fn lookup(
+        &self,
+        key: Expr,
+        matched: VarId,
+        result: VarId,
+        idx_scratch: VarId,
+    ) -> Vec<Stmt> {
         let mut out = self.cam.lookup(key);
         out.push(assign(matched, self.cam.matched()));
         out.push(assign(idx_scratch, self.cam.value()));

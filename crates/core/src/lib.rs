@@ -13,7 +13,9 @@
 //!   streaming hash, and the Figure 9 LRU cache,
 //! * [`runner`] — the heterogeneous-target execution environment: one
 //!   program instantiated on the CPU (interpreter) or FPGA
-//!   (cycle-accurate FSM) target, plus the differential-testing harness.
+//!   (cycle-accurate FSM) target, plus the differential-testing harness
+//!   and the sharded multi-pipeline engine ([`ShardedEngine`]) with its
+//!   RSS-style flow dispatcher and batch processing API.
 //!
 //! Services built from these pieces live in `emu-services`; the Mininet
 //! analogue in `netsim` provides the third target.
@@ -30,5 +32,6 @@ pub use proto::{
     ArpWrapper, DnsWrapper, EthernetWrapper, IcmpWrapper, Ipv4Wrapper, TcpWrapper, UdpWrapper,
 };
 pub use runner::{
-    assert_targets_agree, service_builder, AnyDriver, Service, ServiceInstance, Target,
+    assert_targets_agree, flow_hash, flow_key, service_builder, AnyDriver, Service,
+    ServiceInstance, ShardedBatch, ShardedEngine, Target,
 };

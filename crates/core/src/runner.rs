@@ -1,4 +1,5 @@
-//! The multi-target runner: one program, three execution targets.
+//! The multi-target runner: one program, three execution targets —
+//! plus the sharded scale-out engine.
 //!
 //! This is contribution 2 of the paper: "an execution environment that
 //! supports running a single codebase over heterogeneous targets,
@@ -6,14 +7,24 @@
 //! a program with a recipe for its IP-block environment; [`Target`]
 //! selects the backend. The Mininet-analogue target lives in the `netsim`
 //! crate (it embeds the same CPU backend in a network simulation).
+//!
+//! The paper's NetFPGA deployment scales by replicating the service
+//! pipeline across parallel datapaths — §5.4 runs "four Emu cores (one
+//! per port)". [`ShardedEngine`] is that replication made first-class:
+//! N instances of one [`Service`], an RSS-style flow hash dispatching
+//! frames so that every frame of one flow lands on the same instance,
+//! and a batch API ([`ServiceInstance::process_batch`]) that amortizes
+//! per-frame setup. See [`flow_hash`] for the dispatch function and
+//! [`ShardedEngine::process_batch`] for the failure-isolation contract.
 
 use crate::dataplane::Dataplane;
 use emu_rtl::{ExecBackend, IpEnv, RtlMachine};
-use emu_types::Frame;
+use emu_types::proto::{ether_type, ip_proto, offset};
+use emu_types::{checksum, Frame};
 use kiwi::CostModel;
 use kiwi_ir::interp::{NullObserver, Observer};
-use kiwi_ir::{IrResult, Machine, Program};
-use netfpga_sim::dataplane::CoreOutput;
+use kiwi_ir::{IrError, IrResult, Machine, Program};
+use netfpga_sim::dataplane::{BatchOutput, CoreOutput};
 use netfpga_sim::DataplaneDriver;
 
 /// Execution target selector.
@@ -54,6 +65,17 @@ impl Service {
         }
     }
 
+    /// Instantiates the service as `shards` replicated pipelines behind a
+    /// flow-hashing dispatcher — the multi-datapath deployment of §5.4.
+    ///
+    /// Each shard is an independent [`ServiceInstance`] with its own
+    /// IP-block environment, so stateful services keep per-shard state;
+    /// see [`ShardedEngine`] for the flow-affinity contract that makes
+    /// that correct.
+    pub fn instantiate_sharded(&self, target: Target, shards: usize) -> IrResult<ShardedEngine> {
+        ShardedEngine::new(self, target, shards)
+    }
+
     /// Instantiates the service on a target.
     pub fn instantiate(&self, target: Target) -> IrResult<ServiceInstance> {
         let env = (self.make_env)();
@@ -79,6 +101,38 @@ pub enum AnyDriver {
     Fpga(DataplaneDriver<RtlMachine>),
 }
 
+impl AnyDriver {
+    /// Processes a batch of frames on whichever backend is live.
+    pub fn process_batch(
+        &mut self,
+        frames: &[Frame],
+        env: &mut IpEnv,
+        obs: &mut dyn Observer,
+    ) -> IrResult<BatchOutput> {
+        match self {
+            AnyDriver::Cpu(d) => d.process_batch(frames, env, obs),
+            AnyDriver::Fpga(d) => d.process_batch(frames, env, obs),
+        }
+    }
+
+    /// Sets the per-frame cycle budget after which the driver declares
+    /// the core hung.
+    pub fn set_max_cycles_per_frame(&mut self, n: u64) {
+        match self {
+            AnyDriver::Cpu(d) => d.max_cycles_per_frame = n,
+            AnyDriver::Fpga(d) => d.max_cycles_per_frame = n,
+        }
+    }
+
+    /// Frame buffer capacity of the wrapped program.
+    pub fn frame_capacity(&self) -> usize {
+        match self {
+            AnyDriver::Cpu(d) => d.frame_capacity(),
+            AnyDriver::Fpga(d) => d.frame_capacity(),
+        }
+    }
+}
+
 /// A running service on some target.
 pub struct ServiceInstance {
     driver: AnyDriver,
@@ -89,6 +143,28 @@ impl ServiceInstance {
     /// Processes one frame, returning transmissions and cycles consumed.
     pub fn process(&mut self, frame: &Frame) -> IrResult<CoreOutput> {
         self.process_observed(frame, &mut NullObserver)
+    }
+
+    /// Processes `frames` back-to-back, amortizing per-frame setup.
+    ///
+    /// Equivalent to calling [`ServiceInstance::process`] once per frame
+    /// and collecting the outputs (the sharding test suite asserts the
+    /// equivalence exactly); additionally reports the batch's total cycle
+    /// cost. Fails fast on the first frame that errors.
+    pub fn process_batch(&mut self, frames: &[Frame]) -> IrResult<BatchOutput> {
+        self.driver
+            .process_batch(frames, &mut self.env, &mut NullObserver)
+    }
+
+    /// Sets the per-frame cycle budget after which processing errors out
+    /// (fault-injection tests tighten this to trip hung cores quickly).
+    pub fn set_max_cycles_per_frame(&mut self, n: u64) {
+        self.driver.set_max_cycles_per_frame(n);
+    }
+
+    /// Frame buffer capacity of the underlying program.
+    pub fn frame_capacity(&self) -> usize {
+        self.driver.frame_capacity()
     }
 
     /// Processes one frame under an observer (debug tooling).
@@ -154,6 +230,233 @@ pub fn assert_targets_agree(service: &Service, frames: &[Frame]) -> IrResult<()>
     Ok(())
 }
 
+/// Extracts the RSS-style flow key of a frame: src/dst MAC, plus src/dst
+/// IPv4 addresses when the frame is IPv4, plus protocol and L4 ports when
+/// it carries TCP or UDP.
+///
+/// Frames of one flow (one 5-tuple) always produce the same key whatever
+/// their payload, which is what gives [`ShardedEngine`] its flow-affinity
+/// guarantee. Non-IP frames hash on MAC addresses alone.
+pub fn flow_key(frame: &Frame) -> [u8; 26] {
+    let b = frame.bytes();
+    let mut key = [0u8; 26];
+    let mut used = 12;
+    key[..12].copy_from_slice(&b[..12]); // dst MAC ++ src MAC
+    if frame.ethertype() == ether_type::IPV4 && b.len() >= offset::L4 {
+        key[used..used + 8].copy_from_slice(&b[offset::IPV4_SRC..offset::IPV4_SRC + 8]);
+        used += 8;
+        let proto = b[offset::IPV4_PROTO];
+        let ihl = usize::from(b[offset::IPV4] & 0x0f) * 4;
+        let l4 = offset::IPV4 + ihl;
+        if (proto == ip_proto::TCP || proto == ip_proto::UDP) && b.len() >= l4 + 4 {
+            key[used] = proto;
+            key[used + 1..used + 5].copy_from_slice(&b[l4..l4 + 4]); // sport ++ dport
+            used += 5;
+        }
+    }
+    // Trailing bytes stay zero; `used` itself is folded in so a short key
+    // cannot collide with a longer key that happens to end in zeros.
+    key[25] = used as u8;
+    key
+}
+
+/// RSS-style flow hash over [`flow_key`], built from four independently
+/// seeded passes of the Pearson hash the platform's hashing IP block
+/// models (Figure 5) — the same digest function on every target.
+pub fn flow_hash(frame: &Frame) -> u64 {
+    let key = flow_key(frame);
+    let mut h = 0u64;
+    for seed in 1..=4u8 {
+        h = (h << 8) | u64::from(checksum::pearson8_seeded(seed, &key));
+    }
+    h
+}
+
+/// Per-input-frame results of a sharded batch.
+///
+/// Unlike the single-pipeline [`BatchOutput`], results are per-frame
+/// `Result`s: a trapped shard fails its own frames and leaves every other
+/// shard's results intact (the failure-isolation contract exercised by
+/// `tests/failure_injection.rs`).
+#[derive(Debug)]
+pub struct ShardedBatch {
+    /// Per-frame outcome, in the order the frames were offered.
+    pub outputs: Vec<IrResult<CoreOutput>>,
+    /// Busy core-cycles consumed by each shard during this batch.
+    pub shard_cycles: Vec<u64>,
+}
+
+impl ShardedBatch {
+    /// Wall-clock cycles of the batch under the parallel-datapath model:
+    /// shards run concurrently, so the batch takes as long as its busiest
+    /// shard. This is the denominator of the scaling benchmarks.
+    pub fn wall_cycles(&self) -> u64 {
+        self.shard_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of frames that processed successfully.
+    pub fn ok_count(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_ok()).count()
+    }
+}
+
+/// N replicated pipelines of one service behind an RSS-style dispatcher.
+///
+/// This models the paper's multi-datapath NetFPGA deployment (§5.4, "one
+/// core per port") as a first-class engine: [`flow_hash`] steers each
+/// frame to `hash % N`, so all frames of one 5-tuple share one shard and
+/// per-flow state (NAT mappings, learned MACs, cached values) stays
+/// consistent without cross-shard coordination.
+///
+/// # Flow affinity and stateful services
+///
+/// Per-shard state is *partitioned*, not shared. That is correct for any
+/// service whose state is keyed by flow (NAT's translation tables) and
+/// for stateless services trivially; services with *global* state reached
+/// by many flows (a learning switch, memcached SETs) either tolerate
+/// partitioning (per-shard MAC tables re-learn independently) or need
+/// replicated writes, as §5.4 does for memcached SET traffic — see
+/// `netfpga_sim::MultiCoreSim` for that strategy. `emu_services::nat`
+/// documents the service-side view of this contract.
+///
+/// # Failure isolation
+///
+/// A shard whose program traps (hung core, executor error) is poisoned:
+/// its frames report errors, its siblings keep processing, and the error
+/// text is retained on [`ShardedEngine::shard_error`]. Recoverable
+/// input-validation failures (an oversized frame) are rejected per frame
+/// *without* poisoning — the core never saw the frame, so its state is
+/// still good.
+pub struct ShardedEngine {
+    shards: Vec<ServiceInstance>,
+    poisoned: Vec<Option<String>>,
+}
+
+impl ShardedEngine {
+    /// Builds `shards` instances of `service` on `target`.
+    pub fn new(service: &Service, target: Target, shards: usize) -> IrResult<Self> {
+        if shards == 0 {
+            return Err(IrError("a sharded engine needs at least one shard".into()));
+        }
+        let shards = (0..shards)
+            .map(|_| service.instantiate(target))
+            .collect::<IrResult<Vec<_>>>()?;
+        let poisoned = shards.iter().map(|_| None).collect();
+        Ok(ShardedEngine { shards, poisoned })
+    }
+
+    /// Number of shards (replicated pipelines).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `frame` dispatches to.
+    pub fn shard_of(&self, frame: &Frame) -> usize {
+        (flow_hash(frame) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards still accepting traffic.
+    pub fn healthy_shards(&self) -> usize {
+        self.poisoned.iter().filter(|p| p.is_none()).count()
+    }
+
+    /// The retained error of a poisoned shard, if any.
+    pub fn shard_error(&self, shard: usize) -> Option<&str> {
+        self.poisoned[shard].as_deref()
+    }
+
+    /// Direct access to one shard's instance (register inspection in
+    /// tests and debug tooling).
+    pub fn shard_mut(&mut self, shard: usize) -> &mut ServiceInstance {
+        &mut self.shards[shard]
+    }
+
+    /// Sets every shard's per-frame cycle budget.
+    pub fn set_max_cycles_per_frame(&mut self, n: u64) {
+        for s in &mut self.shards {
+            s.set_max_cycles_per_frame(n);
+        }
+    }
+
+    /// Processes one frame on its flow's shard.
+    ///
+    /// Input-validation failures (an oversized frame) error without
+    /// touching the core and do *not* poison the shard; an error out of
+    /// the core itself (hung, halted, executor trap) does, because the
+    /// core's state can no longer be trusted.
+    pub fn process(&mut self, frame: &Frame) -> IrResult<CoreOutput> {
+        let k = self.shard_of(frame);
+        if let Some(err) = &self.poisoned[k] {
+            return Err(IrError(format!("shard {k} is poisoned: {err}")));
+        }
+        let cap = self.shards[k].frame_capacity();
+        if frame.len() > cap {
+            return Err(IrError(format!(
+                "frame of {} B exceeds shard {k} buffer of {cap} B",
+                frame.len()
+            )));
+        }
+        self.shards[k].process(frame).map_err(|e| {
+            self.poisoned[k] = Some(e.0.clone());
+            IrError(format!("shard {k}: {}", e.0))
+        })
+    }
+
+    /// Processes a batch: contiguous runs of same-shard frames go through
+    /// that shard's batch path (no copying), and results come back in
+    /// input order. A shard failure poisons only that shard — the failing
+    /// run's frames report the error, every other frame completes
+    /// normally. Oversized frames fail individually without poisoning,
+    /// exactly as in [`ShardedEngine::process`].
+    pub fn process_batch(&mut self, frames: &[Frame]) -> ShardedBatch {
+        let n = self.shards.len();
+        let mut outputs: Vec<IrResult<CoreOutput>> = Vec::with_capacity(frames.len());
+        let mut shard_cycles = vec![0u64; n];
+
+        let mut i = 0;
+        while i < frames.len() {
+            let k = self.shard_of(&frames[i]);
+            if let Some(err) = &self.poisoned[k] {
+                outputs.push(Err(IrError(format!("shard {k} is poisoned: {err}"))));
+                i += 1;
+                continue;
+            }
+            let cap = self.shards[k].frame_capacity();
+            if frames[i].len() > cap {
+                outputs.push(Err(IrError(format!(
+                    "frame of {} B exceeds shard {k} buffer of {cap} B",
+                    frames[i].len()
+                ))));
+                i += 1;
+                continue;
+            }
+            // Extend the run while frames keep hashing to this shard and
+            // pass validation, then hand the sub-slice to the shard.
+            let mut j = i + 1;
+            while j < frames.len() && frames[j].len() <= cap && self.shard_of(&frames[j]) == k {
+                j += 1;
+            }
+            match self.shards[k].process_batch(&frames[i..j]) {
+                Ok(batch) => {
+                    shard_cycles[k] += batch.cycles;
+                    outputs.extend(batch.outputs.into_iter().map(Ok));
+                }
+                Err(e) => {
+                    self.poisoned[k] = Some(e.0.clone());
+                    let msg = format!("shard {k}: {}", e.0);
+                    outputs.extend((i..j).map(|_| Err(IrError(msg.clone()))));
+                }
+            }
+            i = j;
+        }
+
+        ShardedBatch {
+            outputs,
+            shard_cycles,
+        }
+    }
+}
+
 /// A convenience used by services and examples: declare the dataplane and
 /// hand back both the builder and the handle.
 pub fn service_builder(name: &str, frame_capacity: usize) -> (kiwi_ir::ProgramBuilder, Dataplane) {
@@ -212,6 +515,85 @@ mod tests {
         // agree, so the harness must pass — this guards the harness itself.
         let svc = port_mirror();
         assert!(assert_targets_agree(&svc, &[Frame::new(vec![0; 60])]).is_ok());
+    }
+
+    fn flow_frame(src_mac: u64, sport: u16, len: usize) -> Frame {
+        use emu_types::{bitutil, MacAddr};
+        let mut ip = vec![
+            0x45, 0, 0, 40, 0, 0, 0x40, 0, 64, 17, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2,
+        ];
+        let mut udp = vec![0u8; 8];
+        bitutil::set16(&mut udp, 0, sport);
+        bitutil::set16(&mut udp, 2, 53);
+        ip.extend_from_slice(&udp);
+        ip.resize(len.max(28), 0xaa);
+        Frame::ethernet(
+            MacAddr::from_u64(0xB),
+            MacAddr::from_u64(src_mac),
+            0x0800,
+            &ip,
+        )
+    }
+
+    #[test]
+    fn flow_hash_ignores_payload_but_not_ports() {
+        let a = flow_hash(&flow_frame(1, 1000, 40));
+        let b = flow_hash(&flow_frame(1, 1000, 200)); // same flow, longer payload
+        let c = flow_hash(&flow_frame(1, 2000, 40)); // different sport
+        let d = flow_hash(&flow_frame(2, 1000, 40)); // different src MAC
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn flow_hash_spreads_across_shards() {
+        let mut seen = [0u32; 4];
+        for sport in 0..256u16 {
+            let h = flow_hash(&flow_frame(1, sport, 40)) % 4;
+            seen[h as usize] += 1;
+        }
+        for (k, &count) in seen.iter().enumerate() {
+            assert!(count > 24, "shard {k} starved: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_single_instance_on_stateless_service() {
+        let svc = port_mirror();
+        let frames: Vec<Frame> = (0..32)
+            .map(|i| flow_frame(i % 5, i as u16 * 7, 60))
+            .collect();
+        let mut single = svc.instantiate(Target::Fpga).unwrap();
+        let mut engine = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+        let batch = engine.process_batch(&frames);
+        assert_eq!(batch.ok_count(), frames.len());
+        for (f, out) in frames.iter().zip(&batch.outputs) {
+            let want = single.process(f).unwrap();
+            assert_eq!(out.as_ref().unwrap().tx, want.tx);
+        }
+        assert!(batch.wall_cycles() > 0);
+    }
+
+    #[test]
+    fn batch_equals_frame_by_frame() {
+        let svc = port_mirror();
+        let frames: Vec<Frame> = (0..10).map(|i| flow_frame(3, i as u16, 80)).collect();
+        let mut a = svc.instantiate(Target::Fpga).unwrap();
+        let mut b = svc.instantiate(Target::Fpga).unwrap();
+        let batch = a.process_batch(&frames).unwrap();
+        let single: Vec<CoreOutput> = frames.iter().map(|f| b.process(f).unwrap()).collect();
+        assert_eq!(batch.outputs, single);
+        assert_eq!(
+            batch.cycles,
+            single.iter().map(|o| o.cycles).sum::<u64>(),
+            "no idle cycles between back-to-back frames"
+        );
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(port_mirror().instantiate_sharded(Target::Cpu, 0).is_err());
     }
 
     #[test]

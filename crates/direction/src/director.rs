@@ -164,8 +164,11 @@ mod tests {
     fn trace_print_collects_history() {
         let (svc, dir) = counter_service_directed(16);
         let mut inst = svc.instantiate(Target::Fpga).unwrap();
-        dir.run(&mut inst, &crate::lang::parse("trace start count 4").unwrap())
-            .unwrap();
+        dir.run(
+            &mut inst,
+            &crate::lang::parse("trace start count 4").unwrap(),
+        )
+        .unwrap();
         for _ in 0..4 {
             inst.process(&Frame::new(vec![0; 60])).unwrap();
         }

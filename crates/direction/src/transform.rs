@@ -193,7 +193,12 @@ fn resolve_ports(prog: &Program) -> IrResult<DataplanePorts> {
 
 /// The controller's packet handler (runs instead of the program body when
 /// a direction packet arrives — Figure 8's controller/director split).
-fn controller_body(dp: &Dataplane, regs: &CtlRegs, cfg: &ControllerConfig, vars: &[VarId]) -> Vec<Stmt> {
+fn controller_body(
+    dp: &Dataplane,
+    regs: &CtlRegs,
+    cfg: &ControllerConfig,
+    vars: &[VarId],
+) -> Vec<Stmt> {
     let mut body = vec![
         assign(regs.d_op, dp.byte(field::OPCODE)),
         assign(regs.d_var, dp.byte(field::VAR)),
@@ -248,17 +253,17 @@ fn controller_body(dp: &Dataplane, regs: &CtlRegs, cfg: &ControllerConfig, vars:
         body.push(if_then(
             op_is(Opcode::TraceRead),
             vec![
-                assign(regs.d_reply, resize(arr_read(tr.buf, resize(var(regs.d_val), 16)), 64)),
+                assign(
+                    regs.d_reply,
+                    resize(arr_read(tr.buf, resize(var(regs.d_val), 16)), 64),
+                ),
                 assign(regs.d_status, lit(u64::from(status::OK), 8)),
             ],
         ));
         body.push(if_then(
             op_is(Opcode::TraceStatus),
             vec![
-                assign(
-                    regs.d_reply,
-                    resize(concat(var(tr.ovf), var(tr.idx)), 64),
-                ),
+                assign(regs.d_reply, resize(concat(var(tr.ovf), var(tr.idx)), 64)),
                 assign(regs.d_status, lit(u64::from(status::OK), 8)),
             ],
         ));
@@ -272,7 +277,10 @@ fn controller_body(dp: &Dataplane, regs: &CtlRegs, cfg: &ControllerConfig, vars:
     }
 
     // Build the reply in place and send it back where it came from.
-    body.push(dp.set8(field::OPCODE, bor(var(regs.d_op), lit(u64::from(REPLY_BIT), 8))));
+    body.push(dp.set8(
+        field::OPCODE,
+        bor(var(regs.d_op), lit(u64::from(REPLY_BIT), 8)),
+    ));
     body.extend(dp.set64(field::VALUE, var(regs.d_reply)));
     body.push(dp.set8(field::STATUS, resize(var(regs.d_status), 8)));
     body.extend(dp.swap_macs(regs.d_scratch));
@@ -317,8 +325,8 @@ fn inject(
     controller: &[Stmt],
 ) -> IrResult<Vec<Stmt>> {
     let mut out = Vec::new();
-    let mut iter = body.iter().enumerate();
-    while let Some((i, s)) = iter.next() {
+    let iter = body.iter().enumerate();
+    for (i, s) in iter {
         match s {
             Stmt::Label(l) if l == "rx" => {
                 out.push(s.clone());
@@ -350,7 +358,10 @@ fn inject(
                 ));
             }
             Stmt::While(c, b) => {
-                out.push(Stmt::While(c.clone(), inject(b, dp, regs, vars, controller)?));
+                out.push(Stmt::While(
+                    c.clone(),
+                    inject(b, dp, regs, vars, controller)?,
+                ));
             }
             _ => out.push(s.clone()),
         }
@@ -361,8 +372,8 @@ fn inject(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emu_core::{service_builder, Service, Target};
     use crate::packet::DirectionPacket;
+    use emu_core::{service_builder, Service, Target};
     use emu_types::{Frame, MacAddr};
 
     /// A counter service: counts received frames, mirrors them back.
@@ -502,6 +513,9 @@ mod tests {
         let cfg = ControllerConfig::read_only(&[]);
         let ext = extend_program(&prog, &cfg).unwrap();
         let text = kiwi_ir::pretty::program_to_string(&ext);
-        assert!(!text.contains("34997"), "no direction ethertype check expected");
+        assert!(
+            !text.contains("34997"),
+            "no direction ethertype check expected"
+        );
     }
 }

@@ -51,7 +51,11 @@ pub struct HostProfile {
 }
 
 fn stage(name: &'static str, mean_us: f64, sigma: f64) -> Stage {
-    Stage { name, mean_us, sigma }
+    Stage {
+        name,
+        mean_us,
+        sigma,
+    }
 }
 
 /// Common kernel receive stages (NIC → socket), with the tail
@@ -196,7 +200,11 @@ impl HostProfile {
         for i in 0..requests {
             // Least-loaded dispatch, as RSS/SO_REUSEPORT spreads flows.
             let c = (0..core_busy_us.len())
-                .min_by(|&a, &b| core_busy_us[a].partial_cmp(&core_busy_us[b]).expect("no NaN"))
+                .min_by(|&a, &b| {
+                    core_busy_us[a]
+                        .partial_cmp(&core_busy_us[b])
+                        .expect("no NaN")
+                })
                 .expect("at least one core");
             let _ = i;
             core_busy_us[c] += lognormal_mean(&mut rng, self.cpu_cost_us, 0.05);
@@ -256,7 +264,11 @@ mod tests {
             .map(|p| p.latency_run(100_000, 11).tail_to_average())
             .collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        assert!(ratios[0] > 1.0 && ratios[0] < 1.2, "min ratio {}", ratios[0]);
+        assert!(
+            ratios[0] > 1.0 && ratios[0] < 1.2,
+            "min ratio {}",
+            ratios[0]
+        );
         assert!(
             ratios[ratios.len() - 1] > 2.0 && ratios[ratios.len() - 1] < 3.6,
             "max ratio {}",

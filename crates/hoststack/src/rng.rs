@@ -66,7 +66,10 @@ mod tests {
                 .map(|_| lognormal_mean(&mut rng, target, 0.4))
                 .collect();
             let (m, _) = moments(&xs);
-            assert!((m - target).abs() / target < 0.02, "target {target} got {m}");
+            assert!(
+                (m - target).abs() / target < 0.02,
+                "target {target} got {m}"
+            );
         }
     }
 

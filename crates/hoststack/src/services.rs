@@ -57,7 +57,11 @@ impl HostService for HostIcmpEcho {
         swap_l2_l3(&mut out);
         out[offset::L4] = 0;
         let c = bitutil::get16(&out, offset::L4 + 2);
-        bitutil::set16(&mut out, offset::L4 + 2, checksum::update_word(c, 0x0800, 0x0000));
+        bitutil::set16(
+            &mut out,
+            offset::L4 + 2,
+            checksum::update_word(c, 0x0800, 0x0000),
+        );
         let mut f = Frame::new(out);
         f.in_port = frame.in_port;
         vec![f]
@@ -219,7 +223,9 @@ impl HostService for HostMemcached {
             None
         };
 
-        let Some(reply) = reply else { return Vec::new() };
+        let Some(reply) = reply else {
+            return Vec::new();
+        };
         let mut out = b[..cmd].to_vec();
         out.extend_from_slice(&reply);
         swap_l2_l3(&mut out);
@@ -299,8 +305,26 @@ mod tests {
         let udp_len = 8 + 8 + body.len();
         let total = 20 + udp_len;
         let mut ip = vec![
-            0x45, 0, (total >> 8) as u8, total as u8, 0, 1, 0x40, 0, 0x40, 17, 0, 0, 10, 0, 0, 9,
-            10, 0, 0, 10,
+            0x45,
+            0,
+            (total >> 8) as u8,
+            total as u8,
+            0,
+            1,
+            0x40,
+            0,
+            0x40,
+            17,
+            0,
+            0,
+            10,
+            0,
+            0,
+            9,
+            10,
+            0,
+            0,
+            10,
         ];
         let c = checksum::internet_checksum(&ip);
         ip[10] = (c >> 8) as u8;
@@ -346,8 +370,26 @@ mod tests {
         let udp_len = 8 + 12 + qname.len() + 4;
         let total = 20 + udp_len;
         let mut ip = vec![
-            0x45, 0, (total >> 8) as u8, total as u8, 0, 1, 0x40, 0, 0x40, 17, 0, 0, 10, 0, 0, 9,
-            10, 0, 0, 53,
+            0x45,
+            0,
+            (total >> 8) as u8,
+            total as u8,
+            0,
+            1,
+            0x40,
+            0,
+            0x40,
+            17,
+            0,
+            0,
+            10,
+            0,
+            0,
+            9,
+            10,
+            0,
+            0,
+            53,
         ];
         let c = checksum::internet_checksum(&ip);
         ip[10] = (c >> 8) as u8;

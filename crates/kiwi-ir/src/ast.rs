@@ -162,7 +162,9 @@ impl Expr {
             Expr::Slice(e, hi, lo) => {
                 let w = e.width(prog)?;
                 if hi < lo || *hi >= w {
-                    return Err(IrError(format!("slice [{hi}:{lo}] out of range for width {w}")));
+                    return Err(IrError(format!(
+                        "slice [{hi}:{lo}] out of range for width {w}"
+                    )));
                 }
                 Ok(hi - lo + 1)
             }
@@ -334,7 +336,12 @@ mod tests {
         assert_eq!(concat(var(a), var(b)).width(&p).unwrap(), 24);
         assert_eq!(slice(var(b), 11, 4).width(&p).unwrap(), 8);
         assert_eq!(resize(var(a), 64).width(&p).unwrap(), 64);
-        assert_eq!(mux(eq(var(a), lit(0, 8)), var(a), var(b)).width(&p).unwrap(), 16);
+        assert_eq!(
+            mux(eq(var(a), lit(0, 8)), var(a), var(b))
+                .width(&p)
+                .unwrap(),
+            16
+        );
     }
 
     #[test]
@@ -352,7 +359,10 @@ mod tests {
         let a = pb.reg("a", 32);
         let p = pb.build_for_test();
         let shallow = add(var(a), lit(1, 32));
-        let deep = add(add(add(var(a), var(a)), add(var(a), var(a))), shallow.clone());
+        let deep = add(
+            add(add(var(a), var(a)), add(var(a), var(a))),
+            shallow.clone(),
+        );
         assert!(deep.delay(&p) > shallow.delay(&p));
     }
 

@@ -172,10 +172,8 @@ impl FlatThread {
         let n = self.ops.len();
         for (i, op) in self.ops.iter().enumerate() {
             match op {
-                Op::Branch(_, t) | Op::Jump(t) => {
-                    if *t > n {
-                        return Err(IrError(format!("op {i} target {t} out of range {n}")));
-                    }
+                Op::Branch(_, t) | Op::Jump(t) if *t > n => {
+                    return Err(IrError(format!("op {i} target {t} out of range {n}")));
                 }
                 _ => {}
             }
@@ -204,7 +202,10 @@ mod tests {
     fn straight_line_flattens_in_order() {
         let mut pb = ProgramBuilder::new("t");
         let a = pb.reg("a", 8);
-        pb.thread("main", vec![assign(a, lit(1, 8)), pause(), assign(a, lit(2, 8))]);
+        pb.thread(
+            "main",
+            vec![assign(a, lit(1, 8)), pause(), assign(a, lit(2, 8))],
+        );
         let f = flatten(&pb.build().unwrap()).unwrap();
         let ops = &f.threads[0].ops;
         assert_eq!(ops.len(), 4); // 3 stmts + implicit halt

@@ -25,6 +25,12 @@ pub struct MachineState {
     pub sigs_in: Vec<Bits>,
     /// Current output-signal values, indexed by `SigId`.
     pub sigs_out: Vec<Bits>,
+    /// Per-array write high-water mark, indexed by `ArrId`: one past the
+    /// highest slot that may differ from zero. Both execution backends
+    /// bump this on every `ArrWrite`; platform drivers use it to bound
+    /// how much of a buffer they must re-initialize between frames (the
+    /// batch fast path), and reset it after re-filling a prefix.
+    pub arr_high: Vec<usize>,
 }
 
 impl MachineState {
@@ -44,11 +50,12 @@ impl MachineState {
                     data
                 })
                 .collect(),
-            sigs_in: prog
-                .signals()
+            arr_high: prog
+                .arrays()
                 .iter()
-                .map(|s| Bits::zero(s.width))
+                .map(|a| a.init.iter().map(|(i, _)| i + 1).max().unwrap_or(0))
                 .collect(),
+            sigs_in: prog.signals().iter().map(|s| Bits::zero(s.width)).collect(),
             sigs_out: prog.signals().iter().map(|s| s.init.clone()).collect(),
         }
     }
@@ -61,6 +68,16 @@ impl MachineState {
             SigDir::In => &self.sigs_in[id.0 as usize],
             SigDir::Out => &self.sigs_out[id.0 as usize],
         })
+    }
+
+    /// Records that array `arr` had slot `idx` written, lifting its
+    /// high-water mark. Every array store in an execution backend must
+    /// call this so platform drivers can trust [`MachineState::arr_high`].
+    #[inline]
+    pub fn note_arr_write(&mut self, arr: usize, idx: usize) {
+        if self.arr_high[arr] < idx + 1 {
+            self.arr_high[arr] = idx + 1;
+        }
     }
 
     /// Drives an input signal by name; ignores unknown names.
@@ -126,7 +143,10 @@ impl Machine {
         let threads = flat
             .threads
             .iter()
-            .map(|_| ThreadCtx { pc: 0, halted: false })
+            .map(|_| ThreadCtx {
+                pc: 0,
+                halted: false,
+            })
             .collect();
         Machine {
             flat,
@@ -234,6 +254,7 @@ impl Machine {
                     let data = &mut self.state.arrays[arr.0 as usize];
                     if i < data.len() {
                         data[i] = v;
+                        self.state.note_arr_write(arr.0 as usize, i);
                     }
                     self.threads[ti].pc = pc + 1;
                 }
@@ -390,7 +411,10 @@ mod tests {
     fn missing_pause_detected() {
         let mut pb = ProgramBuilder::new("p");
         let a = pb.reg("a", 8);
-        pb.thread("main", vec![forever(vec![assign(a, add(var(a), lit(1, 8)))])]);
+        pb.thread(
+            "main",
+            vec![forever(vec![assign(a, add(var(a), lit(1, 8)))])],
+        );
         let mut m = machine(pb);
         m.max_ops_per_cycle = 1000;
         let err = m.step_cycle(&mut NullEnv, &mut NullObserver).unwrap_err();
@@ -469,8 +493,14 @@ mod tests {
         let mut pb = ProgramBuilder::new("p");
         let a = pb.reg("a", 32);
         let b = pb.reg("b", 32);
-        pb.thread("t0", vec![forever(vec![assign(a, add(var(a), lit(1, 32))), pause()])]);
-        pb.thread("t1", vec![forever(vec![assign(b, add(var(b), lit(2, 32))), pause()])]);
+        pb.thread(
+            "t0",
+            vec![forever(vec![assign(a, add(var(a), lit(1, 32))), pause()])],
+        );
+        pb.thread(
+            "t1",
+            vec![forever(vec![assign(b, add(var(b), lit(2, 32))), pause()])],
+        );
         let mut m = machine(pb);
         m.run_cycles(5, &mut NullEnv, &mut NullObserver).unwrap();
         assert_eq!(m.state().vars[0].to_u64(), 5);

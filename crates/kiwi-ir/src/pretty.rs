@@ -54,7 +54,11 @@ pub fn expr_to_string(e: &Expr, prog: &Program) -> String {
                 BinOp::Gt => ">",
                 BinOp::Ge => ">=",
             };
-            format!("({} {sym} {})", expr_to_string(l, prog), expr_to_string(r, prog))
+            format!(
+                "({} {sym} {})",
+                expr_to_string(l, prog),
+                expr_to_string(r, prog)
+            )
         }
         Expr::Mux(c, t, e2) => format!(
             "({} ? {} : {})",
@@ -63,7 +67,11 @@ pub fn expr_to_string(e: &Expr, prog: &Program) -> String {
             expr_to_string(e2, prog)
         ),
         Expr::Slice(e, hi, lo) => format!("{}[{hi}:{lo}]", expr_to_string(e, prog)),
-        Expr::Concat(h, l) => format!("{{{}, {}}}", expr_to_string(h, prog), expr_to_string(l, prog)),
+        Expr::Concat(h, l) => format!(
+            "{{{}, {}}}",
+            expr_to_string(h, prog),
+            expr_to_string(l, prog)
+        ),
         Expr::Resize(e, w) => format!("{}'({})", w, expr_to_string(e, prog)),
     }
 }

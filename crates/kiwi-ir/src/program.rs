@@ -171,7 +171,10 @@ impl Program {
         let mut names = std::collections::HashSet::new();
         for v in &self.vars {
             if v.width == 0 || v.width > emu_types::bits::MAX_WIDTH {
-                return Err(IrError(format!("register {} has invalid width {}", v.name, v.width)));
+                return Err(IrError(format!(
+                    "register {} has invalid width {}",
+                    v.name, v.width
+                )));
             }
             if !names.insert(format!("v:{}", v.name)) {
                 return Err(IrError(format!("duplicate register name {}", v.name)));
@@ -179,7 +182,10 @@ impl Program {
         }
         for a in &self.arrays {
             if a.elem_width == 0 || a.elem_width > emu_types::bits::MAX_WIDTH {
-                return Err(IrError(format!("array {} has invalid width {}", a.name, a.elem_width)));
+                return Err(IrError(format!(
+                    "array {} has invalid width {}",
+                    a.name, a.elem_width
+                )));
             }
             if a.len == 0 {
                 return Err(IrError(format!("array {} has zero length", a.name)));
@@ -189,13 +195,19 @@ impl Program {
             }
             for (i, _) in &a.init {
                 if *i >= a.len {
-                    return Err(IrError(format!("array {} init index {} out of range", a.name, i)));
+                    return Err(IrError(format!(
+                        "array {} init index {} out of range",
+                        a.name, i
+                    )));
                 }
             }
         }
         for s in &self.signals {
             if s.width == 0 || s.width > emu_types::bits::MAX_WIDTH {
-                return Err(IrError(format!("signal {} has invalid width {}", s.name, s.width)));
+                return Err(IrError(format!(
+                    "signal {} has invalid width {}",
+                    s.name, s.width
+                )));
             }
             if !names.insert(format!("s:{}", s.name)) {
                 return Err(IrError(format!("duplicate signal name {}", s.name)));
@@ -327,7 +339,13 @@ impl ProgramBuilder {
     }
 
     /// Declares an array with a backing hint.
-    pub fn array(&mut self, name: &str, elem_width: u16, len: usize, backing: ArrayBacking) -> ArrId {
+    pub fn array(
+        &mut self,
+        name: &str,
+        elem_width: u16,
+        len: usize,
+        backing: ArrayBacking,
+    ) -> ArrId {
         let id = ArrId(self.prog.arrays.len() as u32);
         self.prog.arrays.push(ArrayDecl {
             name: name.to_string(),
@@ -409,12 +427,15 @@ mod tests {
         let a = pb.reg("a", 8);
         let arr = pb.array("t", 16, 4, ArrayBacking::LutRam);
         let s = pb.sig_out("led", 1);
-        pb.thread("main", vec![
-            assign(a, lit(1, 8)),
-            arr_write(arr, lit(0, 2), lit(0xbeef, 16)),
-            sig_write(s, lit(1, 1)),
-            halt(),
-        ]);
+        pb.thread(
+            "main",
+            vec![
+                assign(a, lit(1, 8)),
+                arr_write(arr, lit(0, 2), lit(0xbeef, 16)),
+                sig_write(s, lit(1, 1)),
+                halt(),
+            ],
+        );
         let p = pb.build().unwrap();
         assert_eq!(p.var_by_name("a"), Some(a));
         assert_eq!(p.array_by_name("t"), Some(arr));

@@ -145,12 +145,10 @@ fn schedule_thread(t: &FlatThread, prog: &Program, model: &CostModel) -> IrResul
 
     for (i, op) in ops.iter().enumerate() {
         match op {
-            Op::Pause => {
-                if i + 1 <= n {
-                    let mut t2 = i + 1;
-                    resolve(&ops, &mut t2);
-                    boundaries.insert(t2.min(n.saturating_sub(1)));
-                }
+            Op::Pause if i < n => {
+                let mut t2 = i + 1;
+                resolve(&ops, &mut t2);
+                boundaries.insert(t2.min(n.saturating_sub(1)));
             }
             Op::Jump(t) if *t <= i => {
                 let mut t2 = *t;
@@ -342,7 +340,7 @@ mod tests {
         );
         let f = fsm_of(pb, CostModel::default());
         let t = &f.threads[0];
-        for (&pc, _) in &t.state_of_pc {
+        for &pc in t.state_of_pc.keys() {
             // No state may begin on a Jump (they must be resolved through).
             assert!(!matches!(t.ops[pc], Op::Jump(_)), "state at jump pc {pc}");
         }

@@ -148,7 +148,11 @@ impl ResourceReport {
 
 impl fmt::Display for ResourceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "logic {:>7}  memory {:>6}  ffs {:>7}", self.logic, self.memory, self.ffs)?;
+        writeln!(
+            f,
+            "logic {:>7}  memory {:>6}  ffs {:>7}",
+            self.logic, self.memory, self.ffs
+        )?;
         for (n, l, m) in &self.breakdown {
             writeln!(f, "  {n:<28} logic {l:>7}  memory {m:>6}")?;
         }
@@ -177,9 +181,7 @@ fn expr_luts_inner(e: &Expr, prog: &Program, seen: &mut std::collections::HashSe
             match d.backing {
                 // Read mux over LUTRAM outputs: ~1 LUT per 4 output bits
                 // per 4 entries of depth.
-                ArrayBacking::LutRam => {
-                    (d.len as u64 / 4).max(1) * u64::from(d.elem_width) / 4
-                }
+                ArrayBacking::LutRam => (d.len as u64 / 4).max(1) * u64::from(d.elem_width) / 4,
                 // BRAM and CAM reads use dedicated decode.
                 ArrayBacking::BlockRam | ArrayBacking::Cam => 2,
             }
@@ -213,9 +215,7 @@ fn expr_luts_inner(e: &Expr, prog: &Program, seen: &mut std::collections::HashSe
             total += expr_luts(l, prog, seen) + expr_luts(r, prog, seen)
         }
         Expr::Mux(c, t, e2) => {
-            total += expr_luts(c, prog, seen)
-                + expr_luts(t, prog, seen)
-                + expr_luts(e2, prog, seen)
+            total += expr_luts(c, prog, seen) + expr_luts(t, prog, seen) + expr_luts(e2, prog, seen)
         }
     }
     total
@@ -271,7 +271,12 @@ pub fn estimate(fsm: &Fsm, ip_blocks: &[IpBlock]) -> ResourceReport {
         let state_bits = (usize::BITS - t.state_count().leading_zeros()).max(1) as u64;
         // One-hot-ish state decode plus next-state logic.
         let control = states * 3 + state_bits * 2;
-        rep.add(&format!("thread:{}", t.name), logic + control, 0, state_bits);
+        rep.add(
+            &format!("thread:{}", t.name),
+            logic + control,
+            0,
+            state_bits,
+        );
     }
 
     for b in ip_blocks {
@@ -297,7 +302,11 @@ mod tests {
             "main",
             vec![forever(vec![assign(a, add(var(a), lit(1, 32))), pause()])],
         );
-        schedule(&flatten(&pb.build().unwrap()).unwrap(), CostModel::default()).unwrap()
+        schedule(
+            &flatten(&pb.build().unwrap()).unwrap(),
+            CostModel::default(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -368,7 +377,11 @@ mod tests {
             body.push(pause());
         }
         pb.thread("main", vec![forever(body)]);
-        let f = schedule(&flatten(&pb.build().unwrap()).unwrap(), CostModel::default()).unwrap();
+        let f = schedule(
+            &flatten(&pb.build().unwrap()).unwrap(),
+            CostModel::default(),
+        )
+        .unwrap();
         let big = estimate(&f, &[]);
         assert!(big.logic > small.logic * 5);
         assert!(big.memory > 0);
@@ -384,8 +397,16 @@ mod tests {
 
     #[test]
     fn fifo_scales_with_capacity() {
-        let small = IpBlock::Fifo { depth: 16, width: 32 }.cost();
-        let large = IpBlock::Fifo { depth: 4096, width: 256 }.cost();
+        let small = IpBlock::Fifo {
+            depth: 16,
+            width: 32,
+        }
+        .cost();
+        let large = IpBlock::Fifo {
+            depth: 4096,
+            width: 256,
+        }
+        .cost();
         assert!(large.1 > small.1);
     }
 }

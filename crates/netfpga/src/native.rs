@@ -61,8 +61,8 @@ impl MacTable {
     /// Learns `mac → port`, evicting round-robin when full.
     pub fn learn(&mut self, mac: MacAddr, port: u8) {
         let key = mac.to_u64();
-        if self.map.contains_key(&key) {
-            self.map.insert(key, port);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(key) {
+            e.insert(port);
             return;
         }
         if self.map.len() >= self.capacity {
@@ -323,9 +323,9 @@ mod tests {
     fn hairpin_suppressed() {
         let mut sw = RefSwitchCore::new();
         sw.process(&frame(0xA, 0xB, 0)); // learn A@0
-        // B -> A arriving on port 0 (A's own port): bitmap is 1<<0, which
-        // includes the arrival port — the reference design forwards by
-        // table blindly; flooding never reflects though.
+                                         // B -> A arriving on port 0 (A's own port): bitmap is 1<<0, which
+                                         // includes the arrival port — the reference design forwards by
+                                         // table blindly; flooding never reflects though.
         let out = sw.process(&frame(0xC, 0xD, 1));
         assert_eq!(out[0].ports & (1 << 1), 0, "flood must exclude arrival");
     }

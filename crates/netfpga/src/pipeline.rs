@@ -142,7 +142,11 @@ impl PipelineSim {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.core_cycles as f64).sum::<f64>() / self.records.len() as f64
+        self.records
+            .iter()
+            .map(|r| r.core_cycles as f64)
+            .sum::<f64>()
+            / self.records.len() as f64
     }
 
     /// Injects a frame whose first bit hits the ingress wire at `t_ns`.
@@ -290,7 +294,13 @@ impl MultiCoreSim {
     /// Injects a request at `t_ns` on `port`. When `replicate` is set the
     /// frame is applied to *every* core (SETs must hit all instances);
     /// otherwise only `port`'s core serves it.
-    pub fn inject(&mut self, frame: &Frame, t_ns: f64, port: usize, replicate: bool) -> IrResult<()> {
+    pub fn inject(
+        &mut self,
+        frame: &Frame,
+        t_ns: f64,
+        port: usize,
+        replicate: bool,
+    ) -> IrResult<()> {
         self.t_first_in = self.t_first_in.min(t_ns);
         let t_ready = t_ns + timing::wire_ns(frame.len()) + timing::MAC_PHY_NS + timing::ARBITER_NS;
         let targets: Vec<usize> = if replicate {
@@ -306,8 +316,9 @@ impl MultiCoreSim {
             self.core_free_ns[c] = done;
             t_reply = t_reply.max(done);
         }
-        self.completions
-            .push(t_reply + timing::OUT_QUEUE_NS + timing::wire_ns(frame.len()) + timing::MAC_PHY_NS);
+        self.completions.push(
+            t_reply + timing::OUT_QUEUE_NS + timing::wire_ns(frame.len()) + timing::MAC_PHY_NS,
+        );
         Ok(())
     }
 
@@ -355,8 +366,11 @@ mod tests {
     /// so egress load spreads evenly over all four ports.
     fn offer_line_rate(sim: &mut PipelineSim, n: u64) {
         for p in 0..4u8 {
-            sim.inject(&test_frame(100 + u64::from(p), 0xEE, p, 64), f64::from(p) * 100.0)
-                .unwrap();
+            sim.inject(
+                &test_frame(100 + u64::from(p), 0xEE, p, 64),
+                f64::from(p) * 100.0,
+            )
+            .unwrap();
         }
         let gap = timing::wire_ns(64) / timing::NUM_PORTS as f64;
         let mut t = 1000.0;

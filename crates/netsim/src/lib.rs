@@ -10,7 +10,7 @@
 //! Links model propagation delay and serialization at a configurable
 //! rate; frames are delivered in global time order.
 
-use emu_core::{Service, ServiceInstance, Target};
+use emu_core::{Service, ServiceInstance, ShardedEngine, Target};
 use emu_types::Frame;
 use kiwi_ir::IrResult;
 use std::cmp::Ordering;
@@ -34,6 +34,10 @@ enum NodeKind {
     Host { inbox: Vec<Delivery> },
     /// A service node running an Emu program on the CPU target.
     Service(Box<ServiceInstance>),
+    /// A service node running N flow-hashed pipeline replicas — the same
+    /// `ShardedEngine` the hardware target uses, so the Mininet-analogue
+    /// exercises identical dispatch behaviour.
+    Sharded(Box<ShardedEngine>),
 }
 
 struct Node {
@@ -132,12 +136,39 @@ impl NetSim {
         Ok(NodeId(self.nodes.len() - 1))
     }
 
+    /// Adds a service node running `shards` flow-hashed replicas of
+    /// `service` on the CPU target (the scale-out configuration; with
+    /// `shards == 1` it behaves exactly like [`NetSim::add_service`]).
+    pub fn add_service_sharded(
+        &mut self,
+        name: &str,
+        service: &Service,
+        ports: usize,
+        shards: usize,
+    ) -> IrResult<NodeId> {
+        let engine = service.instantiate_sharded(Target::Cpu, shards)?;
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind: NodeKind::Sharded(Box::new(engine)),
+            ifaces: vec![None; ports],
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
     /// Connects `a.port_a ↔ b.port_b` with the given delay and rate.
     ///
     /// # Panics
     ///
     /// Panics if either port is out of range or already connected.
-    pub fn link(&mut self, a: NodeId, port_a: usize, b: NodeId, port_b: usize, delay_ns: f64, gbps: f64) {
+    pub fn link(
+        &mut self,
+        a: NodeId,
+        port_a: usize,
+        b: NodeId,
+        port_b: usize,
+        delay_ns: f64,
+        gbps: f64,
+    ) {
         assert!(self.nodes[a.0].ifaces[port_a].is_none(), "port in use");
         assert!(self.nodes[b.0].ifaces[port_b].is_none(), "port in use");
         let id = self.links.len();
@@ -200,24 +231,26 @@ impl NetSim {
             processed += 1;
             let mut frame = ev.frame;
             frame.in_port = ev.dst_port as u8;
-            match &mut self.nodes[ev.dst_node].kind {
-                NodeKind::Host { inbox } => inbox.push(Delivery {
-                    t_ns: ev.t_ns,
-                    frame,
-                }),
-                NodeKind::Service(inst) => {
-                    let out = inst.process(&frame)?;
-                    // Service processing time on the CPU target is not
-                    // modelled (Mininet gives functional, not temporal,
-                    // fidelity); transmissions leave "immediately".
-                    let t = ev.t_ns;
-                    let n_ports = self.nodes[ev.dst_node].ifaces.len();
-                    for tx in out.tx {
-                        for p in 0..n_ports {
-                            if tx.ports & (1 << p) != 0 {
-                                self.transmit(ev.dst_node, p, tx.frame.clone(), t);
-                            }
-                        }
+            let out = match &mut self.nodes[ev.dst_node].kind {
+                NodeKind::Host { inbox } => {
+                    inbox.push(Delivery {
+                        t_ns: ev.t_ns,
+                        frame,
+                    });
+                    continue;
+                }
+                NodeKind::Service(inst) => inst.process(&frame)?,
+                NodeKind::Sharded(engine) => engine.process(&frame)?,
+            };
+            // Service processing time on the CPU target is not modelled
+            // (Mininet gives functional, not temporal, fidelity);
+            // transmissions leave "immediately".
+            let t = ev.t_ns;
+            let n_ports = self.nodes[ev.dst_node].ifaces.len();
+            for tx in out.tx {
+                for p in 0..n_ports {
+                    if tx.ports & (1 << p) != 0 {
+                        self.transmit(ev.dst_node, p, tx.frame.clone(), t);
                     }
                 }
             }
@@ -229,7 +262,7 @@ impl NetSim {
     pub fn inbox(&mut self, host: NodeId) -> Vec<Delivery> {
         match &mut self.nodes[host.0].kind {
             NodeKind::Host { inbox } => std::mem::take(inbox),
-            NodeKind::Service(_) => Vec::new(),
+            NodeKind::Service(_) | NodeKind::Sharded(_) => Vec::new(),
         }
     }
 
@@ -242,7 +275,15 @@ impl NetSim {
     pub fn service_mut(&mut self, n: NodeId) -> Option<&mut ServiceInstance> {
         match &mut self.nodes[n.0].kind {
             NodeKind::Service(inst) => Some(inst),
-            NodeKind::Host { .. } => None,
+            NodeKind::Host { .. } | NodeKind::Sharded(_) => None,
+        }
+    }
+
+    /// Access a sharded service node's engine (shard inspection in tests).
+    pub fn sharded_mut(&mut self, n: NodeId) -> Option<&mut ShardedEngine> {
+        match &mut self.nodes[n.0].kind {
+            NodeKind::Sharded(engine) => Some(engine),
+            _ => None,
         }
     }
 }
@@ -321,6 +362,46 @@ mod tests {
         assert_eq!(net.inbox(h[0]).len(), 1);
         assert!(net.inbox(h[2]).is_empty());
         assert!(net.inbox(h[3]).is_empty());
+    }
+
+    #[test]
+    fn sharded_mirror_node_reflects_like_single() {
+        // The same topology behaves identically whether the service node
+        // is a single instance or a sharded engine (mirror is stateless).
+        let run = |shards: Option<usize>| {
+            let mut net = NetSim::new();
+            let h = net.add_host("h", 1);
+            let svc = mirror_service();
+            let m = match shards {
+                None => net.add_service("mirror", &svc, 4).unwrap(),
+                Some(n) => net.add_service_sharded("mirror", &svc, 4, n).unwrap(),
+            };
+            net.link(h, 0, m, 2, 500.0, 10.0);
+            for i in 0..6u8 {
+                net.send(
+                    h,
+                    0,
+                    Frame::new(vec![i; 60 + i as usize * 9]),
+                    i as f64 * 1e4,
+                );
+            }
+            net.run_until(1e9).unwrap();
+            net.inbox(h)
+        };
+        let single = run(None);
+        let sharded = run(Some(4));
+        assert_eq!(single.len(), 6);
+        assert_eq!(single, sharded);
+    }
+
+    #[test]
+    fn sharded_node_exposes_engine() {
+        let mut net = NetSim::new();
+        let m = net
+            .add_service_sharded("mirror", &mirror_service(), 4, 3)
+            .unwrap();
+        assert_eq!(net.sharded_mut(m).unwrap().num_shards(), 3);
+        assert!(net.service_mut(m).is_none());
     }
 
     #[test]

@@ -261,6 +261,7 @@ impl RtlMachine {
                     let data = &mut self.state.arrays[arr.0 as usize];
                     if i < data.len() {
                         data[i] = v;
+                        self.state.note_arr_write(arr.0 as usize, i);
                     }
                     pc += 1;
                 }
@@ -340,10 +341,26 @@ mod tests {
             pb.thread("main", body);
             pb
         };
-        let mut loose = rtl(&mk(), CostModel { period_units: 10_000, clock_hz: 200_000_000 });
-        let mut tight = rtl(&mk(), CostModel { period_units: 8, clock_hz: 200_000_000 });
-        loose.run_cycles(1000, &mut NullEnv, &mut NullObserver).unwrap();
-        tight.run_cycles(1000, &mut NullEnv, &mut NullObserver).unwrap();
+        let mut loose = rtl(
+            &mk(),
+            CostModel {
+                period_units: 10_000,
+                clock_hz: 200_000_000,
+            },
+        );
+        let mut tight = rtl(
+            &mk(),
+            CostModel {
+                period_units: 8,
+                clock_hz: 200_000_000,
+            },
+        );
+        loose
+            .run_cycles(1000, &mut NullEnv, &mut NullObserver)
+            .unwrap();
+        tight
+            .run_cycles(1000, &mut NullEnv, &mut NullObserver)
+            .unwrap();
         assert_eq!(loose.state().vars[0].to_u64(), 30);
         assert_eq!(tight.state().vars[0].to_u64(), 30);
         assert!(tight.cycle() > loose.cycle());
@@ -381,7 +398,9 @@ mod tests {
         };
         let prog = mk().build().unwrap();
         let mut interp = Machine::new(kiwi_ir::flatten(&prog).unwrap());
-        interp.run_cycles(100, &mut NullEnv, &mut NullObserver).unwrap();
+        interp
+            .run_cycles(100, &mut NullEnv, &mut NullObserver)
+            .unwrap();
 
         let mut m = rtl(&mk(), CostModel::default());
         m.run_cycles(1000, &mut NullEnv, &mut NullObserver).unwrap();

@@ -16,11 +16,11 @@
 //! All protocols are level-based (request/ready), so they tolerate the
 //! extra states inserted by the scheduler's budget cuts.
 
+use emu_types::checksum::PEARSON_TABLE;
+use emu_types::Bits;
 use kiwi::resources::IpBlock;
 use kiwi_ir::interp::{Env, MachineState};
 use kiwi_ir::program::Program;
-use emu_types::checksum::PEARSON_TABLE;
-use emu_types::Bits;
 use std::collections::VecDeque;
 
 /// A steppable IP block bound to a signal prefix.
@@ -138,7 +138,12 @@ impl CamModel {
 
     /// Declares the CAM's ports on a program builder; returns nothing, the
     /// program looks signals up by name.
-    pub fn declare_ports(pb: &mut kiwi_ir::ProgramBuilder, prefix: &str, key_bits: u16, value_bits: u16) {
+    pub fn declare_ports(
+        pb: &mut kiwi_ir::ProgramBuilder,
+        prefix: &str,
+        key_bits: u16,
+        value_bits: u16,
+    ) {
         pb.sig_out(&format!("{prefix}_lookup_en"), 1);
         pb.sig_out(&format!("{prefix}_lookup_key"), key_bits);
         pb.sig_out(&format!("{prefix}_write_en"), 1);
@@ -303,8 +308,16 @@ impl IpBlockModel for PearsonHashModel {
             self.fed += 1;
         }
 
-        st.drive(prog, &format!("{p}_init_ready"), Bits::from_bool(self.init_ready));
-        st.drive(prog, &format!("{p}_digest"), Bits::from_u64(u64::from(self.h), 8));
+        st.drive(
+            prog,
+            &format!("{p}_init_ready"),
+            Bits::from_bool(self.init_ready),
+        );
+        st.drive(
+            prog,
+            &format!("{p}_digest"),
+            Bits::from_u64(u64::from(self.h), 8),
+        );
     }
 
     fn resources(&self) -> IpBlock {
@@ -384,8 +397,16 @@ impl IpBlockModel for FifoModel {
             .cloned()
             .unwrap_or_else(|| Bits::zero(self.width));
         st.drive(prog, &format!("{p}_pop_data"), head);
-        st.drive(prog, &format!("{p}_empty"), Bits::from_bool(self.q.is_empty()));
-        st.drive(prog, &format!("{p}_full"), Bits::from_bool(self.q.len() >= self.depth));
+        st.drive(
+            prog,
+            &format!("{p}_empty"),
+            Bits::from_bool(self.q.is_empty()),
+        );
+        st.drive(
+            prog,
+            &format!("{p}_full"),
+            Bits::from_bool(self.q.len() >= self.depth),
+        );
     }
 
     fn resources(&self) -> IpBlock {
@@ -468,7 +489,11 @@ impl IpBlockModel for NaughtyQModel {
                 self.slots[idx] = Some(v);
                 self.order.retain(|&i| i != idx);
                 self.order.push_back(idx);
-                st.drive(prog, &format!("{p}_idx_out"), Bits::from_u64(idx as u64, 16));
+                st.drive(
+                    prog,
+                    &format!("{p}_idx_out"),
+                    Bits::from_u64(idx as u64, 16),
+                );
             }
             2 => {
                 // Read.
@@ -567,7 +592,7 @@ impl IpBlockModel for BramModel {
 mod tests {
     use super::*;
     use kiwi_ir::dsl::*;
-    use kiwi_ir::interp::{NullObserver};
+    use kiwi_ir::interp::NullObserver;
     use kiwi_ir::{Machine, ProgramBuilder};
 
     #[test]

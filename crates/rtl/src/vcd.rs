@@ -6,9 +6,9 @@
 //! cycle-accurate simulator. The writer records every register and output
 //! signal each sampled cycle, emitting changes only.
 
+use emu_types::Bits;
 use kiwi_ir::interp::MachineState;
 use kiwi_ir::program::Program;
-use emu_types::Bits;
 use std::fmt::Write as _;
 
 /// Incremental VCD writer over a program's registers and output signals.

@@ -80,14 +80,23 @@ pub fn lru_cache() -> Service {
                 vec![
                     assign(b, dp.byte_dyn(var(idx))),
                     if_then(
-                        bor(eq(var(b), lit(b' ' as u64, 8)), eq(var(b), lit(b'\r' as u64, 8))),
+                        bor(
+                            eq(var(b), lit(b' ' as u64, 8)),
+                            eq(var(b), lit(b'\r' as u64, 8)),
+                        ),
                         vec![break_loop()],
                     ),
                     if_then(
                         ge(var(klen), lit(MAX_KEY as u64, 8)),
                         vec![assign(bad, tru()), break_loop()],
                     ),
-                    assign(key, bor(shl(var(key), lit(8, 8)), resize(var(b), (MAX_KEY as u16) * 8))),
+                    assign(
+                        key,
+                        bor(
+                            shl(var(key), lit(8, 8)),
+                            resize(var(b), (MAX_KEY as u16) * 8),
+                        ),
+                    ),
                     assign(klen, add(var(klen), lit(1, 8))),
                     assign(idx, add(var(idx), lit(1, 16))),
                     pause(),
@@ -112,7 +121,10 @@ pub fn lru_cache() -> Service {
                 resize(
                     shr(
                         var(key),
-                        mul(sub(resize(var(klen), 16), add(var(idx), lit(1, 16))), lit(8, 16)),
+                        mul(
+                            sub(resize(var(klen), 16), add(var(idx), lit(1, 16))),
+                            lit(8, 16),
+                        ),
                     ),
                     8,
                 ),
@@ -122,7 +134,10 @@ pub fn lru_cache() -> Service {
         ],
     ));
     let mid = pb.reg("mid", 16);
-    hit_reply.push(assign(mid, add(lit((CMD + 6) as u64, 16), resize(var(klen), 16))));
+    hit_reply.push(assign(
+        mid,
+        add(lit((CMD + 6) as u64, 16), resize(var(klen), 16)),
+    ));
     for (i, byte) in b" 0 8\r\n".iter().enumerate() {
         hit_reply.push(dp.set8_dyn(add(var(mid), lit(i as u64, 16)), lit(u64::from(*byte), 8)));
     }
@@ -193,11 +208,18 @@ pub fn lru_cache() -> Service {
     for _ in 0..8 {
         find_data.push(assign(
             value,
-            bor(shl(var(value), lit(8, 8)), resize(dp.byte_dyn(var(idx)), 64)),
+            bor(
+                shl(var(value), lit(8, 8)),
+                resize(dp.byte_dyn(var(idx)), 64),
+            ),
         ));
         find_data.push(assign(idx, add(var(idx), lit(1, 16))));
     }
-    find_data.extend(lru.cache(cam_key.clone(), concat(cam_key.clone(), var(value)), idx_scratch));
+    find_data.extend(lru.cache(
+        cam_key.clone(),
+        concat(cam_key.clone(), var(value)),
+        idx_scratch,
+    ));
     find_data.push(dp.set_output_port(lit(u64::from(SERVER_PORT), 8)));
     find_data.extend(dp.transmit(dp.rx_len()));
     set_body.push(if_else(var(bad), miss_fwd.clone(), find_data));
@@ -209,7 +231,10 @@ pub fn lru_cache() -> Service {
     from_server.extend(dp.transmit(dp.rx_len()));
 
     let is_mc = band(
-        band(dp.ethertype_is(ether_type::IPV4), ip.protocol_is(ip_proto::UDP)),
+        band(
+            dp.ethertype_is(ether_type::IPV4),
+            ip.protocol_is(ip_proto::UDP),
+        ),
         band(
             eq(udp.dst_port(), lit(u64::from(port::MEMCACHED), 16)),
             lnot(ip.has_options()),
@@ -234,8 +259,18 @@ pub fn lru_cache() -> Service {
     let prog = pb.build().expect("cache program is well-formed");
     Service::with_env(prog, || {
         let mut env = IpEnv::new();
-        env.attach(Box::new(CamModel::new("lru_cam", 2 * CACHE_SLOTS, CAM_KEY_BITS, 16, false)));
-        env.attach(Box::new(NaughtyQModel::new("lru_q", CACHE_SLOTS, TAGGED_BITS)));
+        env.attach(Box::new(CamModel::new(
+            "lru_cam",
+            2 * CACHE_SLOTS,
+            CAM_KEY_BITS,
+            16,
+            false,
+        )));
+        env.attach(Box::new(NaughtyQModel::new(
+            "lru_q",
+            CACHE_SLOTS,
+            TAGGED_BITS,
+        )));
         env
     })
 }
@@ -260,7 +295,10 @@ mod tests {
         assert_eq!(out.tx.len(), 1);
         assert_eq!(out.tx[0].ports, 1 << SERVER_PORT);
         // Forwarded unchanged.
-        assert_eq!(out.tx[0].frame.bytes(), client_frame("get foo\r\n", 1).bytes());
+        assert_eq!(
+            out.tx[0].frame.bytes(),
+            client_frame("get foo\r\n", 1).bytes()
+        );
         assert_eq!(inst.read_reg("n_misses").unwrap().to_u64(), 1);
     }
 
@@ -276,7 +314,10 @@ mod tests {
         // GET is now served from the dataplane, back to the client port.
         let out = inst.process(&client_frame("get foo\r\n", 2)).unwrap();
         assert_eq!(out.tx[0].ports, 1 << 2);
-        assert_eq!(reply_text(&out.tx[0].frame), b"VALUE foo 0 8\r\nAAAABBBB\r\nEND\r\n");
+        assert_eq!(
+            reply_text(&out.tx[0].frame),
+            b"VALUE foo 0 8\r\nAAAABBBB\r\nEND\r\n"
+        );
         assert_eq!(inst.read_reg("n_hits").unwrap().to_u64(), 1);
     }
 
@@ -287,8 +328,11 @@ mod tests {
         // Fill the cache beyond capacity with distinct keys.
         for i in 0..(CACHE_SLOTS + 1) {
             let k = format!("k{i:03}");
-            inst.process(&client_frame(&format!("set {k} 0 0 8\r\nVVVV{i:04}\r\n"), i as u16))
-                .unwrap();
+            inst.process(&client_frame(
+                &format!("set {k} 0 0 8\r\nVVVV{i:04}\r\n"),
+                i as u16,
+            ))
+            .unwrap();
         }
         // k000 was least recently used → must now miss.
         let out = inst.process(&client_frame("get k000\r\n", 999)).unwrap();
@@ -305,8 +349,11 @@ mod tests {
         let mut inst = svc.instantiate(Target::Fpga).unwrap();
         for i in 0..CACHE_SLOTS {
             let k = format!("k{i:03}");
-            inst.process(&client_frame(&format!("set {k} 0 0 8\r\nVVVV{i:04}\r\n"), i as u16))
-                .unwrap();
+            inst.process(&client_frame(
+                &format!("set {k} 0 0 8\r\nVVVV{i:04}\r\n"),
+                i as u16,
+            ))
+            .unwrap();
         }
         // Touch k000 so k001 becomes the LRU victim.
         inst.process(&client_frame("get k000\r\n", 500)).unwrap();

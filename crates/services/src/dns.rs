@@ -165,7 +165,10 @@ pub fn dns_server(zone: Vec<(String, Ipv4)>) -> Service {
 
     // --- Main loop -----------------------------------------------------
     let is_query = band(
-        band(dp.ethertype_is(ether_type::IPV4), ip.protocol_is(ip_proto::UDP)),
+        band(
+            dp.ethertype_is(ether_type::IPV4),
+            ip.protocol_is(ip_proto::UDP),
+        ),
         band(
             eq(udp.dst_port(), lit(u64::from(port::DNS), 16)),
             band(
@@ -214,8 +217,26 @@ pub fn query_frame(name: &str, id: u16) -> emu_types::Frame {
     let total = 20 + udp_len;
 
     let mut iphdr = vec![
-        0x45, 0x00, (total >> 8) as u8, total as u8, 0x00, id as u8, 0x40, 0x00, 0x40, 0x11, 0, 0,
-        10, 0, 0, 50, 10, 0, 0, 53,
+        0x45,
+        0x00,
+        (total >> 8) as u8,
+        total as u8,
+        0x00,
+        id as u8,
+        0x40,
+        0x00,
+        0x40,
+        0x11,
+        0,
+        0,
+        10,
+        0,
+        0,
+        50,
+        10,
+        0,
+        0,
+        53,
     ];
     let c = checksum::internet_checksum(&iphdr);
     iphdr[10] = (c >> 8) as u8;

@@ -68,7 +68,11 @@ fn parse_subnet(s: &str) -> Result<(Ipv4, u8), String> {
     if len > 32 {
         return Err(format!("prefix length {len} out of range"));
     }
-    Ok((ip.parse().map_err(|e: emu_types::AddrParseError| e.to_string())?, len))
+    Ok((
+        ip.parse()
+            .map_err(|e: emu_types::AddrParseError| e.to_string())?,
+        len,
+    ))
 }
 
 fn parse_ports(s: &str) -> Result<(u16, u16), String> {
@@ -166,7 +170,11 @@ fn rule_match_expr(rule: &FilterRule, dp: &emu_core::Dataplane, ip: &Ipv4Wrapper
         if len == 0 {
             return tru();
         }
-        let mask = if len == 32 { u32::MAX } else { u32::MAX << (32 - u32::from(len)) };
+        let mask = if len == 32 {
+            u32::MAX
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        };
         eq(
             band(addr, lit(u64::from(mask), 32)),
             lit(u64::from(net.0 & mask), 32),
@@ -266,7 +274,10 @@ pub fn filter_switch(rules: &[FilterRule], default: FilterAction) -> Service {
 
 /// Parses a list of rule lines and builds the filter switch.
 pub fn filter_switch_from_lines(lines: &[&str], default: FilterAction) -> Result<Service, String> {
-    let rules = lines.iter().map(|l| parse_rule(l)).collect::<Result<Vec<_>, _>>()?;
+    let rules = lines
+        .iter()
+        .map(|l| parse_rule(l))
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(filter_switch(&rules, default))
 }
 
@@ -315,7 +326,11 @@ mod tests {
         // Port 80: dropped.
         assert!(inst.process(&syn_frame(4000, 80, 1)).unwrap().tx.is_empty());
         // Port 443: dropped (range inclusive).
-        assert!(inst.process(&syn_frame(4000, 443, 1)).unwrap().tx.is_empty());
+        assert!(inst
+            .process(&syn_frame(4000, 443, 1))
+            .unwrap()
+            .tx
+            .is_empty());
         // Port 22: forwarded.
         assert_eq!(inst.process(&syn_frame(4000, 22, 1)).unwrap().tx.len(), 1);
         assert_eq!(inst.read_reg("n_dropped").unwrap().to_u64(), 2);
@@ -329,8 +344,20 @@ mod tests {
         )
         .unwrap();
         let mut inst = svc.instantiate(Target::Fpga).unwrap();
-        let inside = udp_frame("192.168.9.9".parse().unwrap(), 1, "1.1.1.1".parse().unwrap(), 2, 0);
-        let outside = udp_frame("172.16.0.1".parse().unwrap(), 1, "1.1.1.1".parse().unwrap(), 2, 0);
+        let inside = udp_frame(
+            "192.168.9.9".parse().unwrap(),
+            1,
+            "1.1.1.1".parse().unwrap(),
+            2,
+            0,
+        );
+        let outside = udp_frame(
+            "172.16.0.1".parse().unwrap(),
+            1,
+            "1.1.1.1".parse().unwrap(),
+            2,
+            0,
+        );
         assert!(inst.process(&inside).unwrap().tx.is_empty());
         assert_eq!(inst.process(&outside).unwrap().tx.len(), 1);
     }
@@ -350,19 +377,31 @@ mod tests {
         let mut inst = svc.instantiate(Target::Fpga).unwrap();
         let ping = crate::icmp::echo_request_frame(8, 1); // src 10.0.0.1
         assert_eq!(inst.process(&ping).unwrap().tx.len(), 1, "ICMP accepted");
-        let udp = udp_frame("10.0.0.1".parse().unwrap(), 5, "1.1.1.1".parse().unwrap(), 6, 0);
-        assert!(inst.process(&udp).unwrap().tx.is_empty(), "UDP from 10/8 dropped");
+        let udp = udp_frame(
+            "10.0.0.1".parse().unwrap(),
+            5,
+            "1.1.1.1".parse().unwrap(),
+            6,
+            0,
+        );
+        assert!(
+            inst.process(&udp).unwrap().tx.is_empty(),
+            "UDP from 10/8 dropped"
+        );
     }
 
     #[test]
     fn default_drop_policy() {
-        let svc = filter_switch_from_lines(
-            &["-A FORWARD -p udp -j ACCEPT"],
-            FilterAction::Drop,
-        )
-        .unwrap();
+        let svc =
+            filter_switch_from_lines(&["-A FORWARD -p udp -j ACCEPT"], FilterAction::Drop).unwrap();
         let mut inst = svc.instantiate(Target::Fpga).unwrap();
-        let udp = udp_frame("1.2.3.4".parse().unwrap(), 5, "5.6.7.8".parse().unwrap(), 6, 0);
+        let udp = udp_frame(
+            "1.2.3.4".parse().unwrap(),
+            5,
+            "5.6.7.8".parse().unwrap(),
+            6,
+            0,
+        );
         assert_eq!(inst.process(&udp).unwrap().tx.len(), 1);
         assert!(inst.process(&syn_frame(1, 2, 3)).unwrap().tx.is_empty());
         // Non-IPv4 also hits the default.
@@ -379,7 +418,13 @@ mod tests {
     fn still_a_learning_switch() {
         let svc = filter_switch(&[], FilterAction::Accept);
         let mut inst = svc.instantiate(Target::Fpga).unwrap();
-        let mut a = udp_frame("1.1.1.1".parse().unwrap(), 1, "2.2.2.2".parse().unwrap(), 2, 0);
+        let mut a = udp_frame(
+            "1.1.1.1".parse().unwrap(),
+            1,
+            "2.2.2.2".parse().unwrap(),
+            2,
+            0,
+        );
         let out = inst.process(&a).unwrap();
         assert_eq!(out.tx[0].ports, 0b1110, "unknown dst floods");
         // Teach it the reverse direction and check unicast.

@@ -44,10 +44,7 @@ pub fn icmp_echo() -> Service {
     let mut sum_step = Vec::new();
     let mut sum_expr = var(acc);
     for k in 0..4 {
-        sum_expr = add(
-            sum_expr,
-            resize(word_at(add(var(idx), lit(2 * k, 16))), 32),
-        );
+        sum_expr = add(sum_expr, resize(word_at(add(var(idx), lit(2 * k, 16))), 32));
     }
     sum_step.push(assign(acc, sum_expr));
     sum_step.push(assign(idx, add(var(idx), lit(8, 16))));
@@ -62,13 +59,7 @@ pub fn icmp_echo() -> Service {
         assign(end, add(lit(14, 16), ip.total_len())),
         while_loop(lt(var(idx), var(end)), sum_step),
         // Fold and compare with 0xffff (valid checksum sums to ~0).
-        assign(
-            ok,
-            eq(
-                emu_core::csum::fold16(var(acc)),
-                lit(0xffff, 16),
-            ),
-        ),
+        assign(ok, eq(emu_core::csum::fold16(var(acc)), lit(0xffff, 16))),
     ];
 
     // Reply construction: swap L2/L3 addresses, set type 0, update the
@@ -87,7 +78,10 @@ pub fn icmp_echo() -> Service {
     reply.extend(dp.transmit(dp.rx_len()));
 
     let is_echo_request = band(
-        band(dp.ethertype_is(ether_type::IPV4), ip.protocol_is(ip_proto::ICMP)),
+        band(
+            dp.ethertype_is(ether_type::IPV4),
+            ip.protocol_is(ip_proto::ICMP),
+        ),
         band(eq(icmp.icmp_type(), lit(8, 8)), lnot(ip.has_options())),
     );
 

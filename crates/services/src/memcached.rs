@@ -16,9 +16,9 @@
 //! Table 4: 1.21 µs / 1.932 Mq/s for Emu vs 24.29 µs / 0.876 Mq/s for a
 //! 4-thread Linux memcached.
 
+use emu_core::csum::csum_update_word;
 use emu_core::ipblock::{CamDeleteIf, CamIf};
 use emu_core::proto::{Ipv4Wrapper, UdpWrapper};
-use emu_core::csum::csum_update_word;
 use emu_core::{service_builder, Service};
 use emu_rtl::{CamModel, IpEnv};
 use emu_types::proto::{ether_type, ip_proto, port};
@@ -103,7 +103,10 @@ pub fn memcached() -> Service {
             vec![
                 assign(b, dp.byte_dyn(var(idx))),
                 if_then(
-                    bor(eq(var(b), lit(b' ' as u64, 8)), eq(var(b), lit(b'\r' as u64, 8))),
+                    bor(
+                        eq(var(b), lit(b' ' as u64, 8)),
+                        eq(var(b), lit(b'\r' as u64, 8)),
+                    ),
                     vec![break_loop()],
                 ),
                 if_then(
@@ -112,7 +115,10 @@ pub fn memcached() -> Service {
                 ),
                 assign(
                     key,
-                    bor(shl(var(key), lit(8, 8)), resize(var(b), (MAX_KEY as u16) * 8)),
+                    bor(
+                        shl(var(key), lit(8, 8)),
+                        resize(var(b), (MAX_KEY as u16) * 8),
+                    ),
                 ),
                 assign(klen, add(var(klen), lit(1, 8))),
                 assign(idx, add(var(idx), lit(1, 16))),
@@ -150,7 +156,10 @@ pub fn memcached() -> Service {
     // --- GET --------------------------------------------------------------
     // "get <key>\r\n" → hit: "VALUE <key> 0 8\r\n<8B>\r\nEND\r\n",
     //                   miss: "END\r\n".
-    let mut get_body = vec![assign(n_get, add(var(n_get), lit(1, 32))), assign(idx, lit((CMD + 4) as u64, 16))];
+    let mut get_body = vec![
+        assign(n_get, add(var(n_get), lit(1, 32))),
+        assign(idx, lit((CMD + 4) as u64, 16)),
+    ];
     get_body.extend(parse_key.clone());
     let mut get_ok = cam.lookup(cam_key.clone());
     get_ok.push(assign(hit, cam.matched()));
@@ -185,11 +194,14 @@ pub fn memcached() -> Service {
     let vstart = pb.reg("vstart", 16); // CMD + 6 + klen + 6
     hit_path.push(assign(
         vstart,
-        add(lit((CMD + 6) as u64, 16), add(resize(var(klen), 16), lit(6, 16))),
+        add(
+            lit((CMD + 6) as u64, 16),
+            add(resize(var(klen), 16), lit(6, 16)),
+        ),
     ));
     let tail = pb.reg("tail", 16);
     hit_path.extend(put_ascii_dyn(&dp, vstart, 0, b"")); // anchor (no-op)
-    // " 0 8\r\n" sits right after the key:
+                                                         // " 0 8\r\n" sits right after the key:
     {
         let mid_base = pb.reg("mid_base", 16);
         hit_path.push(assign(
@@ -220,7 +232,10 @@ pub fn memcached() -> Service {
 
     // --- SET ---------------------------------------------------------------
     // "set <key> <flags> <exptime> <bytes>\r\n<8B>\r\n" → "STORED\r\n".
-    let mut set_body = vec![assign(n_set, add(var(n_set), lit(1, 32))), assign(idx, lit((CMD + 4) as u64, 16))];
+    let mut set_body = vec![
+        assign(n_set, add(var(n_set), lit(1, 32))),
+        assign(idx, lit((CMD + 4) as u64, 16)),
+    ];
     set_body.extend(parse_key.clone());
     // Skip to the end of the command line ('\n'), then read 8 data bytes.
     let mut skip_line = vec![while_loop(
@@ -268,7 +283,10 @@ pub fn memcached() -> Service {
 
     // --- dispatch -------------------------------------------------------------
     let is_mc = band(
-        band(dp.ethertype_is(ether_type::IPV4), ip.protocol_is(ip_proto::UDP)),
+        band(
+            dp.ethertype_is(ether_type::IPV4),
+            ip.protocol_is(ip_proto::UDP),
+        ),
         band(
             eq(udp.dst_port(), lit(u64::from(port::MEMCACHED), 16)),
             lnot(ip.has_options()),
@@ -311,8 +329,26 @@ pub fn request_frame(body: &str, req_id: u16) -> emu_types::Frame {
     let udp_len = 8 + mc_payload_len;
     let total = 20 + udp_len;
     let mut iphdr = vec![
-        0x45, 0x00, (total >> 8) as u8, total as u8, 0x00, 0x01, 0x40, 0x00, 0x40, 0x11, 0, 0, 10,
-        0, 0, 9, 10, 0, 0, 10,
+        0x45,
+        0x00,
+        (total >> 8) as u8,
+        total as u8,
+        0x00,
+        0x01,
+        0x40,
+        0x00,
+        0x40,
+        0x11,
+        0,
+        0,
+        10,
+        0,
+        0,
+        9,
+        10,
+        0,
+        0,
+        10,
     ];
     let c = checksum::internet_checksum(&iphdr);
     iphdr[10] = (c >> 8) as u8;
@@ -364,9 +400,14 @@ mod tests {
             b"VALUE foo 0 8\r\nAAAABBBB\r\nEND\r\n"
         );
         // The reply echoes the request id of the UDP frame header.
-        assert_eq!(emu_types::bitutil::get16(out.tx[0].frame.bytes(), MC_HDR), 2);
+        assert_eq!(
+            emu_types::bitutil::get16(out.tx[0].frame.bytes(), MC_HDR),
+            2
+        );
         // IP header checksum still valid after length rewrite.
-        assert!(emu_types::checksum::verify(&out.tx[0].frame.bytes()[14..34]));
+        assert!(emu_types::checksum::verify(
+            &out.tx[0].frame.bytes()[14..34]
+        ));
     }
 
     #[test]
@@ -401,7 +442,10 @@ mod tests {
         inst.process(&request_frame("set k 0 0 8\r\nNEWVALUE\r\n", 2))
             .unwrap();
         let out = inst.process(&request_frame("get k\r\n", 3)).unwrap();
-        assert_eq!(reply_text(&out.tx[0].frame), b"VALUE k 0 8\r\nNEWVALUE\r\nEND\r\n");
+        assert_eq!(
+            reply_text(&out.tx[0].frame),
+            b"VALUE k 0 8\r\nNEWVALUE\r\nEND\r\n"
+        );
     }
 
     #[test]

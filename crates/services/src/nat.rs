@@ -16,6 +16,31 @@
 //! header checksum and the L4 checksum are updated incrementally
 //! (RFC 1624) — the output frames carry *valid* checksums, which the
 //! tests verify with an independent software implementation.
+//!
+//! # Flow-affinity requirements under sharding
+//!
+//! NAT is the canonical *stateful* service for the scale-out engine
+//! (`emu_core::ShardedEngine`): its translation tables are keyed by flow,
+//! so partitioning state across shards is correct **iff every frame of a
+//! flow reaches the shard that allocated the flow's mapping**. The
+//! engine's RSS dispatch (`emu_core::flow_hash`) guarantees this for
+//! outbound traffic — one 5-tuple always hashes to one shard — which
+//! `tests/sharding.rs` asserts by checking that repeated frames of each
+//! flow keep their allocated external port.
+//!
+//! Two sharding caveats are inherent to NAT rather than to the engine:
+//!
+//! * **Return traffic** carries the *public* address and the *allocated
+//!   external port*, so its 5-tuple differs from the outbound one and
+//!   hashes independently. A deployment must steer inbound frames by
+//!   external port (the reverse-table key) to the owning shard — e.g.
+//!   partitioning the ephemeral-port range per shard — rather than by
+//!   plain RSS. The single-pipeline tests cover the inbound path; the
+//!   sharded tests exercise the outbound half that RSS handles.
+//! * **Ephemeral-port allocation** is per shard: two shards can hand out
+//!   the same external port to different flows. Per-shard disjoint port
+//!   ranges (shard k allocating `FIRST_EPHEMERAL + k`, step N) would
+//!   restore global uniqueness without cross-shard coordination.
 
 use emu_core::csum::{csum_update_u32, csum_update_word};
 use emu_core::ipblock::CamIf;
@@ -43,7 +68,11 @@ pub fn nat(public_ip: Ipv4) -> Service {
     // Reverse table: {ext_port, proto} → {int_ip, int_port, phys_port}.
     let rev = CamIf::declare(&mut pb, "rev", 24, 56);
 
-    let next_port = pb.reg_init("next_port", 16, emu_types::Bits::from_u64(u64::from(FIRST_EPHEMERAL), 16));
+    let next_port = pb.reg_init(
+        "next_port",
+        16,
+        emu_types::Bits::from_u64(u64::from(FIRST_EPHEMERAL), 16),
+    );
     let proto = pb.reg("proto", 8);
     let l4_sport = pb.reg("l4_sport", 16);
     let l4_dport = pb.reg("l4_dport", 16);
@@ -130,7 +159,12 @@ pub fn nat(public_ip: Ipv4) -> Service {
     ));
     outbound.push(if_then(lnot(var(hit)), allocate));
     // Rewrite source: csum fixes first (they need the old values).
-    outbound.extend(fix_l4_csum(ip.src(), pub_ip.clone(), var(l4_sport), var(ext_port)));
+    outbound.extend(fix_l4_csum(
+        ip.src(),
+        pub_ip.clone(),
+        var(l4_sport),
+        var(ext_port),
+    ));
     outbound.extend(dp.set16_via(
         ip_csum_reg,
         offset::IPV4_CSUM,
@@ -151,7 +185,12 @@ pub fn nat(public_ip: Ipv4) -> Service {
     let int_port = slice(var(mapping), 23, 8);
     let phys_port = slice(var(mapping), 7, 0);
     let mut translate = Vec::new();
-    translate.extend(fix_l4_csum(ip.dst(), int_ip.clone(), var(l4_dport), int_port.clone()));
+    translate.extend(fix_l4_csum(
+        ip.dst(),
+        int_ip.clone(),
+        var(l4_dport),
+        int_port.clone(),
+    ));
     translate.extend(dp.set16_via(
         ip_csum_reg,
         offset::IPV4_CSUM,
@@ -168,20 +207,13 @@ pub fn nat(public_ip: Ipv4) -> Service {
     // --- main loop ----------------------------------------------------------
     let translatable = band(
         band(dp.ethertype_is(ether_type::IPV4), lnot(ip.has_options())),
-        bor(
-            ip.protocol_is(ip_proto::TCP),
-            ip.protocol_is(ip_proto::UDP),
-        ),
+        bor(ip.protocol_is(ip_proto::TCP), ip.protocol_is(ip_proto::UDP)),
     );
     let mut handle = vec![
         assign(proto, ip.protocol()),
         assign(l4_sport, dp.get16(offset::L4)),
         assign(l4_dport, dp.get16(offset::L4 + 2)),
-        if_else(
-            eq(dp.input_port(), lit(0, 8)),
-            inbound,
-            outbound,
-        ),
+        if_else(eq(dp.input_port(), lit(0, 8)), inbound, outbound),
     ];
     let mut body = vec![dp.rx_wait(), label("rx")];
     body.push(if_then(translatable, {
@@ -207,8 +239,26 @@ pub fn udp_frame(src: Ipv4, sport: u16, dst: Ipv4, dport: u16, in_port: u8) -> e
     let udp_len = 8 + payload_data.len();
     let total = 20 + udp_len;
     let mut iphdr = vec![
-        0x45, 0x00, (total >> 8) as u8, total as u8, 0x11, 0x22, 0x40, 0x00, 0x40, 0x11, 0, 0, 0,
-        0, 0, 0, 0, 0, 0, 0,
+        0x45,
+        0x00,
+        (total >> 8) as u8,
+        total as u8,
+        0x11,
+        0x22,
+        0x40,
+        0x00,
+        0x40,
+        0x11,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
     ];
     iphdr[12..16].copy_from_slice(&src.octets());
     iphdr[16..20].copy_from_slice(&dst.octets());
@@ -358,7 +408,10 @@ mod tests {
         assert_eq!(out.tx.len(), 1);
         let b = out.tx[0].frame.bytes();
         assert_eq!(&b[26..30], &public().octets());
-        assert!(crate::tcp_ping::tcp_checksum_valid(b), "bad TCP csum after NAT");
+        assert!(
+            crate::tcp_ping::tcp_checksum_valid(b),
+            "bad TCP csum after NAT"
+        );
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //!   Figure 2 fragment: learn the source, look up the destination,
 //!   forward or broadcast, with the `free` pointer wrap of line 17.
 
+use emu_core::ipblock::CamIf;
 use emu_core::{service_builder, Service};
 use emu_rtl::{CamModel, IpEnv};
-use emu_core::ipblock::CamIf;
 use kiwi::resources::IpBlock;
 use kiwi_ir::dsl::*;
 use kiwi_ir::program::ArrayBacking;
@@ -104,7 +104,10 @@ fn lut_match(arr: ArrId, lo: usize, hi: usize, key: &Expr) -> (Expr, Expr) {
 
 /// Builds the behavioural-CAM switch with `entries` table slots.
 pub fn switch_behavioural(entries: usize) -> Service {
-    assert!(entries.is_power_of_two() && entries >= 2, "entries must be a power of two");
+    assert!(
+        entries.is_power_of_two() && entries >= 2,
+        "entries must be a power of two"
+    );
     let (mut pb, dp) = service_builder("emu_switch_behavioural", FRAME_CAP);
     let lut = pb.array("LUT", 64, entries, ArrayBacking::Cam);
     let free = pb.reg("free", 16);
@@ -209,7 +212,9 @@ mod tests {
             let mut reference = MacTable::new(TABLE_ENTRIES);
             let mut x = 0x12345u64;
             for i in 0..60 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let src = (x >> 10) % 8;
                 let dst = (x >> 20) % 8;
                 let port = (i % 4) as u8;
@@ -218,7 +223,10 @@ mod tests {
                 let want = switch_forward(&mut reference, &f, 4);
                 let got_ports = got.tx.first().map(|t| t.ports).unwrap_or(0);
                 let want_ports = want.first().map(|t| t.ports).unwrap_or(0);
-                assert_eq!(got_ports, want_ports, "frame {i}: src {src} dst {dst} port {port}");
+                assert_eq!(
+                    got_ports, want_ports,
+                    "frame {i}: src {src} dst {dst} port {port}"
+                );
             }
         }
     }

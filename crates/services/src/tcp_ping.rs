@@ -57,10 +57,19 @@ pub fn tcp_ping() -> Service {
             acc,
             add(
                 add(
-                    add(resize(slice(ip.src(), 31, 16), 32), resize(slice(ip.src(), 15, 0), 32)),
-                    add(resize(slice(ip.dst(), 31, 16), 32), resize(slice(ip.dst(), 15, 0), 32)),
+                    add(
+                        resize(slice(ip.src(), 31, 16), 32),
+                        resize(slice(ip.src(), 15, 0), 32),
+                    ),
+                    add(
+                        resize(slice(ip.dst(), 31, 16), 32),
+                        resize(slice(ip.dst(), 15, 0), 32),
+                    ),
                 ),
-                add(lit(u64::from(ip_proto::TCP), 32), resize(tcp_len.clone(), 32)),
+                add(
+                    lit(u64::from(ip_proto::TCP), 32),
+                    resize(tcp_len.clone(), 32),
+                ),
             ),
         ),
         assign(idx, lit(offset::L4 as u64, 16)),
@@ -97,7 +106,10 @@ pub fn tcp_ping() -> Service {
     reply.extend(dp.transmit(dp.rx_len()));
 
     let is_syn = band(
-        band(dp.ethertype_is(ether_type::IPV4), ip.protocol_is(ip_proto::TCP)),
+        band(
+            dp.ethertype_is(ether_type::IPV4),
+            ip.protocol_is(ip_proto::TCP),
+        ),
         band(
             band(tcp.syn(), lnot(tcp.ack_flag())),
             lnot(ip.has_options()),
@@ -132,7 +144,7 @@ pub fn syn_frame(sport: u16, dport: u16, seq: u32) -> emu_types::Frame {
     tcphdr[12] = 5 << 4; // data offset 5
     tcphdr[13] = 0x02; // SYN
     emu_types::bitutil::set16(&mut tcphdr, 14, 0xffff); // window
-    // Pseudo-header checksum.
+                                                        // Pseudo-header checksum.
     let mut ph = Vec::new();
     ph.extend_from_slice(&iphdr[12..20]);
     ph.push(0);

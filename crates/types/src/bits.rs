@@ -45,7 +45,7 @@ impl Bits {
     ///
     /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
     pub fn zero(width: u16) -> Self {
-        assert!(width >= 1 && width <= MAX_WIDTH, "invalid width {width}");
+        assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
         Bits {
             width,
             limbs: [0; LIMBS],
@@ -154,7 +154,7 @@ impl Bits {
     pub fn resize(&self, width: u16) -> Self {
         let mut b = self.clone();
         b.width = width;
-        assert!(width >= 1 && width <= MAX_WIDTH, "invalid width {width}");
+        assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
         b.normalize();
         b
     }
@@ -257,9 +257,9 @@ impl Bits {
         }
         let mut out = Bits::zero(self.width);
         let mut carry = 0u128;
-        for i in 0..LIMBS {
-            let v = acc[i] + carry;
-            out.limbs[i] = v as u64;
+        for (slot, &a) in out.limbs.iter_mut().zip(acc.iter()) {
+            let v = a + carry;
+            *slot = v as u64;
             carry = v >> 64;
         }
         out.normalize();
@@ -500,8 +500,8 @@ mod tests {
     fn shifts() {
         let a = Bits::from_u64(1, 128);
         assert_eq!(a.shl(100).shr(100).to_u64(), 1);
-        assert_eq!(a.shl(127).bit(127), true);
-        assert_eq!(a.shl(128).is_zero(), true);
+        assert!(a.shl(127).bit(127));
+        assert!(a.shl(128).is_zero());
         assert_eq!(a.shl(64).to_u128(), 1u128 << 64);
         assert!(Bits::from_u64(0xff, 8).shr(8).is_zero());
         // Shift far beyond the limb count must not panic and yields zero.

@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn tail_ratio_reflects_spread() {
         let tight: Vec<f64> = vec![100.0; 98].into_iter().chain([104.0, 104.0]).collect();
-        let heavy: Vec<f64> = vec![100.0; 98].into_iter().chain([1000.0, 1000.0]).collect();
+        let heavy: Vec<f64> = vec![100.0; 98]
+            .into_iter()
+            .chain([1000.0, 1000.0])
+            .collect();
         let t = Summary::of(&tight).unwrap().tail_to_average();
         let h = Summary::of(&heavy).unwrap().tail_to_average();
         assert!(t < 1.05);

@@ -65,5 +65,8 @@ fn main() {
     let dir_fsm = compile(&svc.program).expect("compile");
     let b = estimate(&base_fsm, &[]).logic as f64;
     let d = estimate(&dir_fsm, &[]).logic as f64;
-    println!("\ncontroller logic overhead: {:.1}% (paper Table 5: ±a few %)", 100.0 * d / b - 100.0);
+    println!(
+        "\ncontroller logic overhead: {:.1}% (paper Table 5: ±a few %)",
+        100.0 * d / b - 100.0
+    );
 }

@@ -26,12 +26,24 @@ fn main() {
     let mut inst = svc.instantiate(Target::Fpga).expect("instantiate");
     println!("== learning demonstration ==");
     let out = inst.process(&frame(0xA, 0xB, 0)).expect("frame");
-    println!("A@0 -> B : out ports {:#06b} (flooded: B unknown)", out.tx[0].ports);
+    println!(
+        "A@0 -> B : out ports {:#06b} (flooded: B unknown)",
+        out.tx[0].ports
+    );
     let out = inst.process(&frame(0xB, 0xA, 1)).expect("frame");
-    println!("B@1 -> A : out ports {:#06b} (unicast: A learned)", out.tx[0].ports);
+    println!(
+        "B@1 -> A : out ports {:#06b} (unicast: A learned)",
+        out.tx[0].ports
+    );
     let out = inst.process(&frame(0xA, 0xB, 0)).expect("frame");
-    println!("A@0 -> B : out ports {:#06b} (unicast: B learned)", out.tx[0].ports);
-    println!("module latency: {} cycles (paper: 8, reference: 6)", out.cycles);
+    println!(
+        "A@0 -> B : out ports {:#06b} (unicast: B learned)",
+        out.tx[0].ports
+    );
+    println!(
+        "module latency: {} cycles (paper: 8, reference: 6)",
+        out.cycles
+    );
 
     // --- line-rate sweep through the pipeline ---------------------------
     let inst = svc.instantiate(Target::Fpga).expect("instantiate");
@@ -62,9 +74,18 @@ fn main() {
     let emu_res = estimate(&fsm, &switch_ip_cam_blocks());
     let ref_res = RefSwitchCore::new().resources();
     println!("\n== utilization ==");
-    println!("emu switch     : logic {:>6}, memory {:>4}", emu_res.logic, emu_res.memory);
-    println!("reference (HDL): logic {:>6}, memory {:>4}", ref_res.logic, ref_res.memory);
+    println!(
+        "emu switch     : logic {:>6}, memory {:>4}",
+        emu_res.logic, emu_res.memory
+    );
+    println!(
+        "reference (HDL): logic {:>6}, memory {:>4}",
+        ref_res.logic, ref_res.memory
+    );
 
     let v = emit(&fsm).expect("emit");
-    println!("\ngenerated Verilog: {} lines (paper: ~500 for the switch)", v.lines().count());
+    println!(
+        "\ngenerated Verilog: {} lines (paper: ~500 for the switch)",
+        v.lines().count()
+    );
 }

@@ -24,7 +24,8 @@ fn main() {
         "get motd\r\n",
     ] {
         let out = inst.process(&request_frame(body, 1)).expect("request");
-        let reply = String::from_utf8_lossy(&reply_text(&out.tx[0].frame)).replace("\r\n", "\\r\\n");
+        let reply =
+            String::from_utf8_lossy(&reply_text(&out.tx[0].frame)).replace("\r\n", "\\r\\n");
         println!("  {:<34} -> {}", body.replace("\r\n", "\\r\\n"), reply);
     }
 
@@ -56,14 +57,23 @@ fn main() {
 
     let host = HostProfile::memcached().latency_run(100_000, 42);
     println!("\n== latency: 90% GET / 10% SET ==");
-    println!("           {:>10} {:>10} {:>10} {:>12}", "mean (us)", "p50 (us)", "p99 (us)", "tail/avg");
+    println!(
+        "           {:>10} {:>10} {:>10} {:>12}",
+        "mean (us)", "p50 (us)", "p99 (us)", "tail/avg"
+    );
     println!(
         "emu (hw) : {:>10.2} {:>10.2} {:>10.2} {:>12.3}",
-        emu.mean / 1e3, emu.p50 / 1e3, emu.p99 / 1e3, emu.tail_to_average()
+        emu.mean / 1e3,
+        emu.p50 / 1e3,
+        emu.p99 / 1e3,
+        emu.tail_to_average()
     );
     println!(
         "linux    : {:>10.2} {:>10.2} {:>10.2} {:>12.3}",
-        host.mean / 1e3, host.p50 / 1e3, host.p99 / 1e3, host.tail_to_average()
+        host.mean / 1e3,
+        host.p50 / 1e3,
+        host.p99 / 1e3,
+        host.tail_to_average()
     );
     println!("\npaper (Table 4): emu 1.21/1.26 us, host 24.29/28.65 us;");
     println!("'even an extra 20 us are enough to lose 25% throughput' (§4.3)");

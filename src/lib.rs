@@ -36,6 +36,38 @@
 //! let out = inst.process(&frame).unwrap();
 //! assert_eq!(out.tx[0].ports, 0b1110); // unknown destination floods
 //! ```
+//!
+//! ## Sharding and batching
+//!
+//! The paper's hardware scales by replicating the service pipeline across
+//! parallel datapaths (§5.4 runs one Emu core per 10G port). The same
+//! scale-out is available on every target through
+//! [`ShardedEngine`](stdlib::ShardedEngine): `N` instances of one service
+//! behind an RSS-style flow hash ([`stdlib::flow_hash`] — src/dst MAC,
+//! IPv4 addresses, and TCP/UDP ports), so all frames of one 5-tuple land
+//! on one shard and per-flow state (NAT mappings, cache entries) needs no
+//! cross-shard coordination. Frames move through the
+//! [`process_batch`](stdlib::ServiceInstance::process_batch) API, which
+//! amortizes per-frame setup across back-to-back frames and reports batch
+//! cycle costs for throughput accounting; a shard whose program traps is
+//! poisoned and isolated while its siblings keep serving.
+//!
+//! ```
+//! use emu::prelude::*;
+//!
+//! let svc = emu::services::icmp_echo();
+//! let mut engine = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+//! let pings: Vec<Frame> =
+//!     (0..8).map(|i| emu::services::icmp::echo_request_frame(32, i)).collect();
+//! let report = engine.process_batch(&pings);
+//! assert_eq!(report.ok_count(), 8);
+//! assert!(report.wall_cycles() <= report.shard_cycles.iter().sum::<u64>());
+//! ```
+//!
+//! The Mininet-analogue target participates via
+//! [`simnet::NetSim::add_service_sharded`], and
+//! `cargo run --release -p emu-bench --bin scaling_shards` sweeps shard
+//! counts 1/2/4/8 over the Table 4 services.
 
 pub use direction as debug;
 pub use emu_core as stdlib;
@@ -50,8 +82,8 @@ pub use netsim as simnet;
 
 /// The handful of names nearly every user needs.
 pub mod prelude {
-    pub use direction::{ControllerConfig, Director, DirectionPacket};
-    pub use emu_core::{Service, ServiceInstance, Target};
+    pub use direction::{ControllerConfig, DirectionPacket, Director};
+    pub use emu_core::{Service, ServiceInstance, ShardedBatch, ShardedEngine, Target};
     pub use emu_types::{Frame, Ipv4, MacAddr, Summary};
     pub use kiwi::{compile, emit, estimate, CostModel, IpBlock};
     pub use kiwi_ir::{dsl, ProgramBuilder};

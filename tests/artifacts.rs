@@ -85,7 +85,8 @@ fn state_occupancy_profile_identifies_wait_state() {
     let svc = s::icmp::icmp_echo();
     let fsm = compile(&svc.program).unwrap();
     let mut rtl = emu::rtl::RtlMachine::new(fsm);
-    rtl.run_cycles(500, &mut NullEnv, &mut NullObserver).unwrap();
+    rtl.run_cycles(500, &mut NullEnv, &mut NullObserver)
+        .unwrap();
     let occ = rtl.occupancy();
     let max = occ.values().max().copied().unwrap_or(0);
     assert!(max > 450, "idle core must sit in one state, max={max}");

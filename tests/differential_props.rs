@@ -102,6 +102,71 @@ proptest! {
     }
 
     #[test]
+    fn nat_targets_agree_on_random_traffic(
+        ops in proptest::collection::vec((0u8..4, 0u16..12, 0u8..3), 1..20)
+    ) {
+        // Random interleavings of outbound flows (varying sport/in_port),
+        // inbound replies to already- or never-allocated external ports,
+        // and non-IP noise: both targets must translate identically,
+        // including identical drop decisions and checksum updates.
+        let public: emu_types::Ipv4 = "203.0.113.1".parse().unwrap();
+        let svc = s::nat::nat(public);
+        let mut cpu = svc.instantiate(Target::Cpu).unwrap();
+        let mut fpga = svc.instantiate(Target::Fpga).unwrap();
+        for (i, (kind, flow, port)) in ops.iter().enumerate() {
+            let f = match kind {
+                0 | 1 => s::nat::udp_frame(
+                    "192.168.1.50".parse().unwrap(),
+                    3000 + flow,
+                    "8.8.8.8".parse().unwrap(),
+                    53,
+                    1 + port % 3,
+                ),
+                2 => s::nat::udp_frame(
+                    "8.8.8.8".parse().unwrap(),
+                    53,
+                    public,
+                    s::nat::FIRST_EPHEMERAL + flow,
+                    0,
+                ),
+                _ => Frame::ethernet(
+                    MacAddr::from_u64(0x20 + u64::from(*flow)),
+                    MacAddr::from_u64(0x30),
+                    0x0806,
+                    &[0u8; 46],
+                ),
+            };
+            let a = cpu.process(&f).unwrap();
+            let b = fpga.process(&f).unwrap();
+            prop_assert_eq!(&a.tx, &b.tx, "op {}: kind {} flow {}", i, kind, flow);
+        }
+    }
+
+    #[test]
+    fn dns_targets_agree_on_random_queries(
+        ops in proptest::collection::vec((0u8..5, any::<u16>(), 0u8..4), 1..20)
+    ) {
+        // Zone hits, misses, and varying transaction ids / arrival ports:
+        // responses (and refusals) must match bit-for-bit across targets.
+        let zone = vec![
+            ("a.b".to_string(), "1.2.3.4".parse().unwrap()),
+            ("example.com".to_string(), "93.184.216.34".parse().unwrap()),
+            ("emu.cam.ac.uk".to_string(), "128.232.0.20".parse().unwrap()),
+        ];
+        let svc = s::dns::dns_server(zone);
+        let mut cpu = svc.instantiate(Target::Cpu).unwrap();
+        let mut fpga = svc.instantiate(Target::Fpga).unwrap();
+        let names = ["a.b", "example.com", "emu.cam.ac.uk", "miss.example", "x.y"];
+        for (i, (which, id, port)) in ops.iter().enumerate() {
+            let mut f = s::dns::query_frame(names[usize::from(*which) % names.len()], *id);
+            f.in_port = *port;
+            let a = cpu.process(&f).unwrap();
+            let b = fpga.process(&f).unwrap();
+            prop_assert_eq!(&a.tx, &b.tx, "query {}: {}", i, names[usize::from(*which) % names.len()]);
+        }
+    }
+
+    #[test]
     fn icmp_replies_always_checksum_valid(len in 0usize..512, seq in any::<u16>()) {
         let svc = s::icmp::icmp_echo();
         let mut inst = svc.instantiate(Target::Fpga).unwrap();

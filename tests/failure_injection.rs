@@ -43,8 +43,8 @@ fn memcached_handles_malformed_commands() {
     let mut inst = svc.instantiate(Target::Fpga).unwrap();
     for body in [
         "gibberish\r\n",
-        "get \r\n",          // empty key
-        "set x 0 0 8\r\n",   // missing data block
+        "get \r\n",               // empty key
+        "set x 0 0 8\r\n",        // missing data block
         "get nokeyhereatall\r\n", // oversized key
         "\r\n",
     ] {
@@ -52,8 +52,11 @@ fn memcached_handles_malformed_commands() {
         inst.process(&s::memcached::request_frame(body, 1)).unwrap();
     }
     // Still functional.
-    inst.process(&s::memcached::request_frame("set ok 0 0 8\r\nVVVVVVVV\r\n", 2))
-        .unwrap();
+    inst.process(&s::memcached::request_frame(
+        "set ok 0 0 8\r\nVVVVVVVV\r\n",
+        2,
+    ))
+    .unwrap();
     let out = inst
         .process(&s::memcached::request_frame("get ok\r\n", 3))
         .unwrap();
@@ -120,6 +123,113 @@ fn learned(src: u64, dst: u64, port: u8) -> Frame {
     );
     f.in_port = port;
     f
+}
+
+/// A mirror service with a planted fault: any frame whose first payload
+/// byte (offset 14) is `0xEE` sends the core into an idle loop that never
+/// pulses `rx_done` — the "wedged core" failure the driver's cycle budget
+/// converts into an error.
+fn trappable_mirror() -> Service {
+    use emu::ir::dsl::*;
+    let (mut pb, dp) = emu::stdlib::service_builder("trappable", 256);
+    let mut ok_path = vec![dp.set_output_port(dp.input_port())];
+    ok_path.extend(dp.transmit(dp.rx_len()));
+    ok_path.extend(dp.done());
+    let body = vec![
+        dp.rx_wait(),
+        if_else(
+            eq(dp.byte(14), lit(0xEE, 8)),
+            vec![forever(vec![pause()])], // wedge: rx_done never comes
+            ok_path,
+        ),
+    ];
+    pb.thread("main", vec![forever(body)]);
+    Service::new(pb.build().unwrap())
+}
+
+#[test]
+fn trapped_shard_is_isolated_from_siblings() {
+    use emu_types::MacAddr;
+    let svc = trappable_mirror();
+    let mut engine = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+    engine.set_max_cycles_per_frame(500); // trip the wedge quickly
+
+    // Distinct client MACs give distinct flows; find one per shard.
+    let frame_for = |client: u64, poison: bool| {
+        let payload = if poison { [0xEEu8; 46] } else { [0x11u8; 46] };
+        Frame::ethernet(
+            MacAddr::from_u64(0xB),
+            MacAddr::from_u64(client),
+            0x0900,
+            &payload,
+        )
+    };
+    let mut per_shard: Vec<Option<u64>> = vec![None; 4];
+    for client in 0..256u64 {
+        let k = engine.shard_of(&frame_for(client, false));
+        per_shard[k].get_or_insert(client);
+    }
+    let clients: Vec<u64> = per_shard.into_iter().map(|c| c.unwrap()).collect();
+    let victim = engine.shard_of(&frame_for(clients[2], false));
+
+    // A mixed batch: healthy traffic for every shard plus one poison
+    // frame for the victim shard.
+    let mut frames: Vec<Frame> = clients.iter().map(|&c| frame_for(c, false)).collect();
+    frames.push(frame_for(clients[2], true));
+    frames.extend(clients.iter().map(|&c| frame_for(c, false)));
+
+    let report = engine.process_batch(&frames);
+
+    // The trap is attributed and retained; only that shard is lost.
+    assert!(engine.shard_error(victim).unwrap().contains("exceeded"));
+    assert_eq!(engine.healthy_shards(), 3);
+    let poison_at = clients.len(); // index of the poison frame
+    for (i, (f, out)) in frames.iter().zip(&report.outputs).enumerate() {
+        if engine.shard_of(f) == victim && i >= poison_at {
+            // The poison frame and everything after it on that shard fail
+            // with an attributed error...
+            let err = out.as_ref().unwrap_err();
+            assert!(err.0.contains(&format!("shard {victim}")), "{err}");
+        } else {
+            // ...while frames before the trap and every sibling-shard
+            // frame still mirror cleanly.
+            let out = out.as_ref().unwrap();
+            assert_eq!(out.tx.len(), 1, "sibling shard corrupted");
+            assert_eq!(out.tx[0].frame.bytes(), f.bytes());
+        }
+    }
+
+    // Later single-frame traffic: poisoned shard reports, siblings serve.
+    let err = engine.process(&frame_for(clients[2], false)).unwrap_err();
+    assert!(err.0.contains("poisoned"));
+    let ok = engine.process(&frame_for(clients[0], false)).unwrap();
+    assert_eq!(ok.tx.len(), 1);
+}
+
+#[test]
+fn oversized_frames_are_rejected_without_poisoning() {
+    // An oversized frame is an input-validation failure: the shard never
+    // sees it, so it must NOT be poisoned and must keep serving.
+    let svc = trappable_mirror(); // 256 B frame buffer
+    let mut engine = svc.instantiate_sharded(Target::Fpga, 2).unwrap();
+    let small = Frame::new(vec![0x11; 64]);
+    let big = Frame::new(vec![0x11; 1000]);
+
+    let err = engine.process(&big).unwrap_err();
+    assert!(err.0.contains("exceeds"), "{err}");
+    assert_eq!(engine.healthy_shards(), 2, "validation must not poison");
+
+    // Batch mixing valid and oversized frames: per-frame results.
+    let report = engine.process_batch(&[small.clone(), big, small.clone()]);
+    assert!(report.outputs[0].is_ok());
+    assert!(report.outputs[1]
+        .as_ref()
+        .unwrap_err()
+        .0
+        .contains("exceeds"));
+    assert!(report.outputs[2].is_ok());
+    assert_eq!(engine.healthy_shards(), 2);
+    assert_eq!(engine.process(&small).unwrap().tx.len(), 1);
 }
 
 #[test]

@@ -1,0 +1,196 @@
+//! Integration suite for the sharded multi-pipeline engine:
+//!
+//! * sharded output equals single-instance output for stateless services
+//!   under any shard count,
+//! * flow affinity — every frame of one 5-tuple lands on one shard — so
+//!   stateful services (NAT) keep per-flow state consistent,
+//! * `process_batch` is exactly equivalent to frame-by-frame `process`,
+//!   on both execution targets.
+
+use emu::prelude::*;
+use emu::services as s;
+use emu::stdlib::{flow_hash, ShardedEngine};
+use emu_types::bitutil;
+
+/// Builds a UDP frame for client flow `flow` (distinct sport + src IP)
+/// with `extra` payload bytes, so the same flow can send varied frames.
+fn client_frame(flow: u16, extra: usize) -> Frame {
+    let mut f = s::nat::udp_frame(
+        emu_types::Ipv4::new(192, 168, 1, 50),
+        2000 + flow,
+        "8.8.8.8".parse().unwrap(),
+        53,
+        1 + (flow % 3) as u8,
+    );
+    let mut bytes = f.bytes().to_vec();
+    bytes.extend(std::iter::repeat_n(0xa5, extra));
+    let mut g = Frame::new(bytes);
+    g.in_port = f.in_port;
+    f = g;
+    f
+}
+
+#[test]
+fn stateless_services_shard_transparently() {
+    // ICMP echo and DNS hold no cross-frame state: sharded output must be
+    // byte-identical to a single instance under every shard count.
+    let zone = vec![
+        ("a.b".to_string(), "1.2.3.4".parse().unwrap()),
+        ("example.com".to_string(), "93.184.216.34".parse().unwrap()),
+    ];
+    let cases: Vec<(&str, emu::stdlib::Service, Vec<Frame>)> = vec![
+        (
+            "icmp",
+            s::icmp::icmp_echo(),
+            (0..24u64)
+                .map(|i| {
+                    let mut f = s::icmp::echo_request_frame(16 + (i as usize % 48), i as u16);
+                    // Vary the client address so flows spread.
+                    let b = f.bytes_mut();
+                    b[29] = (i % 9) as u8 + 1;
+                    bitutil::set16(b, 24, 0);
+                    let c = emu_types::checksum::internet_checksum(&b[14..34]);
+                    bitutil::set16(b, 24, c);
+                    f.in_port = (i % 4) as u8;
+                    f
+                })
+                .collect(),
+        ),
+        (
+            "dns",
+            s::dns::dns_server(zone),
+            (0..24u64)
+                .map(|i| {
+                    let name = if i % 3 == 0 { "a.b" } else { "example.com" };
+                    let mut f = s::dns::query_frame(name, i as u16);
+                    bitutil::set16(f.bytes_mut(), 34, 4000 + (i % 11) as u16);
+                    f.in_port = (i % 4) as u8;
+                    f
+                })
+                .collect(),
+        ),
+    ];
+
+    for (name, svc, frames) in cases {
+        for target in [Target::Cpu, Target::Fpga] {
+            let mut single = svc.instantiate(target).unwrap();
+            for shards in [1usize, 2, 3, 4, 8] {
+                let mut engine = svc.instantiate_sharded(target, shards).unwrap();
+                for f in &frames {
+                    let want = single.process(f).unwrap();
+                    let got = engine.process(f).unwrap();
+                    assert_eq!(got.tx, want.tx, "{name}: {shards} shards, {target:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn flow_affinity_all_frames_of_a_tuple_share_a_shard() {
+    let svc = s::nat::nat("203.0.113.1".parse().unwrap());
+    for shards in [2usize, 3, 4, 8] {
+        let engine = svc.instantiate_sharded(Target::Cpu, shards).unwrap();
+        for flow in 0..64u16 {
+            // Same 5-tuple, different lengths/payloads: one home shard.
+            let home = engine.shard_of(&client_frame(flow, 0));
+            for extra in [1usize, 7, 64, 403] {
+                assert_eq!(
+                    engine.shard_of(&client_frame(flow, extra)),
+                    home,
+                    "flow {flow} split across shards at +{extra}B"
+                );
+            }
+        }
+        // And the hash actually uses more than one shard over the pool.
+        let used: std::collections::HashSet<usize> = (0..64u16)
+            .map(|flow| engine.shard_of(&client_frame(flow, 0)))
+            .collect();
+        assert!(used.len() > 1, "{shards} shards: dispatch degenerated");
+    }
+}
+
+#[test]
+fn sharded_nat_keeps_per_flow_mappings_consistent() {
+    // Stateful correctness under sharding: each flow's allocated external
+    // port must be stable across repeated frames (state lives on exactly
+    // one shard), and translated frames must carry valid checksums.
+    let svc = s::nat::nat("203.0.113.1".parse().unwrap());
+    let mut engine = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+    let mut first_port = std::collections::HashMap::new();
+    for round in 0..3usize {
+        for flow in 0..16u16 {
+            let out = engine.process(&client_frame(flow, round)).unwrap();
+            assert_eq!(out.tx.len(), 1, "flow {flow} round {round}");
+            let b = out.tx[0].frame.bytes();
+            let ext = bitutil::get16(b, 34);
+            let prev = *first_port.entry(flow).or_insert(ext);
+            assert_eq!(prev, ext, "flow {flow} changed external port");
+            assert!(emu_types::checksum::verify(&b[14..34]), "bad IP csum");
+            assert!(s::nat::udp_checksum_valid(b), "bad UDP csum");
+        }
+    }
+}
+
+#[test]
+fn process_batch_equals_frame_by_frame() {
+    // Both on a single instance and through the sharded engine, batching
+    // must be invisible to results — including for a stateful service fed
+    // affine traffic.
+    let svc = s::nat::nat("203.0.113.1".parse().unwrap());
+    let frames: Vec<Frame> = (0..40u64)
+        .map(|i| client_frame((i % 10) as u16, (i / 10) as usize))
+        .collect();
+
+    // Single instance: batch vs loop.
+    let mut a = svc.instantiate(Target::Fpga).unwrap();
+    let mut b = svc.instantiate(Target::Fpga).unwrap();
+    let batch = a.process_batch(&frames).unwrap();
+    for (f, got) in frames.iter().zip(&batch.outputs) {
+        assert_eq!(got, &b.process(f).unwrap());
+    }
+    assert_eq!(batch.outputs.len(), frames.len());
+    assert_eq!(batch.tx_count(), frames.len());
+
+    // Sharded engine: batch vs one-at-a-time on a fresh engine.
+    let mut eng_batch = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+    let mut eng_loop = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+    let sharded = eng_batch.process_batch(&frames);
+    assert_eq!(sharded.ok_count(), frames.len());
+    for (f, got) in frames.iter().zip(&sharded.outputs) {
+        let want = eng_loop.process(f).unwrap();
+        assert_eq!(got.as_ref().unwrap(), &want);
+    }
+    // Busy cycles land only on shards that saw frames.
+    let busy: u64 = sharded.shard_cycles.iter().sum();
+    assert!(busy > 0 && sharded.wall_cycles() <= busy);
+}
+
+#[test]
+fn interpreter_and_fsm_agree_under_sharding() {
+    // The engine is target-transparent: CPU shards and FPGA shards give
+    // identical transmissions for the same affine traffic.
+    let svc = s::nat::nat("203.0.113.1".parse().unwrap());
+    let frames: Vec<Frame> = (0..24u64)
+        .map(|i| client_frame((i % 8) as u16, 0))
+        .collect();
+    let mut cpu = svc.instantiate_sharded(Target::Cpu, 4).unwrap();
+    let mut fpga = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+    for f in &frames {
+        assert_eq!(
+            cpu.process(f).unwrap().tx,
+            fpga.process(f).unwrap().tx,
+            "targets diverged under sharding"
+        );
+    }
+}
+
+#[test]
+fn shard_of_is_stable_and_engine_reports_shape() {
+    let svc = s::icmp::icmp_echo();
+    let engine: ShardedEngine = svc.instantiate_sharded(Target::Cpu, 5).unwrap();
+    assert_eq!(engine.num_shards(), 5);
+    assert_eq!(engine.healthy_shards(), 5);
+    let f = s::icmp::echo_request_frame(56, 1);
+    assert_eq!(engine.shard_of(&f), (flow_hash(&f) % 5) as usize);
+}

@@ -83,7 +83,10 @@ fn every_service_agrees_across_cpu_and_fpga() {
     // One representative workload per service.
     assert_targets_agree(
         &s::icmp::icmp_echo(),
-        &[s::icmp::echo_request_frame(56, 1), s::icmp::echo_request_frame(8, 2)],
+        &[
+            s::icmp::echo_request_frame(56, 1),
+            s::icmp::echo_request_frame(8, 2),
+        ],
     )
     .unwrap();
     assert_targets_agree(
