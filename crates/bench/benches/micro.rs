@@ -66,7 +66,7 @@ fn bench_backends(c: &mut Criterion) {
 
 fn bench_services(c: &mut Criterion) {
     let svc = emu_services::switch_ip_cam();
-    let mut inst = svc.instantiate(Target::Fpga).expect("instantiate");
+    let mut inst = svc.engine(Target::Fpga).build().expect("instantiate");
     let mut f = emu_types::Frame::ethernet(
         emu_types::MacAddr::from_u64(0xB),
         emu_types::MacAddr::from_u64(0xA),
@@ -79,7 +79,7 @@ fn bench_services(c: &mut Criterion) {
     });
 
     let icmp = emu_services::icmp_echo();
-    let mut icmp_inst = icmp.instantiate(Target::Fpga).expect("instantiate");
+    let mut icmp_inst = icmp.engine(Target::Fpga).build().expect("instantiate");
     let ping = emu_services::icmp::echo_request_frame(56, 7);
     c.bench_function("services/icmp_echo_per_packet", |bench| {
         bench.iter(|| icmp_inst.process(black_box(&ping)).expect("process"))

@@ -35,7 +35,7 @@ fn main() {
         let fsm = kiwi::compile_with(&svc.program, svc.cost_model.clone()).expect("compile");
         let states: usize = fsm.threads.iter().map(|t| t.state_count()).sum();
 
-        let mut inst = svc.instantiate(Target::Fpga).expect("instantiate");
+        let mut inst = svc.engine(Target::Fpga).build().expect("instantiate");
         let out = inst.process(&echo_request_frame(56, 1)).expect("process");
         let ns = out.cycles as f64 * 1e9 / clock_hz as f64;
         let ns_fixed = out.cycles as f64 * 5.0;

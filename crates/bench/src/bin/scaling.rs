@@ -1,5 +1,5 @@
 //! Regenerates the §5.4 multi-core Memcached result: "using four Emu
-//! cores (one per port) further increases [throughput] by 3.7× when
+//! cores (one per port) further increases \[throughput\] by 3.7× when
 //! considering a workload of 90 % GET and 10 % SET requests. SET requests
 //! must be applied to all instances, thus their relative ratio in
 //! performance cannot improve."
@@ -22,7 +22,10 @@ fn run(cores: usize, n: usize, seed: u64) -> f64 {
     let mut drivers = Vec::new();
     let mut envs = Vec::new();
     for _ in 0..cores {
-        let inst = memcached().instantiate(Target::Fpga).expect("instantiate");
+        let inst = memcached()
+            .engine(Target::Fpga)
+            .build()
+            .expect("instantiate");
         let (d, e) = inst.into_fpga_parts().expect("fpga");
         drivers.push(d);
         envs.push(e);

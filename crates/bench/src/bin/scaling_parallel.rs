@@ -1,0 +1,154 @@
+//! Sequential cost-model vs real-thread execution: every Table 4
+//! service through the unified `Engine` at 1/2/4/8 shards, measuring
+//! *host wall-clock* time for the same batch in both execution modes.
+//!
+//! The sequential mode is the deterministic default — shards run one
+//! after another on the calling thread and the parallel-datapath *cost
+//! model* (wall = busiest shard's cycles) prices the hardware. The
+//! `.parallel(true)` mode runs each shard's slice on its own OS thread:
+//! identical outputs, but the simulation itself now scales with host
+//! cores. This harness tracks that speedup so the perf trajectory
+//! accumulates run over run.
+//!
+//! Emits a JSON document on stdout (one object per service/shard-count
+//! configuration) followed by a human-readable table on stderr.
+//!
+//! Run: `cargo run --release -p emu-bench --bin scaling_parallel`
+
+use emu_bench::shard_scale_services;
+use emu_core::Target;
+use emu_types::Frame;
+use netfpga_sim::timing::NS_PER_CYCLE;
+use std::time::Instant;
+
+const REQUESTS: usize = 2_000;
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    service: &'static str,
+    shards: usize,
+    seq_wall_s: f64,
+    par_wall_s: f64,
+    model_wall_ns: f64,
+    ok: usize,
+}
+
+fn run(
+    build: fn() -> emu_core::Service,
+    frames: &[Frame],
+    shards: usize,
+) -> (f64, f64, f64, usize) {
+    let svc = build();
+    let mut seq = svc
+        .engine(Target::Fpga)
+        .shards(shards)
+        .build()
+        .expect("build sequential engine");
+    let mut par = svc
+        .engine(Target::Fpga)
+        .shards(shards)
+        .parallel(true)
+        .build()
+        .expect("build parallel engine");
+
+    let t0 = Instant::now();
+    let a = seq.process_batch(frames);
+    let seq_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let b = par.process_batch(frames);
+    let par_wall = t1.elapsed().as_secs_f64();
+
+    assert_eq!(a.ok_count(), b.ok_count(), "modes must agree");
+    assert_eq!(
+        a.shard_cycles, b.shard_cycles,
+        "cycle accounting must agree"
+    );
+    (
+        seq_wall,
+        par_wall,
+        a.wall_cycles() as f64 * NS_PER_CYCLE,
+        a.ok_count(),
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "== parallel scaling: sequential cost-model vs {cores}-core real threads, \
+         {REQUESTS} requests =="
+    );
+    eprintln!(
+        "{:<12} {:>6} {:>12} {:>12} {:>9} {:>14}",
+        "service", "shards", "seq (ms)", "par (ms)", "speedup", "model-wall(us)"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for svc in shard_scale_services() {
+        let frames: Vec<Frame> = (0..REQUESTS as u64).map(svc.request).collect();
+        for &shards in &SHARD_SWEEP {
+            // Warm one run, measure the second (first run pays one-time
+            // allocation/fault costs that are noise at this batch size).
+            let _ = run(svc.build, &frames, shards);
+            let (seq_wall_s, par_wall_s, model_wall_ns, ok) = run(svc.build, &frames, shards);
+            eprintln!(
+                "{:<12} {:>6} {:>12.2} {:>12.2} {:>8.2}x {:>14.1}",
+                svc.name,
+                shards,
+                seq_wall_s * 1e3,
+                par_wall_s * 1e3,
+                seq_wall_s / par_wall_s,
+                model_wall_ns / 1e3,
+            );
+            rows.push(Row {
+                service: svc.name,
+                shards,
+                seq_wall_s,
+                par_wall_s,
+                model_wall_ns,
+                ok,
+            });
+        }
+    }
+
+    // JSON on stdout: the accumulating perf record.
+    println!("{{");
+    println!("  \"bench\": \"scaling_parallel\",");
+    println!("  \"requests\": {REQUESTS},");
+    println!("  \"host_cores\": {cores},");
+    println!("  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        println!(
+            "    {{\"service\": \"{}\", \"shards\": {}, \"seq_wall_s\": {:.6}, \
+             \"par_wall_s\": {:.6}, \"speedup\": {:.3}, \"model_wall_ns\": {:.1}, \
+             \"ok\": {}}}{comma}",
+            r.service,
+            r.shards,
+            r.seq_wall_s,
+            r.par_wall_s,
+            r.seq_wall_s / r.par_wall_s,
+            r.model_wall_ns,
+            r.ok
+        );
+    }
+    println!("  ]");
+    println!("}}");
+
+    // On hosts with the cores to show it, real threads must beat the
+    // sequential walk at 4 shards for the batch-heavy services.
+    if cores >= 4 {
+        let best_at_4 = rows
+            .iter()
+            .filter(|r| r.shards == 4)
+            .map(|r| r.seq_wall_s / r.par_wall_s)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best_at_4 > 1.2,
+            "expected real-thread speedup at 4 shards on a {cores}-core host, best {best_at_4:.2}x"
+        );
+        eprintln!("\nbest speedup at 4 shards: {best_at_4:.2}x ✓");
+    }
+}

@@ -1,7 +1,7 @@
-//! Shard-scaling sweep: every Table 4 service through the `ShardedEngine`
-//! at 1/2/4/8 replicated pipelines, reporting aggregate throughput under
-//! the parallel-datapath model (wall time = busiest shard's busy time at
-//! the 200 MHz core clock).
+//! Shard-scaling sweep: every Table 4 service through the unified
+//! `Engine` at 1/2/4/8 replicated pipelines, reporting aggregate
+//! throughput under the parallel-datapath model (wall time = busiest
+//! shard's busy time at the 200 MHz core clock).
 //!
 //! This generalizes the paper's §5.4 multi-core Memcached result (3.7×
 //! at 4 cores) to the whole service set: stateless services scale with
@@ -21,8 +21,10 @@ const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 fn run(build: fn() -> emu_core::Service, frames: &[Frame], shards: usize) -> f64 {
     let svc = build();
     let mut engine = svc
-        .instantiate_sharded(Target::Fpga, shards)
-        .expect("instantiate");
+        .engine(Target::Fpga)
+        .shards(shards)
+        .build()
+        .expect("build engine");
     let batch = engine.process_batch(frames);
     assert_eq!(
         batch.ok_count(),

@@ -52,7 +52,7 @@ fn main() {
     let resources = kiwi::estimate(&fsm, &switch_ip_cam_blocks());
 
     // Module latency: measured on a learned unicast path.
-    let mut inst = svc.instantiate(Target::Fpga).expect("instantiate");
+    let mut inst = svc.engine(Target::Fpga).build().expect("instantiate");
     inst.process(&test_frame(0xB, 0xA, 1)).expect("learn");
     inst.process(&test_frame(0xA, 0xB, 0)).expect("learn");
     let out = inst.process(&test_frame(0xA, 0xB, 0)).expect("forward");

@@ -128,7 +128,7 @@ pub fn table4_services() -> Vec<Table4Service> {
 
 /// Builds an iterative-mode pipeline around a service's FPGA instance.
 pub fn emu_pipeline(svc: &Service, mode: CoreMode) -> IrResult<PipelineSim> {
-    let inst = svc.instantiate(Target::Fpga)?;
+    let inst = svc.engine(Target::Fpga).build()?;
     let (driver, env) = inst
         .into_fpga_parts()
         .ok_or_else(|| kiwi_ir::IrError("expected FPGA instance".into()))?;

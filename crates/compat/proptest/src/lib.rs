@@ -206,7 +206,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count bounds for [`vec`]: `min..=max`.
+    /// Element-count bounds for [`vec`](fn@vec): `min..=max`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         /// Minimum length (inclusive).

@@ -1,0 +1,1099 @@
+//! The unified execution engine: one API from a single pipeline to a
+//! parallel multi-shard scale-out.
+//!
+//! The paper's NetFPGA deployment scales by replicating the service
+//! pipeline across parallel datapaths — §5.4 runs "four Emu cores (one
+//! per port)". Earlier revisions exposed that as a *second* API next to
+//! the single-instance one (`ServiceInstance` vs `ShardedEngine`); this
+//! module replaces both with one [`Engine`], configured through
+//! [`EngineBuilder`]:
+//!
+//! ```ignore
+//! // Single pipeline (the old `instantiate`):
+//! let mut one = svc.engine(Target::Fpga).build()?;
+//!
+//! // Four shards behind the RSS flow hash, executed on real threads:
+//! let mut four = svc
+//!     .engine(Target::Fpga)
+//!     .shards(4)
+//!     .dispatch(RssHash)
+//!     .parallel(true)
+//!     .build()?;
+//! ```
+//!
+//! # Migration from the bifurcated API
+//!
+//! | old | new |
+//! |---|---|
+//! | `Service::instantiate(t)` | `svc.engine(t).build()` |
+//! | `Service::instantiate_sharded(t, n)` | `svc.engine(t).shards(n).build()` |
+//! | `ServiceInstance` | [`Engine`] (1 shard) |
+//! | `ShardedEngine` | [`Engine`] (N shards) |
+//! | `ServiceInstance::process_batch` → `BatchOutput` | [`Engine::process_batch`] → [`BatchReport`] |
+//! | `ShardedEngine::process_batch` → `ShardedBatch` | [`Engine::process_batch`] → [`BatchReport`] |
+//! | `ShardedEngine::shard_mut` → `&mut ServiceInstance` | [`Engine::shard_mut`] → `&mut` [`Shard`] |
+//! | `ServiceInstance::read_reg` / `env_mut` | [`Engine::read_reg`] / [`Engine::env_mut`] (shard 0) |
+//! | `ServiceInstance::into_fpga_parts` | [`Engine::into_fpga_parts`] (1-shard engines) |
+//! | `NetSim::add_service(name, &svc, ports)` | `NetSim::add_service(name, engine, ports)` |
+//! | `NetSim::add_service_sharded(..)` | build the engine with `.shards(n)`, then `add_service` |
+//! | `NetSim::service_mut` / `sharded_mut` | `NetSim::engine_mut` |
+//!
+//! # Dispatch policies
+//!
+//! Which shard a frame runs on is a pluggable policy — the [`Dispatch`]
+//! trait — rather than a property of the engine:
+//!
+//! * [`RssHash`] (the default): the Pearson-digest flow hash of
+//!   [`crate::flow_hash`]; every frame of one 5-tuple shares a shard, so
+//!   flow-keyed state (NAT mappings, learned MACs) partitions cleanly.
+//! * [`RoundRobin`]: stateless spreading for services with no cross-frame
+//!   state at all; ignores frame contents entirely.
+//! * [`NatSteering`]: external-port-keyed steering for NAT-shaped
+//!   services. Outbound frames follow the RSS hash; *inbound* frames are
+//!   steered by their destination (external) port to the shard that
+//!   allocated it, which plain RSS cannot do because the reply 5-tuple
+//!   hashes independently of the outbound one. See [`NatSteering`] for
+//!   the allocation-register contract.
+//!
+//! # Execution modes
+//!
+//! By default shards execute **sequentially** on the calling thread under
+//! the parallel-datapath *cost model* (the batch's wall-clock is the
+//! busiest shard's busy cycles) — fully deterministic, the right mode for
+//! tests and cycle accounting. [`EngineBuilder::parallel`] executes
+//! shards on real OS threads (scoped threads, one per non-idle shard per
+//! batch); outputs and failure semantics are identical by construction,
+//! only host wall-clock time changes. The `scaling_parallel` bench
+//! compares the two.
+//!
+//! # Failure isolation
+//!
+//! A shard whose program traps (hung core, executor error) is *poisoned*:
+//! the trapping frame and every later frame dispatched to it report
+//! errors, its siblings keep processing, and the error is retained on
+//! [`Engine::shard_error`]. Input-validation failures (an oversized
+//! frame) are rejected per frame *without* poisoning — the core never saw
+//! the frame, so its state is still good. These semantics are identical
+//! in sequential and parallel modes, and every error is an
+//! [`EngineError`] that names the shard.
+
+use crate::runner::{flow_hash, AnyDriver, Service, Target};
+use emu_rtl::{IpEnv, RtlMachine};
+use emu_types::proto::{ether_type, ip_proto, offset};
+use emu_types::{Bits, Frame};
+use kiwi_ir::interp::{NullObserver, Observer};
+use kiwi_ir::{IrError, IrResult};
+use netfpga_sim::dataplane::CoreOutput;
+use netfpga_sim::DataplaneDriver;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// The engine's single error type: every failure names the shard it
+/// happened on, and the variant tells the caller whether the shard's
+/// state is still trustworthy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Building the engine failed (program flattening/compilation, a
+    /// missing dataplane contract, zero shards, or a dispatch policy
+    /// that could not configure its shards).
+    Build(String),
+    /// Input validation rejected the frame before it reached the core;
+    /// the shard is *not* poisoned.
+    Oversize {
+        /// Shard the frame would have dispatched to.
+        shard: usize,
+        /// Offending frame length in bytes.
+        len: usize,
+        /// The shard's frame-buffer capacity in bytes.
+        cap: usize,
+    },
+    /// The shard's core trapped while processing this frame (hung past
+    /// its cycle budget, halted, executor error); the shard is now
+    /// poisoned.
+    Trap {
+        /// Shard that trapped.
+        shard: usize,
+        /// The underlying executor error.
+        reason: String,
+    },
+    /// The frame dispatched to a shard that was already poisoned by an
+    /// earlier trap.
+    Poisoned {
+        /// The poisoned shard.
+        shard: usize,
+        /// The retained error of the original trap.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Build(e) => write!(f, "engine build failed: {e}"),
+            EngineError::Oversize { shard, len, cap } => {
+                write!(
+                    f,
+                    "frame of {len} B exceeds shard {shard} buffer of {cap} B"
+                )
+            }
+            EngineError::Trap { shard, reason } => write!(f, "shard {shard}: {reason}"),
+            EngineError::Poisoned { shard, reason } => {
+                write!(f, "shard {shard} is poisoned: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<IrError> for EngineError {
+    fn from(e: IrError) -> Self {
+        EngineError::Build(e.0)
+    }
+}
+
+impl From<EngineError> for IrError {
+    fn from(e: EngineError) -> Self {
+        IrError(e.to_string())
+    }
+}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+/// A shard-selection policy: decides which of `shards` replicated
+/// pipelines a frame runs on, and may configure per-shard state at build
+/// time (e.g. disjoint resource ranges).
+///
+/// Policies must be deterministic given their own state — the engine
+/// calls [`Dispatch::shard_of`] exactly once per offered frame, in input
+/// order, so sequential and parallel execution see the same assignment.
+pub trait Dispatch: Send {
+    /// Policy name (diagnostics, bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Selects the shard for `frame` among `shards` shards (must return
+    /// a value `< shards`).
+    fn shard_of(&self, frame: &Frame, shards: usize) -> usize;
+
+    /// Configures shard `shard` of `shards` right after instantiation
+    /// (before any traffic). The default does nothing.
+    fn configure(&self, shard: usize, shards: usize, inst: &mut Shard) -> IrResult<()> {
+        let _ = (shard, shards, inst);
+        Ok(())
+    }
+}
+
+/// The default policy: RSS-style flow hashing via [`crate::flow_hash`].
+/// Every frame of one 5-tuple lands on one shard, so flow-keyed state
+/// partitions across shards without coordination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RssHash;
+
+impl Dispatch for RssHash {
+    fn name(&self) -> &'static str {
+        "rss-hash"
+    }
+    fn shard_of(&self, frame: &Frame, shards: usize) -> usize {
+        (flow_hash(frame) % shards as u64) as usize
+    }
+}
+
+/// Stateless round-robin: frame `i` goes to shard `i % N`, regardless of
+/// contents. Only correct for services with **no cross-frame state** (a
+/// mirror, a stateless filter): it deliberately ignores flows, so two
+/// frames of one connection will usually land on different shards. Each
+/// call to [`Dispatch::shard_of`] advances the rotor — it is a dispatch
+/// *decision*, not a pure query.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// A fresh rotor starting at shard 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Dispatch for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+    fn shard_of(&self, _frame: &Frame, shards: usize) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % shards
+    }
+}
+
+/// External-port-keyed dispatch for NAT-shaped services, closing the gap
+/// RSS cannot: a NAT reply's 5-tuple (remote → public:ext_port) hashes
+/// independently of the outbound tuple that allocated the mapping, so
+/// plain RSS strands return traffic on the wrong shard where the reverse
+/// lookup misses and the frame is dropped.
+///
+/// `NatSteering` steers:
+///
+/// * **outbound** frames (arriving on any port other than
+///   [`NatSteering::external_port`]) by the RSS flow hash — stable per
+///   flow, so the allocating shard also sees every later outbound frame;
+/// * **inbound** IPv4 TCP/UDP frames on the external port by their
+///   destination port: shard `(dport - first_ephemeral) % N`.
+///
+/// That inversion works because `configure` partitions the ephemeral
+/// range across shards — shard *k* allocates `first_ephemeral + k`,
+/// stepping by *N* — so external ports are globally unique and their
+/// residue identifies the owner. The policy programs this through the
+/// service's allocation registers:
+///
+/// | register | written to |
+/// |---|---|
+/// | `next_port` | `first_ephemeral + shard` |
+/// | `port_base` | `first_ephemeral + shard` (wrap-around restart) |
+/// | `port_stride` | shard count |
+///
+/// `emu_services::nat` declares exactly this contract. Building an
+/// engine errors if the service declares only *some* of the registers;
+/// a service with none of them (e.g. a stateless service in a dispatch
+/// comparison) is left untouched, but then only the steering half of the
+/// policy applies.
+///
+/// Inbound frames whose destination port is below `first_ephemeral`
+/// (never allocated) fall back to the RSS hash; every shard drops them
+/// identically, so their placement is immaterial.
+#[derive(Debug, Clone, Copy)]
+pub struct NatSteering {
+    /// The port index of the external (public) side. The NAT service
+    /// convention is port 0.
+    pub external_port: u8,
+    /// First ephemeral port of the allocation range.
+    pub first_ephemeral: u16,
+}
+
+impl Default for NatSteering {
+    fn default() -> Self {
+        NatSteering {
+            external_port: 0,
+            first_ephemeral: 50_000,
+        }
+    }
+}
+
+impl NatSteering {
+    /// The registers of the allocation contract.
+    const REGS: [&'static str; 3] = ["next_port", "port_base", "port_stride"];
+
+    /// Extracts the L4 destination port of an IPv4 TCP/UDP frame.
+    fn l4_dport(frame: &Frame) -> Option<u16> {
+        let b = frame.bytes();
+        if frame.ethertype() != ether_type::IPV4 || b.len() < offset::L4 {
+            return None;
+        }
+        let proto = b[offset::IPV4_PROTO];
+        if proto != ip_proto::TCP && proto != ip_proto::UDP {
+            return None;
+        }
+        let l4 = offset::IPV4 + usize::from(b[offset::IPV4] & 0x0f) * 4;
+        if b.len() < l4 + 4 {
+            return None;
+        }
+        Some(emu_types::bitutil::get16(b, l4 + 2))
+    }
+}
+
+impl Dispatch for NatSteering {
+    fn name(&self) -> &'static str {
+        "nat-steering"
+    }
+
+    fn shard_of(&self, frame: &Frame, shards: usize) -> usize {
+        if frame.in_port == self.external_port {
+            if let Some(dport) = Self::l4_dport(frame) {
+                if dport >= self.first_ephemeral {
+                    return usize::from(dport - self.first_ephemeral) % shards;
+                }
+            }
+        }
+        RssHash.shard_of(frame, shards)
+    }
+
+    fn configure(&self, shard: usize, shards: usize, inst: &mut Shard) -> IrResult<()> {
+        let present = Self::REGS
+            .iter()
+            .filter(|r| inst.read_reg(r).is_some())
+            .count();
+        if present == 0 {
+            // No allocation contract: nothing to partition.
+            return Ok(());
+        }
+        if present < Self::REGS.len() {
+            return Err(IrError(format!(
+                "NatSteering: service declares only {present} of the allocation \
+                 registers {:?}",
+                Self::REGS
+            )));
+        }
+        let base = u64::from(self.first_ephemeral) + shard as u64;
+        inst.write_reg("next_port", base);
+        inst.write_reg("port_base", base);
+        inst.write_reg("port_stride", shards as u64);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard
+// ---------------------------------------------------------------------
+
+/// One replicated pipeline of an [`Engine`]: a driver plus its private
+/// IP-block environment.
+///
+/// Traffic goes through the engine (which owns dispatch and poisoning);
+/// the shard handle exposes the inspection/configuration surface used by
+/// tests, debug tooling, and [`Dispatch::configure`].
+pub struct Shard {
+    driver: AnyDriver,
+    env: IpEnv,
+}
+
+impl Shard {
+    fn new(service: &Service, target: Target) -> IrResult<Self> {
+        Ok(Shard {
+            driver: AnyDriver::new(service, target)?,
+            env: (service.make_env)(),
+        })
+    }
+
+    /// Reads a register by name (debug/verification convenience).
+    pub fn read_reg(&self, name: &str) -> Option<Bits> {
+        let prog = self.driver.program();
+        let idx = prog.var_by_name(name)?.0 as usize;
+        Some(self.driver.machine_state().vars[idx].clone())
+    }
+
+    /// Writes a register by name, truncating `value` to the register's
+    /// width. Returns `false` (and writes nothing) if the program has no
+    /// such register. This is the configuration hook dispatch policies
+    /// use at build time; mid-traffic writes are for fault injection.
+    pub fn write_reg(&mut self, name: &str, value: u64) -> bool {
+        let meta = {
+            let prog = self.driver.program();
+            prog.var_by_name(name)
+                .and_then(|id| prog.var(id).map(|d| (id.0 as usize, d.width)))
+        };
+        let Some((idx, width)) = meta else {
+            return false;
+        };
+        self.driver.machine_state_mut().vars[idx] = Bits::from_u64(value, width);
+        true
+    }
+
+    /// The shard's IP-block environment (attaching extra models in
+    /// tests).
+    pub fn env_mut(&mut self) -> &mut IpEnv {
+        &mut self.env
+    }
+
+    /// Frame buffer capacity of the underlying program.
+    pub fn frame_capacity(&self) -> usize {
+        self.driver.frame_capacity()
+    }
+
+    fn process(&mut self, frame: &Frame, obs: &mut dyn Observer) -> IrResult<CoreOutput> {
+        self.driver.process(frame, &mut self.env, obs)
+    }
+
+    fn idle(&mut self, n: u64) -> IrResult<()> {
+        self.driver.idle(n, &mut self.env, &mut NullObserver)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+impl Service {
+    /// Starts building an [`Engine`] for this service on `target`.
+    ///
+    /// The default configuration — one shard, [`RssHash`] dispatch,
+    /// sequential execution — is the exact single-pipeline fast path of
+    /// the old `instantiate`.
+    pub fn engine(&self, target: Target) -> EngineBuilder<'_> {
+        EngineBuilder {
+            service: self,
+            target,
+            shards: 1,
+            dispatch: Box::new(RssHash),
+            parallel: false,
+            max_cycles_per_frame: None,
+        }
+    }
+}
+
+/// Configures and instantiates an [`Engine`]; obtained from
+/// [`Service::engine`].
+pub struct EngineBuilder<'a> {
+    service: &'a Service,
+    target: Target,
+    shards: usize,
+    dispatch: Box<dyn Dispatch>,
+    parallel: bool,
+    max_cycles_per_frame: Option<u64>,
+}
+
+impl EngineBuilder<'_> {
+    /// Number of replicated pipelines (default 1; must be ≥ 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// The dispatch policy steering frames to shards (default
+    /// [`RssHash`]).
+    pub fn dispatch(mut self, policy: impl Dispatch + 'static) -> Self {
+        self.dispatch = Box::new(policy);
+        self
+    }
+
+    /// Execute batch shards on real OS threads instead of sequentially
+    /// under the cost model (default `false`). Results are identical;
+    /// only host wall-clock time changes.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// Per-frame cycle budget after which a shard is declared hung
+    /// (fault-injection tests tighten this to trip wedged cores fast).
+    pub fn max_cycles_per_frame(mut self, n: u64) -> Self {
+        self.max_cycles_per_frame = Some(n);
+        self
+    }
+
+    /// Instantiates the engine: `shards` copies of the service on the
+    /// target, each configured by the dispatch policy.
+    pub fn build(self) -> EngineResult<Engine> {
+        if self.shards == 0 {
+            return Err(EngineError::Build(
+                "an engine needs at least one shard".into(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(self.shards);
+        for k in 0..self.shards {
+            let mut shard = Shard::new(self.service, self.target)?;
+            if let Some(n) = self.max_cycles_per_frame {
+                shard.driver.set_max_cycles_per_frame(n);
+            }
+            self.dispatch.configure(k, self.shards, &mut shard)?;
+            shards.push(shard);
+        }
+        let poisoned = shards.iter().map(|_| None).collect();
+        Ok(Engine {
+            shards,
+            poisoned,
+            dispatch: self.dispatch,
+            parallel: self.parallel,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch report
+// ---------------------------------------------------------------------
+
+/// Per-input-frame results of one [`Engine::process_batch`] call — the
+/// single report type for every engine shape (1 shard or N, sequential
+/// or parallel).
+///
+/// Results are per-frame `Result`s: a trapped shard fails its own frames
+/// and leaves every other shard's results intact (the failure-isolation
+/// contract exercised by `tests/failure_injection.rs`).
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-frame outcome, in the order the frames were offered.
+    pub outputs: Vec<EngineResult<CoreOutput>>,
+    /// Busy core-cycles consumed by each shard during this batch.
+    pub shard_cycles: Vec<u64>,
+}
+
+impl BatchReport {
+    /// Wall-clock cycles of the batch under the parallel-datapath model:
+    /// shards run concurrently, so the batch takes as long as its busiest
+    /// shard. This is the denominator of the scaling benchmarks.
+    pub fn wall_cycles(&self) -> u64 {
+        self.shard_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total busy cycles summed over all shards (the single-pipeline
+    /// equivalent cost).
+    pub fn total_cycles(&self) -> u64 {
+        self.shard_cycles.iter().sum()
+    }
+
+    /// Number of frames that processed successfully.
+    pub fn ok_count(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_ok()).count()
+    }
+
+    /// Total frames transmitted across the batch.
+    pub fn tx_count(&self) -> usize {
+        self.outputs
+            .iter()
+            .filter_map(|o| o.as_ref().ok())
+            .map(|o| o.tx.len())
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// N replicated pipelines of one service behind a pluggable dispatcher —
+/// the single execution surface for every deployment shape, from the
+/// paper's single-core software target to §5.4's one-core-per-port
+/// hardware scale-out. Build one with [`Service::engine`].
+pub struct Engine {
+    shards: Vec<Shard>,
+    poisoned: Vec<Option<String>>,
+    dispatch: Box<dyn Dispatch>,
+    parallel: bool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("shards", &self.shards.len())
+            .field("healthy", &self.healthy_shards())
+            .field("dispatch", &self.dispatch.name())
+            .field("parallel", &self.parallel)
+            .finish()
+    }
+}
+
+/// Outcome of running one shard's slice of a batch.
+struct ShardRun {
+    /// `(input index, result)` pairs, in that shard's arrival order.
+    results: Vec<(usize, EngineResult<CoreOutput>)>,
+    /// Busy cycles this shard consumed.
+    cycles: u64,
+    /// The retained trap, if the shard poisoned itself mid-slice.
+    trap: Option<String>,
+}
+
+/// Processes `idxs` (indices into `frames`) through one shard,
+/// poisoning it on the first trap: later frames of the slice report
+/// [`EngineError::Poisoned`]. Shared verbatim by the sequential and
+/// parallel executors so their semantics cannot drift.
+fn run_shard(k: usize, shard: &mut Shard, frames: &[Frame], idxs: &[usize]) -> ShardRun {
+    let mut run = ShardRun {
+        results: Vec::with_capacity(idxs.len()),
+        cycles: 0,
+        trap: None,
+    };
+    for &i in idxs {
+        if let Some(reason) = &run.trap {
+            run.results.push((
+                i,
+                Err(EngineError::Poisoned {
+                    shard: k,
+                    reason: reason.clone(),
+                }),
+            ));
+            continue;
+        }
+        match shard.process(&frames[i], &mut NullObserver) {
+            Ok(out) => {
+                run.cycles += out.cycles;
+                run.results.push((i, Ok(out)));
+            }
+            Err(e) => {
+                run.trap = Some(e.0.clone());
+                run.results.push((
+                    i,
+                    Err(EngineError::Trap {
+                        shard: k,
+                        reason: e.0,
+                    }),
+                ));
+            }
+        }
+    }
+    run
+}
+
+impl Engine {
+    /// Number of shards (replicated pipelines).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether batches execute shards on real threads.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Name of the active dispatch policy.
+    pub fn dispatch_name(&self) -> &'static str {
+        self.dispatch.name()
+    }
+
+    /// The shard index `frame` dispatches to. For stateful policies
+    /// ([`RoundRobin`]) every call is a fresh dispatch decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dispatch policy violates its contract by returning
+    /// an index `>= num_shards()` — silently rerouting such frames would
+    /// turn a policy bug into subtle state corruption on one shard.
+    pub fn shard_of(&self, frame: &Frame) -> usize {
+        let n = self.shards.len();
+        if n == 1 {
+            return 0;
+        }
+        let k = self.dispatch.shard_of(frame, n);
+        assert!(
+            k < n,
+            "dispatch policy `{}` returned shard {k} of {n}",
+            self.dispatch.name()
+        );
+        k
+    }
+
+    /// Number of shards still accepting traffic.
+    pub fn healthy_shards(&self) -> usize {
+        self.poisoned.iter().filter(|p| p.is_none()).count()
+    }
+
+    /// The retained error of a poisoned shard, if any.
+    pub fn shard_error(&self, shard: usize) -> Option<&str> {
+        self.poisoned[shard].as_deref()
+    }
+
+    /// One shard's handle (register inspection in tests and debug
+    /// tooling).
+    pub fn shard(&self, shard: usize) -> &Shard {
+        &self.shards[shard]
+    }
+
+    /// Mutable access to one shard's handle.
+    pub fn shard_mut(&mut self, shard: usize) -> &mut Shard {
+        &mut self.shards[shard]
+    }
+
+    /// Sets every shard's per-frame cycle budget.
+    pub fn set_max_cycles_per_frame(&mut self, n: u64) {
+        for s in &mut self.shards {
+            s.driver.set_max_cycles_per_frame(n);
+        }
+    }
+
+    /// Frame buffer capacity of the underlying program (uniform across
+    /// shards — they run the same program).
+    pub fn frame_capacity(&self) -> usize {
+        self.shards[0].frame_capacity()
+    }
+
+    /// Reads a register by name on shard 0 — the single-pipeline
+    /// convenience; use [`Engine::shard`] to address other shards.
+    pub fn read_reg(&self, name: &str) -> Option<Bits> {
+        self.shards[0].read_reg(name)
+    }
+
+    /// Shard 0's IP-block environment — the single-pipeline convenience.
+    pub fn env_mut(&mut self) -> &mut IpEnv {
+        self.shards[0].env_mut()
+    }
+
+    /// Lets every healthy shard run `n` cycles without traffic (service
+    /// background threads make progress).
+    ///
+    /// A shard whose core traps while idling is poisoned exactly as if
+    /// it had trapped on a frame; the remaining shards still idle, and
+    /// the first trap is returned.
+    pub fn idle(&mut self, n: u64) -> EngineResult<()> {
+        let mut first_trap = None;
+        for (k, s) in self.shards.iter_mut().enumerate() {
+            if self.poisoned[k].is_none() {
+                if let Err(e) = s.idle(n) {
+                    self.poisoned[k] = Some(e.0.clone());
+                    first_trap.get_or_insert(EngineError::Trap {
+                        shard: k,
+                        reason: e.0,
+                    });
+                }
+            }
+        }
+        match first_trap {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Processes one frame on its flow's shard.
+    ///
+    /// Input-validation failures (an oversized frame) error without
+    /// touching the core and do *not* poison the shard; an error out of
+    /// the core itself (hung, halted, executor trap) does, because the
+    /// core's state can no longer be trusted.
+    pub fn process(&mut self, frame: &Frame) -> EngineResult<CoreOutput> {
+        self.process_observed(frame, &mut NullObserver)
+    }
+
+    /// Processes one frame under an observer (debug tooling).
+    pub fn process_observed(
+        &mut self,
+        frame: &Frame,
+        obs: &mut dyn Observer,
+    ) -> EngineResult<CoreOutput> {
+        let k = self.shard_of(frame);
+        if let Some(reason) = &self.poisoned[k] {
+            return Err(EngineError::Poisoned {
+                shard: k,
+                reason: reason.clone(),
+            });
+        }
+        let cap = self.shards[k].frame_capacity();
+        if frame.len() > cap {
+            return Err(EngineError::Oversize {
+                shard: k,
+                len: frame.len(),
+                cap,
+            });
+        }
+        self.shards[k].process(frame, obs).map_err(|e| {
+            self.poisoned[k] = Some(e.0.clone());
+            EngineError::Trap {
+                shard: k,
+                reason: e.0,
+            }
+        })
+    }
+
+    /// Processes a batch: frames are dispatched up front (one
+    /// [`Dispatch::shard_of`] call each, in input order), each shard
+    /// processes its slice in arrival order, and results come back in
+    /// input order. A shard failure poisons only that shard — the
+    /// trapping frame and that shard's later frames report the error,
+    /// every other frame completes normally. Oversized frames fail
+    /// individually without poisoning, exactly as in
+    /// [`Engine::process`].
+    ///
+    /// With [`EngineBuilder::parallel`] the per-shard slices run on
+    /// scoped OS threads; outputs, cycle accounting, and poisoning are
+    /// identical to sequential execution by construction.
+    pub fn process_batch(&mut self, frames: &[Frame]) -> BatchReport {
+        let n = self.shards.len();
+        let mut outputs: Vec<Option<EngineResult<CoreOutput>>> = Vec::new();
+        outputs.resize_with(frames.len(), || None);
+        let mut plan: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        // Dispatch + validation pass, in input order.
+        for (i, f) in frames.iter().enumerate() {
+            let k = self.shard_of(f);
+            if let Some(reason) = &self.poisoned[k] {
+                outputs[i] = Some(Err(EngineError::Poisoned {
+                    shard: k,
+                    reason: reason.clone(),
+                }));
+                continue;
+            }
+            let cap = self.shards[k].frame_capacity();
+            if f.len() > cap {
+                outputs[i] = Some(Err(EngineError::Oversize {
+                    shard: k,
+                    len: f.len(),
+                    cap,
+                }));
+                continue;
+            }
+            plan[k].push(i);
+        }
+
+        // Execution pass: one slice per shard, sequential or threaded.
+        let mut shard_cycles = vec![0u64; n];
+        let runs: Vec<(usize, ShardRun)> = if self.parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(plan.iter())
+                    .enumerate()
+                    .filter(|(_, (_, idxs))| !idxs.is_empty())
+                    .map(|(k, (shard, idxs))| {
+                        scope.spawn(move || (k, run_shard(k, shard, frames, idxs)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards
+                .iter_mut()
+                .zip(plan.iter())
+                .enumerate()
+                .filter(|(_, (_, idxs))| !idxs.is_empty())
+                .map(|(k, (shard, idxs))| (k, run_shard(k, shard, frames, idxs)))
+                .collect()
+        };
+
+        for (k, run) in runs {
+            shard_cycles[k] = run.cycles;
+            self.poisoned[k] = self.poisoned[k].take().or(run.trap);
+            for (i, r) in run.results {
+                outputs[i] = Some(r);
+            }
+        }
+
+        BatchReport {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every frame planned or rejected"))
+                .collect(),
+            shard_cycles,
+        }
+    }
+
+    /// Consumes a **1-shard FPGA** engine, returning the raw driver and
+    /// environment for the NetFPGA pipeline simulator. `None` for CPU
+    /// engines or multi-shard engines (the pipeline model replicates
+    /// cores itself).
+    pub fn into_fpga_parts(self) -> Option<(DataplaneDriver<RtlMachine>, IpEnv)> {
+        if self.shards.len() != 1 {
+            return None;
+        }
+        let shard = self.shards.into_iter().next().expect("one shard");
+        match shard.driver {
+            AnyDriver::Fpga(d) => Some((d, shard.env)),
+            AnyDriver::Cpu(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::service_builder;
+    use kiwi_ir::dsl::*;
+
+    fn port_mirror() -> Service {
+        let (mut pb, dp) = service_builder("mirror", 128);
+        let mut body = vec![dp.rx_wait(), dp.set_output_port(dp.input_port())];
+        body.extend(dp.transmit(dp.rx_len()));
+        body.extend(dp.done());
+        pb.thread("main", vec![forever(body)]);
+        Service::new(pb.build().unwrap())
+    }
+
+    fn flow_frame(src_mac: u64, sport: u16, len: usize) -> Frame {
+        use emu_types::{bitutil, MacAddr};
+        let mut ip = vec![
+            0x45, 0, 0, 40, 0, 0, 0x40, 0, 64, 17, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2,
+        ];
+        let mut udp = vec![0u8; 8];
+        bitutil::set16(&mut udp, 0, sport);
+        bitutil::set16(&mut udp, 2, 53);
+        ip.extend_from_slice(&udp);
+        ip.resize(len.max(28), 0xaa);
+        Frame::ethernet(
+            MacAddr::from_u64(0xB),
+            MacAddr::from_u64(src_mac),
+            0x0800,
+            &ip,
+        )
+    }
+
+    #[test]
+    fn read_reg_by_name() {
+        let (mut pb, dp) = service_builder("counter", 64);
+        let count = pb.reg("rx_count", 32);
+        let mut body = vec![dp.rx_wait(), assign(count, add(var(count), lit(1, 32)))];
+        body.extend(dp.done());
+        pb.thread("main", vec![forever(body)]);
+        let svc = Service::new(pb.build().unwrap());
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
+        for _ in 0..5 {
+            inst.process(&Frame::new(vec![0; 60])).unwrap();
+        }
+        assert_eq!(inst.read_reg("rx_count").unwrap().to_u64(), 5);
+        assert!(inst.read_reg("nonexistent").is_none());
+    }
+
+    #[test]
+    fn write_reg_round_trips_and_rejects_unknown() {
+        let (mut pb, dp) = service_builder("counter", 64);
+        let _count = pb.reg("rx_count", 32);
+        let mut body = vec![dp.rx_wait()];
+        body.extend(dp.done());
+        pb.thread("main", vec![forever(body)]);
+        let svc = Service::new(pb.build().unwrap());
+        let mut inst = svc.engine(Target::Cpu).build().unwrap();
+        assert!(inst.shard_mut(0).write_reg("rx_count", 42));
+        assert_eq!(inst.read_reg("rx_count").unwrap().to_u64(), 42);
+        assert!(!inst.shard_mut(0).write_reg("missing", 1));
+    }
+
+    #[test]
+    fn sharded_engine_matches_single_instance_on_stateless_service() {
+        let svc = port_mirror();
+        let frames: Vec<Frame> = (0..32)
+            .map(|i| flow_frame(i % 5, i as u16 * 7, 60))
+            .collect();
+        let mut single = svc.engine(Target::Fpga).build().unwrap();
+        let mut engine = svc.engine(Target::Fpga).shards(4).build().unwrap();
+        let batch = engine.process_batch(&frames);
+        assert_eq!(batch.ok_count(), frames.len());
+        for (f, out) in frames.iter().zip(&batch.outputs) {
+            let want = single.process(f).unwrap();
+            assert_eq!(out.as_ref().unwrap().tx, want.tx);
+        }
+        assert!(batch.wall_cycles() > 0);
+        assert!(batch.wall_cycles() <= batch.total_cycles());
+    }
+
+    #[test]
+    fn parallel_mode_matches_sequential_exactly() {
+        let svc = port_mirror();
+        let frames: Vec<Frame> = (0..48)
+            .map(|i| flow_frame(i % 7, i as u16 * 13, 60 + (i as usize % 40)))
+            .collect();
+        let mut seq = svc.engine(Target::Fpga).shards(4).build().unwrap();
+        let mut par = svc
+            .engine(Target::Fpga)
+            .shards(4)
+            .parallel(true)
+            .build()
+            .unwrap();
+        assert!(par.is_parallel() && !seq.is_parallel());
+        let a = seq.process_batch(&frames);
+        let b = par.process_batch(&frames);
+        assert_eq!(a.shard_cycles, b.shard_cycles);
+        for (x, y) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_equals_frame_by_frame() {
+        let svc = port_mirror();
+        let frames: Vec<Frame> = (0..10).map(|i| flow_frame(3, i as u16, 80)).collect();
+        let mut a = svc.engine(Target::Fpga).build().unwrap();
+        let mut b = svc.engine(Target::Fpga).build().unwrap();
+        let batch = a.process_batch(&frames);
+        let single: Vec<CoreOutput> = frames.iter().map(|f| b.process(f).unwrap()).collect();
+        assert_eq!(
+            batch
+                .outputs
+                .iter()
+                .map(|o| o.as_ref().unwrap().clone())
+                .collect::<Vec<_>>(),
+            single
+        );
+        assert_eq!(
+            batch.total_cycles(),
+            single.iter().map(|o| o.cycles).sum::<u64>(),
+            "no idle cycles between back-to-back frames"
+        );
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let svc = port_mirror();
+        let engine = svc
+            .engine(Target::Cpu)
+            .shards(3)
+            .dispatch(RoundRobin::new())
+            .build()
+            .unwrap();
+        let f = Frame::new(vec![0; 60]);
+        assert_eq!(engine.dispatch_name(), "round-robin");
+        assert_eq!(engine.shard_of(&f), 0);
+        assert_eq!(engine.shard_of(&f), 1);
+        assert_eq!(engine.shard_of(&f), 2);
+        assert_eq!(engine.shard_of(&f), 0);
+    }
+
+    #[test]
+    fn nat_steering_keys_inbound_on_external_port() {
+        let steer = NatSteering::default();
+        // Inbound on the external port: dport picks the shard residue.
+        for (dport, want) in [(50_000u16, 0usize), (50_001, 1), (50_006, 2), (50_011, 3)] {
+            let mut f = flow_frame(9, 53, 40);
+            emu_types::bitutil::set16(f.bytes_mut(), offset::L4 + 2, dport);
+            f.in_port = 0;
+            assert_eq!(steer.shard_of(&f, 4), want, "dport {dport}");
+        }
+        // Outbound (internal port): RSS, stable per flow.
+        let mut out1 = flow_frame(7, 4000, 40);
+        out1.in_port = 2;
+        let mut out2 = flow_frame(7, 4000, 200);
+        out2.in_port = 2;
+        assert_eq!(steer.shard_of(&out1, 4), steer.shard_of(&out2, 4));
+        // Below-range inbound falls back to RSS (and is dropped by NAT).
+        let mut low = flow_frame(9, 53, 40);
+        emu_types::bitutil::set16(low.bytes_mut(), offset::L4 + 2, 80);
+        low.in_port = 0;
+        assert_eq!(steer.shard_of(&low, 4), RssHash.shard_of(&low, 4));
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let err = port_mirror()
+            .engine(Target::Cpu)
+            .shards(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Build(_)), "{err}");
+    }
+
+    #[test]
+    fn into_fpga_parts_only_for_single_shard_fpga() {
+        let svc = port_mirror();
+        assert!(svc
+            .engine(Target::Cpu)
+            .build()
+            .unwrap()
+            .into_fpga_parts()
+            .is_none());
+        assert!(svc
+            .engine(Target::Fpga)
+            .shards(2)
+            .build()
+            .unwrap()
+            .into_fpga_parts()
+            .is_none());
+        assert!(svc
+            .engine(Target::Fpga)
+            .build()
+            .unwrap()
+            .into_fpga_parts()
+            .is_some());
+    }
+
+    #[test]
+    fn builder_applies_cycle_budget() {
+        // A service that never signals rx_done: the builder's budget must
+        // trip it (the default 200k-cycle budget would take far longer).
+        let (mut pb, dp) = service_builder("hang", 64);
+        let _ = dp;
+        pb.thread("main", vec![forever(vec![pause()])]);
+        let svc = Service::new(pb.build().unwrap());
+        let mut inst = svc
+            .engine(Target::Cpu)
+            .max_cycles_per_frame(50)
+            .build()
+            .unwrap();
+        let err = inst.process(&Frame::new(vec![0; 60])).unwrap_err();
+        assert!(matches!(err, EngineError::Trap { shard: 0, .. }), "{err}");
+        assert_eq!(inst.healthy_shards(), 0);
+    }
+}

@@ -11,27 +11,32 @@
 //! * [`csum`] — RFC 1071/1624 checksum arithmetic as IR expressions,
 //! * [`ipblock`] — wrappers for hardware IP blocks: CAM, the Figure 5
 //!   streaming hash, and the Figure 9 LRU cache,
-//! * [`runner`] — the heterogeneous-target execution environment: one
-//!   program instantiated on the CPU (interpreter) or FPGA
-//!   (cycle-accurate FSM) target, plus the differential-testing harness
-//!   and the sharded multi-pipeline engine ([`ShardedEngine`]) with its
-//!   RSS-style flow dispatcher and batch processing API.
+//! * [`runner`] — the heterogeneous-target service description: one
+//!   program targeting the CPU (interpreter) or FPGA (cycle-accurate
+//!   FSM) backend, the RSS flow digest, and the differential-testing
+//!   harness,
+//! * [`engine`] — the unified execution surface: [`Service::engine`]
+//!   builds an [`Engine`] of 1..N replicated pipelines behind a
+//!   pluggable [`Dispatch`] policy, with sequential (cost-model) and
+//!   real-thread parallel execution.
 //!
 //! Services built from these pieces live in `emu-services`; the Mininet
 //! analogue in `netsim` provides the third target.
 
 pub mod csum;
 pub mod dataplane;
+pub mod engine;
 pub mod ipblock;
 pub mod proto;
 pub mod runner;
 
 pub use dataplane::Dataplane;
+pub use engine::{
+    BatchReport, Dispatch, Engine, EngineBuilder, EngineError, EngineResult, NatSteering,
+    RoundRobin, RssHash, Shard,
+};
 pub use ipblock::{CamDeleteIf, CamIf, HashIf, LruIf, NaughtyQIf};
 pub use proto::{
     ArpWrapper, DnsWrapper, EthernetWrapper, IcmpWrapper, Ipv4Wrapper, TcpWrapper, UdpWrapper,
 };
-pub use runner::{
-    assert_targets_agree, flow_hash, flow_key, service_builder, AnyDriver, Service,
-    ServiceInstance, ShardedBatch, ShardedEngine, Target,
-};
+pub use runner::{assert_targets_agree, flow_hash, flow_key, service_builder, Service, Target};

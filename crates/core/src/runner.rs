@@ -1,30 +1,29 @@
-//! The multi-target runner: one program, three execution targets —
-//! plus the sharded scale-out engine.
+//! The multi-target service description: one program, several execution
+//! targets.
 //!
 //! This is contribution 2 of the paper: "an execution environment that
 //! supports running a single codebase over heterogeneous targets,
 //! including CPUs, network simulators, and FPGAs." A [`Service`] bundles
 //! a program with a recipe for its IP-block environment; [`Target`]
-//! selects the backend. The Mininet-analogue target lives in the `netsim`
-//! crate (it embeds the same CPU backend in a network simulation).
+//! selects the backend. Execution goes through the unified engine in
+//! [`crate::engine`]: `service.engine(target).build()` yields an
+//! [`crate::Engine`] whether the deployment is a single pipeline or a
+//! sharded scale-out (§5.4's "one core per port"). The Mininet-analogue
+//! target lives in the `netsim` crate (it embeds the same CPU backend in
+//! a network simulation).
 //!
-//! The paper's NetFPGA deployment scales by replicating the service
-//! pipeline across parallel datapaths — §5.4 runs "four Emu cores (one
-//! per port)". [`ShardedEngine`] is that replication made first-class:
-//! N instances of one [`Service`], an RSS-style flow hash dispatching
-//! frames so that every frame of one flow lands on the same instance,
-//! and a batch API ([`ServiceInstance::process_batch`]) that amortizes
-//! per-frame setup. See [`flow_hash`] for the dispatch function and
-//! [`ShardedEngine::process_batch`] for the failure-isolation contract.
+//! This module also owns the RSS-style flow digest ([`flow_key`] /
+//! [`flow_hash`]) the default dispatch policy uses, and the
+//! [`assert_targets_agree`] differential harness.
 
 use crate::dataplane::Dataplane;
-use emu_rtl::{ExecBackend, IpEnv, RtlMachine};
+use emu_rtl::IpEnv;
 use emu_types::proto::{ether_type, ip_proto, offset};
 use emu_types::{checksum, Frame};
 use kiwi::CostModel;
-use kiwi_ir::interp::{NullObserver, Observer};
-use kiwi_ir::{IrError, IrResult, Machine, Program};
-use netfpga_sim::dataplane::{BatchOutput, CoreOutput};
+use kiwi_ir::interp::Observer;
+use kiwi_ir::{IrResult, Machine, Program};
+use netfpga_sim::dataplane::CoreOutput;
 use netfpga_sim::DataplaneDriver;
 
 /// Execution target selector.
@@ -37,6 +36,12 @@ pub enum Target {
 }
 
 /// A deployable service: program + IP-block environment recipe.
+///
+/// A `Service` is a *description*; to run it, build an engine:
+///
+/// ```ignore
+/// let mut engine = svc.engine(Target::Fpga).shards(4).build()?;
+/// ```
 pub struct Service {
     /// The service program (must declare the dataplane contract).
     pub program: Program,
@@ -64,150 +69,86 @@ impl Service {
             cost_model: CostModel::default(),
         }
     }
-
-    /// Instantiates the service as `shards` replicated pipelines behind a
-    /// flow-hashing dispatcher — the multi-datapath deployment of §5.4.
-    ///
-    /// Each shard is an independent [`ServiceInstance`] with its own
-    /// IP-block environment, so stateful services keep per-shard state;
-    /// see [`ShardedEngine`] for the flow-affinity contract that makes
-    /// that correct.
-    pub fn instantiate_sharded(&self, target: Target, shards: usize) -> IrResult<ShardedEngine> {
-        ShardedEngine::new(self, target, shards)
-    }
-
-    /// Instantiates the service on a target.
-    pub fn instantiate(&self, target: Target) -> IrResult<ServiceInstance> {
-        let env = (self.make_env)();
-        let driver = match target {
-            Target::Cpu => {
-                let m = Machine::new(kiwi_ir::flatten(&self.program)?);
-                AnyDriver::Cpu(DataplaneDriver::new(m)?)
-            }
-            Target::Fpga => {
-                let fsm = kiwi::compile_with(&self.program, self.cost_model.clone())?;
-                AnyDriver::Fpga(DataplaneDriver::new(RtlMachine::new(fsm))?)
-            }
-        };
-        Ok(ServiceInstance { driver, env })
-    }
 }
 
-/// Target-erased dataplane driver.
-pub enum AnyDriver {
+/// Target-erased dataplane driver (internal: the public execution
+/// surface is [`crate::Engine`]).
+pub(crate) enum AnyDriver {
     /// Interpreter-backed.
     Cpu(DataplaneDriver<Machine>),
     /// FSM-backed.
-    Fpga(DataplaneDriver<RtlMachine>),
+    Fpga(DataplaneDriver<emu_rtl::RtlMachine>),
 }
 
 impl AnyDriver {
-    /// Processes a batch of frames on whichever backend is live.
-    pub fn process_batch(
+    /// Instantiates the driver for `service` on `target`.
+    pub(crate) fn new(service: &Service, target: Target) -> IrResult<Self> {
+        Ok(match target {
+            Target::Cpu => {
+                let m = Machine::new(kiwi_ir::flatten(&service.program)?);
+                AnyDriver::Cpu(DataplaneDriver::new(m)?)
+            }
+            Target::Fpga => {
+                let fsm = kiwi::compile_with(&service.program, service.cost_model.clone())?;
+                AnyDriver::Fpga(DataplaneDriver::new(emu_rtl::RtlMachine::new(fsm))?)
+            }
+        })
+    }
+
+    pub(crate) fn process(
         &mut self,
-        frames: &[Frame],
+        frame: &Frame,
         env: &mut IpEnv,
         obs: &mut dyn Observer,
-    ) -> IrResult<BatchOutput> {
+    ) -> IrResult<CoreOutput> {
         match self {
-            AnyDriver::Cpu(d) => d.process_batch(frames, env, obs),
-            AnyDriver::Fpga(d) => d.process_batch(frames, env, obs),
+            AnyDriver::Cpu(d) => d.process(frame, env, obs),
+            AnyDriver::Fpga(d) => d.process(frame, env, obs),
         }
     }
 
-    /// Sets the per-frame cycle budget after which the driver declares
-    /// the core hung.
-    pub fn set_max_cycles_per_frame(&mut self, n: u64) {
+    pub(crate) fn idle(&mut self, n: u64, env: &mut IpEnv, obs: &mut dyn Observer) -> IrResult<()> {
+        match self {
+            AnyDriver::Cpu(d) => d.idle(n, env, obs),
+            AnyDriver::Fpga(d) => d.idle(n, env, obs),
+        }
+    }
+
+    pub(crate) fn set_max_cycles_per_frame(&mut self, n: u64) {
         match self {
             AnyDriver::Cpu(d) => d.max_cycles_per_frame = n,
             AnyDriver::Fpga(d) => d.max_cycles_per_frame = n,
         }
     }
 
-    /// Frame buffer capacity of the wrapped program.
-    pub fn frame_capacity(&self) -> usize {
+    pub(crate) fn frame_capacity(&self) -> usize {
         match self {
             AnyDriver::Cpu(d) => d.frame_capacity(),
             AnyDriver::Fpga(d) => d.frame_capacity(),
         }
     }
-}
 
-/// A running service on some target.
-pub struct ServiceInstance {
-    driver: AnyDriver,
-    env: IpEnv,
-}
-
-impl ServiceInstance {
-    /// Processes one frame, returning transmissions and cycles consumed.
-    pub fn process(&mut self, frame: &Frame) -> IrResult<CoreOutput> {
-        self.process_observed(frame, &mut NullObserver)
-    }
-
-    /// Processes `frames` back-to-back, amortizing per-frame setup.
-    ///
-    /// Equivalent to calling [`ServiceInstance::process`] once per frame
-    /// and collecting the outputs (the sharding test suite asserts the
-    /// equivalence exactly); additionally reports the batch's total cycle
-    /// cost. Fails fast on the first frame that errors.
-    pub fn process_batch(&mut self, frames: &[Frame]) -> IrResult<BatchOutput> {
-        self.driver
-            .process_batch(frames, &mut self.env, &mut NullObserver)
-    }
-
-    /// Sets the per-frame cycle budget after which processing errors out
-    /// (fault-injection tests tighten this to trip hung cores quickly).
-    pub fn set_max_cycles_per_frame(&mut self, n: u64) {
-        self.driver.set_max_cycles_per_frame(n);
-    }
-
-    /// Frame buffer capacity of the underlying program.
-    pub fn frame_capacity(&self) -> usize {
-        self.driver.frame_capacity()
-    }
-
-    /// Processes one frame under an observer (debug tooling).
-    pub fn process_observed(
-        &mut self,
-        frame: &Frame,
-        obs: &mut dyn Observer,
-    ) -> IrResult<CoreOutput> {
-        match &mut self.driver {
-            AnyDriver::Cpu(d) => d.process(frame, &mut self.env, obs),
-            AnyDriver::Fpga(d) => d.process(frame, &mut self.env, obs),
+    pub(crate) fn program(&self) -> &Program {
+        use emu_rtl::ExecBackend;
+        match self {
+            AnyDriver::Cpu(d) => d.backend().program(),
+            AnyDriver::Fpga(d) => d.backend().program(),
         }
     }
 
-    /// Lets the core run `n` cycles without traffic.
-    pub fn idle(&mut self, n: u64) -> IrResult<()> {
-        match &mut self.driver {
-            AnyDriver::Cpu(d) => d.idle(n, &mut self.env, &mut NullObserver),
-            AnyDriver::Fpga(d) => d.idle(n, &mut self.env, &mut NullObserver),
+    pub(crate) fn machine_state(&self) -> &kiwi_ir::interp::MachineState {
+        use emu_rtl::ExecBackend;
+        match self {
+            AnyDriver::Cpu(d) => d.backend().machine_state(),
+            AnyDriver::Fpga(d) => d.backend().machine_state(),
         }
     }
 
-    /// Reads a register by name (debug/verification convenience).
-    pub fn read_reg(&self, name: &str) -> Option<emu_types::Bits> {
-        let (prog, st) = match &self.driver {
-            AnyDriver::Cpu(d) => (d.backend().program(), d.backend().machine_state()),
-            AnyDriver::Fpga(d) => (d.backend().program(), d.backend().machine_state()),
-        };
-        prog.var_by_name(name)
-            .map(|v| st.vars[v.0 as usize].clone())
-    }
-
-    /// The IP-block environment (for attaching more models in tests).
-    pub fn env_mut(&mut self) -> &mut IpEnv {
-        &mut self.env
-    }
-
-    /// Consumes the instance, returning the FPGA driver if this instance
-    /// runs on the FPGA target (used by the pipeline simulator).
-    pub fn into_fpga_parts(self) -> Option<(DataplaneDriver<RtlMachine>, IpEnv)> {
-        match self.driver {
-            AnyDriver::Fpga(d) => Some((d, self.env)),
-            AnyDriver::Cpu(_) => None,
+    pub(crate) fn machine_state_mut(&mut self) -> &mut kiwi_ir::interp::MachineState {
+        use emu_rtl::ExecBackend;
+        match self {
+            AnyDriver::Cpu(d) => d.backend_mut().machine_state_mut(),
+            AnyDriver::Fpga(d) => d.backend_mut().machine_state_mut(),
         }
     }
 }
@@ -215,8 +156,8 @@ impl ServiceInstance {
 /// Runs the same frames through both targets and asserts identical
 /// transmissions — the differential harness used across the test suite.
 pub fn assert_targets_agree(service: &Service, frames: &[Frame]) -> IrResult<()> {
-    let mut cpu = service.instantiate(Target::Cpu)?;
-    let mut fpga = service.instantiate(Target::Fpga)?;
+    let mut cpu = service.engine(Target::Cpu).build()?;
+    let mut fpga = service.engine(Target::Fpga).build()?;
     for (i, f) in frames.iter().enumerate() {
         let a = cpu.process(f)?;
         let b = fpga.process(f)?;
@@ -235,8 +176,9 @@ pub fn assert_targets_agree(service: &Service, frames: &[Frame]) -> IrResult<()>
 /// it carries TCP or UDP.
 ///
 /// Frames of one flow (one 5-tuple) always produce the same key whatever
-/// their payload, which is what gives [`ShardedEngine`] its flow-affinity
-/// guarantee. Non-IP frames hash on MAC addresses alone.
+/// their payload, which is what gives the [`crate::RssHash`] dispatch
+/// policy its flow-affinity guarantee. Non-IP frames hash on MAC
+/// addresses alone.
 pub fn flow_key(frame: &Frame) -> [u8; 26] {
     let b = frame.bytes();
     let mut key = [0u8; 26];
@@ -272,191 +214,6 @@ pub fn flow_hash(frame: &Frame) -> u64 {
     h
 }
 
-/// Per-input-frame results of a sharded batch.
-///
-/// Unlike the single-pipeline [`BatchOutput`], results are per-frame
-/// `Result`s: a trapped shard fails its own frames and leaves every other
-/// shard's results intact (the failure-isolation contract exercised by
-/// `tests/failure_injection.rs`).
-#[derive(Debug)]
-pub struct ShardedBatch {
-    /// Per-frame outcome, in the order the frames were offered.
-    pub outputs: Vec<IrResult<CoreOutput>>,
-    /// Busy core-cycles consumed by each shard during this batch.
-    pub shard_cycles: Vec<u64>,
-}
-
-impl ShardedBatch {
-    /// Wall-clock cycles of the batch under the parallel-datapath model:
-    /// shards run concurrently, so the batch takes as long as its busiest
-    /// shard. This is the denominator of the scaling benchmarks.
-    pub fn wall_cycles(&self) -> u64 {
-        self.shard_cycles.iter().copied().max().unwrap_or(0)
-    }
-
-    /// Number of frames that processed successfully.
-    pub fn ok_count(&self) -> usize {
-        self.outputs.iter().filter(|o| o.is_ok()).count()
-    }
-}
-
-/// N replicated pipelines of one service behind an RSS-style dispatcher.
-///
-/// This models the paper's multi-datapath NetFPGA deployment (§5.4, "one
-/// core per port") as a first-class engine: [`flow_hash`] steers each
-/// frame to `hash % N`, so all frames of one 5-tuple share one shard and
-/// per-flow state (NAT mappings, learned MACs, cached values) stays
-/// consistent without cross-shard coordination.
-///
-/// # Flow affinity and stateful services
-///
-/// Per-shard state is *partitioned*, not shared. That is correct for any
-/// service whose state is keyed by flow (NAT's translation tables) and
-/// for stateless services trivially; services with *global* state reached
-/// by many flows (a learning switch, memcached SETs) either tolerate
-/// partitioning (per-shard MAC tables re-learn independently) or need
-/// replicated writes, as §5.4 does for memcached SET traffic — see
-/// `netfpga_sim::MultiCoreSim` for that strategy. `emu_services::nat`
-/// documents the service-side view of this contract.
-///
-/// # Failure isolation
-///
-/// A shard whose program traps (hung core, executor error) is poisoned:
-/// its frames report errors, its siblings keep processing, and the error
-/// text is retained on [`ShardedEngine::shard_error`]. Recoverable
-/// input-validation failures (an oversized frame) are rejected per frame
-/// *without* poisoning — the core never saw the frame, so its state is
-/// still good.
-pub struct ShardedEngine {
-    shards: Vec<ServiceInstance>,
-    poisoned: Vec<Option<String>>,
-}
-
-impl ShardedEngine {
-    /// Builds `shards` instances of `service` on `target`.
-    pub fn new(service: &Service, target: Target, shards: usize) -> IrResult<Self> {
-        if shards == 0 {
-            return Err(IrError("a sharded engine needs at least one shard".into()));
-        }
-        let shards = (0..shards)
-            .map(|_| service.instantiate(target))
-            .collect::<IrResult<Vec<_>>>()?;
-        let poisoned = shards.iter().map(|_| None).collect();
-        Ok(ShardedEngine { shards, poisoned })
-    }
-
-    /// Number of shards (replicated pipelines).
-    pub fn num_shards(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// The shard index `frame` dispatches to.
-    pub fn shard_of(&self, frame: &Frame) -> usize {
-        (flow_hash(frame) % self.shards.len() as u64) as usize
-    }
-
-    /// Number of shards still accepting traffic.
-    pub fn healthy_shards(&self) -> usize {
-        self.poisoned.iter().filter(|p| p.is_none()).count()
-    }
-
-    /// The retained error of a poisoned shard, if any.
-    pub fn shard_error(&self, shard: usize) -> Option<&str> {
-        self.poisoned[shard].as_deref()
-    }
-
-    /// Direct access to one shard's instance (register inspection in
-    /// tests and debug tooling).
-    pub fn shard_mut(&mut self, shard: usize) -> &mut ServiceInstance {
-        &mut self.shards[shard]
-    }
-
-    /// Sets every shard's per-frame cycle budget.
-    pub fn set_max_cycles_per_frame(&mut self, n: u64) {
-        for s in &mut self.shards {
-            s.set_max_cycles_per_frame(n);
-        }
-    }
-
-    /// Processes one frame on its flow's shard.
-    ///
-    /// Input-validation failures (an oversized frame) error without
-    /// touching the core and do *not* poison the shard; an error out of
-    /// the core itself (hung, halted, executor trap) does, because the
-    /// core's state can no longer be trusted.
-    pub fn process(&mut self, frame: &Frame) -> IrResult<CoreOutput> {
-        let k = self.shard_of(frame);
-        if let Some(err) = &self.poisoned[k] {
-            return Err(IrError(format!("shard {k} is poisoned: {err}")));
-        }
-        let cap = self.shards[k].frame_capacity();
-        if frame.len() > cap {
-            return Err(IrError(format!(
-                "frame of {} B exceeds shard {k} buffer of {cap} B",
-                frame.len()
-            )));
-        }
-        self.shards[k].process(frame).map_err(|e| {
-            self.poisoned[k] = Some(e.0.clone());
-            IrError(format!("shard {k}: {}", e.0))
-        })
-    }
-
-    /// Processes a batch: contiguous runs of same-shard frames go through
-    /// that shard's batch path (no copying), and results come back in
-    /// input order. A shard failure poisons only that shard — the failing
-    /// run's frames report the error, every other frame completes
-    /// normally. Oversized frames fail individually without poisoning,
-    /// exactly as in [`ShardedEngine::process`].
-    pub fn process_batch(&mut self, frames: &[Frame]) -> ShardedBatch {
-        let n = self.shards.len();
-        let mut outputs: Vec<IrResult<CoreOutput>> = Vec::with_capacity(frames.len());
-        let mut shard_cycles = vec![0u64; n];
-
-        let mut i = 0;
-        while i < frames.len() {
-            let k = self.shard_of(&frames[i]);
-            if let Some(err) = &self.poisoned[k] {
-                outputs.push(Err(IrError(format!("shard {k} is poisoned: {err}"))));
-                i += 1;
-                continue;
-            }
-            let cap = self.shards[k].frame_capacity();
-            if frames[i].len() > cap {
-                outputs.push(Err(IrError(format!(
-                    "frame of {} B exceeds shard {k} buffer of {cap} B",
-                    frames[i].len()
-                ))));
-                i += 1;
-                continue;
-            }
-            // Extend the run while frames keep hashing to this shard and
-            // pass validation, then hand the sub-slice to the shard.
-            let mut j = i + 1;
-            while j < frames.len() && frames[j].len() <= cap && self.shard_of(&frames[j]) == k {
-                j += 1;
-            }
-            match self.shards[k].process_batch(&frames[i..j]) {
-                Ok(batch) => {
-                    shard_cycles[k] += batch.cycles;
-                    outputs.extend(batch.outputs.into_iter().map(Ok));
-                }
-                Err(e) => {
-                    self.poisoned[k] = Some(e.0.clone());
-                    let msg = format!("shard {k}: {}", e.0);
-                    outputs.extend((i..j).map(|_| Err(IrError(msg.clone()))));
-                }
-            }
-            i = j;
-        }
-
-        ShardedBatch {
-            outputs,
-            shard_cycles,
-        }
-    }
-}
-
 /// A convenience used by services and examples: declare the dataplane and
 /// hand back both the builder and the handle.
 pub fn service_builder(name: &str, frame_capacity: usize) -> (kiwi_ir::ProgramBuilder, Dataplane) {
@@ -490,22 +247,6 @@ mod tests {
             })
             .collect();
         assert_targets_agree(&svc, &frames).unwrap();
-    }
-
-    #[test]
-    fn read_reg_by_name() {
-        let (mut pb, dp) = service_builder("counter", 64);
-        let count = pb.reg("rx_count", 32);
-        let mut body = vec![dp.rx_wait(), assign(count, add(var(count), lit(1, 32)))];
-        body.extend(dp.done());
-        pb.thread("main", vec![forever(body)]);
-        let svc = Service::new(pb.build().unwrap());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
-        for _ in 0..5 {
-            inst.process(&Frame::new(vec![0; 60])).unwrap();
-        }
-        assert_eq!(inst.read_reg("rx_count").unwrap().to_u64(), 5);
-        assert!(inst.read_reg("nonexistent").is_none());
     }
 
     #[test]
@@ -556,58 +297,5 @@ mod tests {
         for (k, &count) in seen.iter().enumerate() {
             assert!(count > 24, "shard {k} starved: {seen:?}");
         }
-    }
-
-    #[test]
-    fn sharded_engine_matches_single_instance_on_stateless_service() {
-        let svc = port_mirror();
-        let frames: Vec<Frame> = (0..32)
-            .map(|i| flow_frame(i % 5, i as u16 * 7, 60))
-            .collect();
-        let mut single = svc.instantiate(Target::Fpga).unwrap();
-        let mut engine = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
-        let batch = engine.process_batch(&frames);
-        assert_eq!(batch.ok_count(), frames.len());
-        for (f, out) in frames.iter().zip(&batch.outputs) {
-            let want = single.process(f).unwrap();
-            assert_eq!(out.as_ref().unwrap().tx, want.tx);
-        }
-        assert!(batch.wall_cycles() > 0);
-    }
-
-    #[test]
-    fn batch_equals_frame_by_frame() {
-        let svc = port_mirror();
-        let frames: Vec<Frame> = (0..10).map(|i| flow_frame(3, i as u16, 80)).collect();
-        let mut a = svc.instantiate(Target::Fpga).unwrap();
-        let mut b = svc.instantiate(Target::Fpga).unwrap();
-        let batch = a.process_batch(&frames).unwrap();
-        let single: Vec<CoreOutput> = frames.iter().map(|f| b.process(f).unwrap()).collect();
-        assert_eq!(batch.outputs, single);
-        assert_eq!(
-            batch.cycles,
-            single.iter().map(|o| o.cycles).sum::<u64>(),
-            "no idle cycles between back-to-back frames"
-        );
-    }
-
-    #[test]
-    fn zero_shards_rejected() {
-        assert!(port_mirror().instantiate_sharded(Target::Cpu, 0).is_err());
-    }
-
-    #[test]
-    fn into_fpga_parts_only_for_fpga() {
-        let svc = port_mirror();
-        assert!(svc
-            .instantiate(Target::Cpu)
-            .unwrap()
-            .into_fpga_parts()
-            .is_none());
-        assert!(svc
-            .instantiate(Target::Fpga)
-            .unwrap()
-            .into_fpga_parts()
-            .is_some());
     }
 }

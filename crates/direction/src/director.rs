@@ -9,11 +9,15 @@
 
 use crate::lang::{compile, Command};
 use crate::packet::{status, DirectionPacket};
-use emu_core::ServiceInstance;
+use emu_core::Engine;
 use emu_types::MacAddr;
 use kiwi_ir::IrResult;
 
 /// Remote-direction client for a running service.
+///
+/// Commands are injected as in-band frames through the engine's normal
+/// dispatch path; direction packets share one src/dst MAC pair, so on a
+/// sharded engine every command consistently reaches the same shard.
 pub struct Director {
     /// Variables exported to the controller, in index order (must match
     /// the `ControllerConfig` used at transform time).
@@ -52,7 +56,7 @@ impl Director {
     /// Sends one raw packet and decodes the reply.
     fn exchange(
         &self,
-        inst: &mut ServiceInstance,
+        inst: &mut Engine,
         op: crate::packet::Opcode,
         var: u8,
         value: u64,
@@ -69,7 +73,7 @@ impl Director {
     }
 
     /// Runs a parsed command against a live instance.
-    pub fn run(&self, inst: &mut ServiceInstance, cmd: &Command) -> IrResult<Outcome> {
+    pub fn run(&self, inst: &mut Engine, cmd: &Command) -> IrResult<Outcome> {
         let ops = compile(cmd, &self.var_table).map_err(kiwi_ir::IrError)?;
         if ops.is_empty() {
             return Ok(Outcome::SoftwareOnly);
@@ -113,7 +117,7 @@ impl Director {
     }
 
     /// Convenience: `print <name>`.
-    pub fn print(&self, inst: &mut ServiceInstance, name: &str) -> IrResult<Outcome> {
+    pub fn print(&self, inst: &mut Engine, name: &str) -> IrResult<Outcome> {
         self.run(inst, &Command::Print(name.to_string()))
     }
 }
@@ -142,7 +146,7 @@ mod tests {
     #[test]
     fn print_command_end_to_end() {
         let (svc, dir) = counter_service_directed(0);
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         for _ in 0..4 {
             inst.process(&Frame::new(vec![0; 60])).unwrap();
         }
@@ -152,7 +156,7 @@ mod tests {
     #[test]
     fn set_and_increment_commands() {
         let (svc, dir) = counter_service_directed(0);
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         dir.run(&mut inst, &crate::lang::parse("set count 100").unwrap())
             .unwrap();
         dir.run(&mut inst, &crate::lang::parse("increment count").unwrap())
@@ -163,7 +167,7 @@ mod tests {
     #[test]
     fn trace_print_collects_history() {
         let (svc, dir) = counter_service_directed(16);
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         dir.run(
             &mut inst,
             &crate::lang::parse("trace start count 4").unwrap(),
@@ -186,7 +190,7 @@ mod tests {
     #[test]
     fn software_only_commands_reported() {
         let (svc, dir) = counter_service_directed(0);
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = dir
             .run(&mut inst, &crate::lang::parse("watch count").unwrap())
             .unwrap();
@@ -196,7 +200,7 @@ mod tests {
     #[test]
     fn unknown_variable_is_an_error() {
         let (svc, dir) = counter_service_directed(0);
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         assert!(dir
             .run(&mut inst, &crate::lang::parse("print missing").unwrap())
             .is_err());

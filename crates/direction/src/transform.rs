@@ -404,7 +404,7 @@ mod tests {
     #[test]
     fn read_variable_over_packets() {
         let svc = directed(&ControllerConfig::read_only(&["count"]));
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // Three normal frames bump the counter.
         for _ in 0..3 {
             inst.process(&Frame::new(vec![0; 60])).unwrap();
@@ -422,7 +422,7 @@ mod tests {
     #[test]
     fn write_and_increment_variants() {
         let svc = directed(&ControllerConfig::full(&["count"], 0));
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         inst.process(&dir_frame(Opcode::WriteVar, 0, 41)).unwrap();
         assert_eq!(inst.read_reg("count").unwrap().to_u64(), 41);
         inst.process(&dir_frame(Opcode::Increment, 0, 0)).unwrap();
@@ -433,7 +433,7 @@ mod tests {
     fn feature_frugality_rejects_uncompiled_ops() {
         // +R only: a write must come back BAD_OP and not change state.
         let svc = directed(&ControllerConfig::read_only(&["count"]));
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst.process(&dir_frame(Opcode::WriteVar, 0, 99)).unwrap();
         let reply = DirectionPacket::decode(&out.tx[0].frame).unwrap();
         assert_eq!(reply.status, status::BAD_OP);
@@ -443,7 +443,7 @@ mod tests {
     #[test]
     fn unknown_variable_index_reports_bad_var() {
         let svc = directed(&ControllerConfig::read_only(&["count"]));
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst.process(&dir_frame(Opcode::ReadVar, 7, 0)).unwrap();
         let reply = DirectionPacket::decode(&out.tx[0].frame).unwrap();
         assert_eq!(reply.status, status::BAD_VAR);
@@ -452,7 +452,7 @@ mod tests {
     #[test]
     fn trace_captures_variable_history() {
         let svc = directed(&ControllerConfig::full(&["count"], 8));
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // Arm the trace on var 0 with depth 5.
         inst.process(&dir_frame(Opcode::TraceStart, 0, 5)).unwrap();
         // Seven normal frames: 5 captured, then depletion.
@@ -477,8 +477,8 @@ mod tests {
     fn normal_traffic_unaffected_by_controller() {
         let plain = counter_service();
         let directed_svc = directed(&ControllerConfig::full(&["count"], 8));
-        let mut a = plain.instantiate(Target::Fpga).unwrap();
-        let mut b = directed_svc.instantiate(Target::Fpga).unwrap();
+        let mut a = plain.engine(Target::Fpga).build().unwrap();
+        let mut b = directed_svc.engine(Target::Fpga).build().unwrap();
         for i in 0..5 {
             let f = Frame::new(vec![i; 64]);
             let ra = a.process(&f).unwrap();

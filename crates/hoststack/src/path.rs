@@ -9,7 +9,7 @@
 //! driver, IP + L4 stack, socket wake-up, application, transmit stack,
 //! NIC TX — each with a lognormal service time. The stage means follow
 //! the breakdown in the authors' own measurement study ("Where has my
-//! time gone?", PAM 2017, reference [50] of the paper); the shape
+//! time gone?", PAM 2017, reference 50 of the paper); the shape
 //! parameters are calibrated per service so that the *averages and tail
 //! ratios* of Table 4 are reproduced (see `EXPERIMENTS.md` for measured
 //! vs paper values). The scheduler/wake-up stage carries most of the

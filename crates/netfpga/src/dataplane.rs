@@ -106,27 +106,6 @@ pub struct CoreOutput {
     pub cycles: u64,
 }
 
-/// Result of processing a batch of frames back-to-back through one core.
-///
-/// Produced by [`DataplaneDriver::process_batch`]: the per-frame outputs
-/// in input order, plus the total core-cycle cost of the whole batch so
-/// callers (the sharded engine, the throughput harnesses) can account
-/// busy time without summing per-frame costs themselves.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BatchOutput {
-    /// Per-frame results, in the order the frames were offered.
-    pub outputs: Vec<CoreOutput>,
-    /// Core-clock cycles consumed across the whole batch.
-    pub cycles: u64,
-}
-
-impl BatchOutput {
-    /// Total frames transmitted across the batch.
-    pub fn tx_count(&self) -> usize {
-        self.outputs.iter().map(|o| o.tx.len()).sum()
-    }
-}
-
 struct ResolvedIds {
     rx_valid: usize,
     rx_len: usize,
@@ -305,38 +284,6 @@ impl<B: ExecBackend> DataplaneDriver<B> {
         Ok(CoreOutput {
             tx,
             cycles: self.backend.cycles() - start_cycle,
-        })
-    }
-
-    /// Delivers `frames` back-to-back, amortizing per-frame setup.
-    ///
-    /// Semantically identical to calling [`DataplaneDriver::process`] once
-    /// per frame (the differential suites assert this); the batch form
-    /// validates lengths up front, keeps the buffer's zero-prefix
-    /// invariant warm across frames, and reports the total cycle cost so
-    /// multi-pipeline callers can account shard busy time in one number.
-    /// Fails fast: an error on frame `i` abandons frames `i+1..`.
-    pub fn process_batch(
-        &mut self,
-        frames: &[Frame],
-        env: &mut dyn Env,
-        obs: &mut dyn Observer,
-    ) -> IrResult<BatchOutput> {
-        let cap = self.frame_capacity();
-        if let Some(f) = frames.iter().find(|f| f.len() > cap) {
-            return Err(IrError(format!(
-                "batch frame of {} B exceeds core buffer of {cap} B",
-                f.len()
-            )));
-        }
-        let start = self.backend.cycles();
-        let mut outputs = Vec::with_capacity(frames.len());
-        for frame in frames {
-            outputs.push(self.process(frame, env, obs)?);
-        }
-        Ok(BatchOutput {
-            outputs,
-            cycles: self.backend.cycles() - start,
         })
     }
 }

@@ -20,6 +20,6 @@ pub mod native;
 pub mod pipeline;
 pub mod timing;
 
-pub use dataplane::{declare, BatchOutput, CoreOutput, DataplaneDriver, DataplanePorts, TxFrame};
+pub use dataplane::{declare, CoreOutput, DataplaneDriver, DataplanePorts, TxFrame};
 pub use native::{MacTable, NativeCore, P4FpgaConfig, P4FpgaCore, RefSwitchCore};
 pub use pipeline::{CoreMode, FrameRecord, MultiCoreSim, PipelineSim};

@@ -1,9 +1,9 @@
 //! Native baseline cores: the designs Table 3 compares Emu against.
 //!
 //! * [`RefSwitchCore`] models the NetFPGA SUME reference learning switch —
-//!   the hand-written Verilog design [45] — as a streaming pipeline with a
+//!   the hand-written Verilog design (reference 45) — as a streaming pipeline with a
 //!   6-cycle module latency and a vendor-optimized (native) CAM.
-//! * [`P4FpgaCore`] models the P4FPGA-generated switch [47]: a 250 MHz
+//! * [`P4FpgaCore`] models the P4FPGA-generated switch (reference 47): a 250 MHz
 //!   parse–match–action–deparse pipeline whose published characteristics
 //!   (85-cycle latency, 53 Mpps at 64 B, a parser per port) are encoded as
 //!   model parameters.

@@ -262,7 +262,7 @@ fn admit(t_arrival: f64, core_free: f64, cyc_ns: f64) -> f64 {
 
 /// A pipeline with one Emu core per port — the §5.4 multi-core Memcached
 /// configuration ("using four Emu cores (one per port) further increases
-/// [throughput] by 3.7×... SET requests must be applied to all
+/// \[throughput\] by 3.7×... SET requests must be applied to all
 /// instances").
 pub struct MultiCoreSim {
     cores: Vec<DataplaneDriver<RtlMachine>>,

@@ -10,7 +10,7 @@
 //! Links model propagation delay and serialization at a configurable
 //! rate; frames are delivered in global time order.
 
-use emu_core::{Service, ServiceInstance, ShardedEngine, Target};
+use emu_core::Engine;
 use emu_types::Frame;
 use kiwi_ir::IrResult;
 use std::cmp::Ordering;
@@ -32,12 +32,10 @@ pub struct Delivery {
 enum NodeKind {
     /// An end host: frames accumulate in its inbox.
     Host { inbox: Vec<Delivery> },
-    /// A service node running an Emu program on the CPU target.
-    Service(Box<ServiceInstance>),
-    /// A service node running N flow-hashed pipeline replicas — the same
-    /// `ShardedEngine` the hardware target uses, so the Mininet-analogue
-    /// exercises identical dispatch behaviour.
-    Sharded(Box<ShardedEngine>),
+    /// A service node: an [`Engine`] of 1..N pipelines, built by the
+    /// caller — the same engine (and dispatch policy) every other target
+    /// uses, so the Mininet-analogue exercises identical behaviour.
+    Service(Box<Engine>),
 }
 
 struct Node {
@@ -125,34 +123,25 @@ impl NetSim {
         NodeId(self.nodes.len() - 1)
     }
 
-    /// Adds a service node running `service` on the CPU target.
-    pub fn add_service(&mut self, name: &str, service: &Service, ports: usize) -> IrResult<NodeId> {
-        let inst = service.instantiate(Target::Cpu)?;
+    /// Adds a service node running a caller-built [`Engine`] with
+    /// `ports` interfaces. The engine carries the whole execution
+    /// configuration — shard count, dispatch policy, target — so a
+    /// single-pipeline node and a sharded scale-out node are the same
+    /// API:
+    ///
+    /// ```ignore
+    /// let node = net.add_service("nat", svc.engine(Target::Cpu).shards(4).build()?, 4);
+    /// ```
+    ///
+    /// Service nodes conventionally run the CPU target (Mininet gives
+    /// functional, not temporal, fidelity), but any engine works.
+    pub fn add_service(&mut self, name: &str, engine: Engine, ports: usize) -> NodeId {
         self.nodes.push(Node {
             name: name.to_string(),
-            kind: NodeKind::Service(Box::new(inst)),
+            kind: NodeKind::Service(Box::new(engine)),
             ifaces: vec![None; ports],
         });
-        Ok(NodeId(self.nodes.len() - 1))
-    }
-
-    /// Adds a service node running `shards` flow-hashed replicas of
-    /// `service` on the CPU target (the scale-out configuration; with
-    /// `shards == 1` it behaves exactly like [`NetSim::add_service`]).
-    pub fn add_service_sharded(
-        &mut self,
-        name: &str,
-        service: &Service,
-        ports: usize,
-        shards: usize,
-    ) -> IrResult<NodeId> {
-        let engine = service.instantiate_sharded(Target::Cpu, shards)?;
-        self.nodes.push(Node {
-            name: name.to_string(),
-            kind: NodeKind::Sharded(Box::new(engine)),
-            ifaces: vec![None; ports],
-        });
-        Ok(NodeId(self.nodes.len() - 1))
+        NodeId(self.nodes.len() - 1)
     }
 
     /// Connects `a.port_a ↔ b.port_b` with the given delay and rate.
@@ -239,8 +228,7 @@ impl NetSim {
                     });
                     continue;
                 }
-                NodeKind::Service(inst) => inst.process(&frame)?,
-                NodeKind::Sharded(engine) => engine.process(&frame)?,
+                NodeKind::Service(engine) => engine.process(&frame)?,
             };
             // Service processing time on the CPU target is not modelled
             // (Mininet gives functional, not temporal, fidelity);
@@ -262,7 +250,7 @@ impl NetSim {
     pub fn inbox(&mut self, host: NodeId) -> Vec<Delivery> {
         match &mut self.nodes[host.0].kind {
             NodeKind::Host { inbox } => std::mem::take(inbox),
-            NodeKind::Service(_) | NodeKind::Sharded(_) => Vec::new(),
+            NodeKind::Service(_) => Vec::new(),
         }
     }
 
@@ -271,19 +259,12 @@ impl NetSim {
         &self.nodes[n.0].name
     }
 
-    /// Access a service node's instance (reading registers in tests).
-    pub fn service_mut(&mut self, n: NodeId) -> Option<&mut ServiceInstance> {
+    /// Access a service node's engine (register/shard inspection in
+    /// tests) — the one accessor for every node shape.
+    pub fn engine_mut(&mut self, n: NodeId) -> Option<&mut Engine> {
         match &mut self.nodes[n.0].kind {
-            NodeKind::Service(inst) => Some(inst),
-            NodeKind::Host { .. } | NodeKind::Sharded(_) => None,
-        }
-    }
-
-    /// Access a sharded service node's engine (shard inspection in tests).
-    pub fn sharded_mut(&mut self, n: NodeId) -> Option<&mut ShardedEngine> {
-        match &mut self.nodes[n.0].kind {
-            NodeKind::Sharded(engine) => Some(engine),
-            _ => None,
+            NodeKind::Service(engine) => Some(engine),
+            NodeKind::Host { .. } => None,
         }
     }
 }
@@ -291,8 +272,12 @@ impl NetSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emu_core::service_builder;
+    use emu_core::{service_builder, Service, Target};
     use kiwi_ir::dsl::*;
+
+    fn cpu_engine(svc: &Service, shards: usize) -> Engine {
+        svc.engine(Target::Cpu).shards(shards).build().unwrap()
+    }
 
     fn mirror_service() -> Service {
         let (mut pb, dp) = service_builder("mirror", 1536);
@@ -321,7 +306,7 @@ mod tests {
     fn mirror_node_reflects() {
         let mut net = NetSim::new();
         let h = net.add_host("h", 1);
-        let m = net.add_service("mirror", &mirror_service(), 4).unwrap();
+        let m = net.add_service("mirror", cpu_engine(&mirror_service(), 1), 4);
         net.link(h, 0, m, 2, 500.0, 10.0);
         net.send(h, 0, Frame::new(vec![1; 60]), 0.0);
         net.run_until(1e9).unwrap();
@@ -334,9 +319,7 @@ mod tests {
     #[test]
     fn switch_learns_across_the_network() {
         let mut net = NetSim::new();
-        let sw = net
-            .add_service("sw", &emu_services::switch_ip_cam(), 4)
-            .unwrap();
+        let sw = net.add_service("sw", cpu_engine(&emu_services::switch_ip_cam(), 1), 4);
         let h: Vec<NodeId> = (0..4)
             .map(|i| {
                 let h = net.add_host(&format!("h{i}"), 1);
@@ -368,14 +351,11 @@ mod tests {
     fn sharded_mirror_node_reflects_like_single() {
         // The same topology behaves identically whether the service node
         // is a single instance or a sharded engine (mirror is stateless).
-        let run = |shards: Option<usize>| {
+        let run = |shards: usize| {
             let mut net = NetSim::new();
             let h = net.add_host("h", 1);
             let svc = mirror_service();
-            let m = match shards {
-                None => net.add_service("mirror", &svc, 4).unwrap(),
-                Some(n) => net.add_service_sharded("mirror", &svc, 4, n).unwrap(),
-            };
+            let m = net.add_service("mirror", cpu_engine(&svc, shards), 4);
             net.link(h, 0, m, 2, 500.0, 10.0);
             for i in 0..6u8 {
                 net.send(
@@ -388,20 +368,19 @@ mod tests {
             net.run_until(1e9).unwrap();
             net.inbox(h)
         };
-        let single = run(None);
-        let sharded = run(Some(4));
+        let single = run(1);
+        let sharded = run(4);
         assert_eq!(single.len(), 6);
         assert_eq!(single, sharded);
     }
 
     #[test]
-    fn sharded_node_exposes_engine() {
+    fn service_node_exposes_engine() {
         let mut net = NetSim::new();
-        let m = net
-            .add_service_sharded("mirror", &mirror_service(), 4, 3)
-            .unwrap();
-        assert_eq!(net.sharded_mut(m).unwrap().num_shards(), 3);
-        assert!(net.service_mut(m).is_none());
+        let m = net.add_service("mirror", cpu_engine(&mirror_service(), 3), 4);
+        let h = net.add_host("h", 1);
+        assert_eq!(net.engine_mut(m).unwrap().num_shards(), 3);
+        assert!(net.engine_mut(h).is_none());
     }
 
     #[test]

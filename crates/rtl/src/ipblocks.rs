@@ -24,7 +24,11 @@ use kiwi_ir::program::Program;
 use std::collections::VecDeque;
 
 /// A steppable IP block bound to a signal prefix.
-pub trait IpBlockModel {
+///
+/// Models must be [`Send`] so a service instance (and its environment)
+/// can move to a worker thread — the engine's parallel execution mode
+/// runs each shard's pipeline on its own thread.
+pub trait IpBlockModel: Send {
     /// One clock cycle: sample the program's outputs, drive its inputs.
     fn step(&mut self, prog: &Program, st: &mut MachineState);
     /// Resource accounting entry for `kiwi::resources::estimate`.

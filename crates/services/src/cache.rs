@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn miss_forwards_to_server() {
         let svc = lru_cache();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst.process(&client_frame("get foo\r\n", 1)).unwrap();
         assert_eq!(out.tx.len(), 1);
         assert_eq!(out.tx[0].ports, 1 << SERVER_PORT);
@@ -305,7 +305,7 @@ mod tests {
     #[test]
     fn set_populates_then_get_hits_locally() {
         let svc = lru_cache();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // SET goes through to the server AND populates the cache.
         let out = inst
             .process(&client_frame("set foo 0 0 8\r\nAAAABBBB\r\n", 1))
@@ -324,7 +324,7 @@ mod tests {
     #[test]
     fn lru_evicts_coldest_entry() {
         let svc = lru_cache();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // Fill the cache beyond capacity with distinct keys.
         for i in 0..(CACHE_SLOTS + 1) {
             let k = format!("k{i:03}");
@@ -346,7 +346,7 @@ mod tests {
     #[test]
     fn touch_on_get_protects_entry() {
         let svc = lru_cache();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         for i in 0..CACHE_SLOTS {
             let k = format!("k{i:03}");
             inst.process(&client_frame(
@@ -368,7 +368,7 @@ mod tests {
     #[test]
     fn server_replies_flooded_to_clients() {
         let svc = lru_cache();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let mut f = request_frame("VALUE x 0 8\r\nZZZZZZZZ\r\nEND\r\n", 9);
         f.in_port = SERVER_PORT;
         let out = inst.process(&f).unwrap();

@@ -285,7 +285,7 @@ mod tests {
     #[test]
     fn resolves_known_name() {
         let svc = dns_server(test_zone());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let q = query_frame("example.com", 0x1234);
         let out = inst.process(&q).unwrap();
         assert_eq!(out.tx.len(), 1);
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn unknown_name_gets_nxdomain() {
         let svc = dns_server(test_zone());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst.process(&query_frame("nope.invalid", 7)).unwrap();
         assert_eq!(out.tx.len(), 1);
         let b = out.tx[0].frame.bytes();
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn oversized_name_gets_notimp() {
         let svc = dns_server(test_zone());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let long = "aaaaaaaaaaaaaaaaaaaa.bbbbbbbbbbbbbbbbbbbb.cc";
         assert!(dns_name_wire(long).len() > MAX_NAME_BYTES);
         let out = inst.process(&query_frame(long, 9)).unwrap();
@@ -331,7 +331,7 @@ mod tests {
     #[test]
     fn non_dns_traffic_ignored() {
         let svc = dns_server(test_zone());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let mut q = query_frame("example.com", 1);
         bitutil::set16(q.bytes_mut(), 36, 5353); // wrong port
         assert!(inst.process(&q).unwrap().tx.is_empty());
@@ -364,7 +364,7 @@ mod tests {
     fn cycle_count_band() {
         // ~170 cycles implied by Table 4's 1.176 Mq/s; accept a band.
         let svc = dns_server(test_zone());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst.process(&query_frame("emu.cl.cam.ac.uk", 1)).unwrap();
         assert!(
             (30..=250).contains(&out.cycles),

@@ -322,7 +322,7 @@ mod tests {
             FilterAction::Accept,
         )
         .unwrap();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // Port 80: dropped.
         assert!(inst.process(&syn_frame(4000, 80, 1)).unwrap().tx.is_empty());
         // Port 443: dropped (range inclusive).
@@ -343,7 +343,7 @@ mod tests {
             FilterAction::Accept,
         )
         .unwrap();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let inside = udp_frame(
             "192.168.9.9".parse().unwrap(),
             1,
@@ -374,7 +374,7 @@ mod tests {
             FilterAction::Accept,
         )
         .unwrap();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let ping = crate::icmp::echo_request_frame(8, 1); // src 10.0.0.1
         assert_eq!(inst.process(&ping).unwrap().tx.len(), 1, "ICMP accepted");
         let udp = udp_frame(
@@ -394,7 +394,7 @@ mod tests {
     fn default_drop_policy() {
         let svc =
             filter_switch_from_lines(&["-A FORWARD -p udp -j ACCEPT"], FilterAction::Drop).unwrap();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let udp = udp_frame(
             "1.2.3.4".parse().unwrap(),
             5,
@@ -417,7 +417,7 @@ mod tests {
     #[test]
     fn still_a_learning_switch() {
         let svc = filter_switch(&[], FilterAction::Accept);
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let mut a = udp_frame(
             "1.1.1.1".parse().unwrap(),
             1,

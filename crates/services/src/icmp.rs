@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn replies_to_valid_echo_request() {
         let svc = icmp_echo();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let req = echo_request_frame(56, 1);
         let out = inst.process(&req).unwrap();
         assert_eq!(out.tx.len(), 1, "one reply expected");
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn corrupt_checksum_is_dropped() {
         let svc = icmp_echo();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let mut req = echo_request_frame(56, 2);
         req.bytes_mut()[40] ^= 0xff; // corrupt payload without fixing csum
         let out = inst.process(&req).unwrap();
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn non_icmp_traffic_ignored() {
         let svc = icmp_echo();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // A UDP frame.
         let mut req = echo_request_frame(56, 3);
         req.bytes_mut()[23] = 17; // protocol = UDP
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn options_bearing_packets_dropped() {
         let svc = icmp_echo();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let mut req = echo_request_frame(56, 5);
         req.bytes_mut()[14] = 0x46; // IHL = 6
         let out = inst.process(&req).unwrap();
@@ -226,7 +226,7 @@ mod tests {
         // that is what grounds Table 4's ~3.2 Mq/s (≈ 62 cycle service
         // time at 200 MHz). Accept a band; EXPERIMENTS.md has exact values.
         let svc = icmp_echo();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst.process(&echo_request_frame(56, 1)).unwrap();
         assert!(
             (20..=120).contains(&out.cycles),

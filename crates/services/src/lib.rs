@@ -7,11 +7,11 @@
 //! * [`filter`] — L3/L4 filter with an iptables-style rule front end
 //!   that generates code slotting into the switch (§4.1),
 //! * [`icmp`] — ICMP echo responder (§4.2),
-//! * [`tcp_ping`] — SYN → SYN-ACK reachability responder (§4.2),
+//! * [`tcp_ping`](mod@tcp_ping) — SYN → SYN-ACK reachability responder (§4.2),
 //! * [`dns`] — non-recursive DNS server, ≤26-byte names (§4.3),
-//! * [`memcached`] — ASCII-over-UDP memcached with GET/SET/DELETE
+//! * [`memcached`](mod@memcached) — ASCII-over-UDP memcached with GET/SET/DELETE
 //!   (§4.3),
-//! * [`nat`] — UDP+TCP network address translation (§4.4),
+//! * [`nat`](mod@nat) — UDP+TCP network address translation (§4.4),
 //! * [`cache`] — in-dataplane look-aside LRU cache (§4.4, Figure 9).
 //!
 //! Every service is a plain function returning an [`emu_core::Service`],

@@ -388,7 +388,7 @@ mod tests {
     #[test]
     fn set_then_get_round_trip() {
         let svc = memcached();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let set = request_frame("set foo 0 0 8\r\nAAAABBBB\r\n", 1);
         let out = inst.process(&set).unwrap();
         assert_eq!(reply_text(&out.tx[0].frame), b"STORED\r\n");
@@ -413,7 +413,7 @@ mod tests {
     #[test]
     fn get_miss_returns_end() {
         let svc = memcached();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst.process(&request_frame("get nothere\r\n", 1)).unwrap();
         // Key "nothere" is 7 bytes — fits; miss → END.
         assert_eq!(reply_text(&out.tx[0].frame), b"END\r\n");
@@ -422,7 +422,7 @@ mod tests {
     #[test]
     fn delete_semantics() {
         let svc = memcached();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         inst.process(&request_frame("set k1 0 0 8\r\n12345678\r\n", 1))
             .unwrap();
         let out = inst.process(&request_frame("delete k1\r\n", 2)).unwrap();
@@ -436,7 +436,7 @@ mod tests {
     #[test]
     fn overwrite_replaces_value() {
         let svc = memcached();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         inst.process(&request_frame("set k 0 0 8\r\nOLDVALUE\r\n", 1))
             .unwrap();
         inst.process(&request_frame("set k 0 0 8\r\nNEWVALUE\r\n", 2))
@@ -451,7 +451,7 @@ mod tests {
     #[test]
     fn oversized_key_rejected_silently() {
         let svc = memcached();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst
             .process(&request_frame("get waytoolongkey\r\n", 1))
             .unwrap();
@@ -461,7 +461,7 @@ mod tests {
     #[test]
     fn wrong_port_ignored() {
         let svc = memcached();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let mut f = request_frame("get foo\r\n", 1);
         emu_types::bitutil::set16(f.bytes_mut(), 36, 11212);
         assert!(inst.process(&f).unwrap().tx.is_empty());
@@ -470,7 +470,7 @@ mod tests {
     #[test]
     fn stats_registers_track_ops() {
         let svc = memcached();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         inst.process(&request_frame("set a 0 0 8\r\nxxxxxxxx\r\n", 1))
             .unwrap();
         inst.process(&request_frame("get a\r\n", 2)).unwrap();
@@ -496,7 +496,7 @@ mod tests {
     fn cycle_count_band() {
         // Table 4 implies ~103 cycles per query at 1.932 Mq/s.
         let svc = memcached();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         inst.process(&request_frame("set mykey 0 0 8\r\nVVVVVVVV\r\n", 1))
             .unwrap();
         let out = inst.process(&request_frame("get mykey\r\n", 2)).unwrap();

@@ -20,27 +20,35 @@
 //! # Flow-affinity requirements under sharding
 //!
 //! NAT is the canonical *stateful* service for the scale-out engine
-//! (`emu_core::ShardedEngine`): its translation tables are keyed by flow,
-//! so partitioning state across shards is correct **iff every frame of a
-//! flow reaches the shard that allocated the flow's mapping**. The
-//! engine's RSS dispatch (`emu_core::flow_hash`) guarantees this for
-//! outbound traffic — one 5-tuple always hashes to one shard — which
-//! `tests/sharding.rs` asserts by checking that repeated frames of each
-//! flow keep their allocated external port.
+//! (`emu_core::Engine`): its translation tables are keyed by flow, so
+//! partitioning state across shards is correct **iff every frame of a
+//! flow reaches the shard that allocated the flow's mapping**. RSS
+//! dispatch (`emu_core::RssHash`) guarantees this for outbound traffic —
+//! one 5-tuple always hashes to one shard — which `tests/sharding.rs`
+//! asserts by checking that repeated frames of each flow keep their
+//! allocated external port.
 //!
-//! Two sharding caveats are inherent to NAT rather than to the engine:
+//! Two caveats are inherent to NAT rather than to the engine, and both
+//! are solved by deploying with the `emu_core::NatSteering` dispatch
+//! policy instead of plain RSS:
 //!
 //! * **Return traffic** carries the *public* address and the *allocated
 //!   external port*, so its 5-tuple differs from the outbound one and
-//!   hashes independently. A deployment must steer inbound frames by
-//!   external port (the reverse-table key) to the owning shard — e.g.
-//!   partitioning the ephemeral-port range per shard — rather than by
-//!   plain RSS. The single-pipeline tests cover the inbound path; the
-//!   sharded tests exercise the outbound half that RSS handles.
-//! * **Ephemeral-port allocation** is per shard: two shards can hand out
-//!   the same external port to different flows. Per-shard disjoint port
-//!   ranges (shard k allocating `FIRST_EPHEMERAL + k`, step N) would
-//!   restore global uniqueness without cross-shard coordination.
+//!   hashes independently — plain RSS strands replies on the wrong
+//!   shard, where the reverse lookup misses and the frame is dropped.
+//!   `NatSteering` keys inbound frames on the external port instead.
+//! * **Ephemeral-port allocation** is per shard: under RSS two shards
+//!   can hand out the same external port to different flows.
+//!   `NatSteering` partitions the range — shard *k* allocates
+//!   `FIRST_EPHEMERAL + k`, stepping by the shard count — restoring
+//!   global uniqueness without cross-shard coordination, and making the
+//!   port's residue identify the owning shard for inbound steering.
+//!
+//! The allocation contract the policy programs is three registers this
+//! service declares: `next_port` (the allocation cursor), `port_base`
+//! (where the cursor restarts after wrap-around), and `port_stride` (the
+//! cursor's step). Their defaults — `FIRST_EPHEMERAL`, `FIRST_EPHEMERAL`,
+//! 1 — reproduce the unsharded behaviour exactly.
 
 use emu_core::csum::{csum_update_u32, csum_update_word};
 use emu_core::ipblock::CamIf;
@@ -68,11 +76,21 @@ pub fn nat(public_ip: Ipv4) -> Service {
     // Reverse table: {ext_port, proto} → {int_ip, int_port, phys_port}.
     let rev = CamIf::declare(&mut pb, "rev", 24, 56);
 
+    // The ephemeral-port allocation contract (see the module docs):
+    // `next_port` steps by `port_stride` and restarts at `port_base`,
+    // so a dispatch policy can give each shard a disjoint residue class
+    // of the range. Defaults reproduce the unsharded counter.
     let next_port = pb.reg_init(
         "next_port",
         16,
         emu_types::Bits::from_u64(u64::from(FIRST_EPHEMERAL), 16),
     );
+    let port_base = pb.reg_init(
+        "port_base",
+        16,
+        emu_types::Bits::from_u64(u64::from(FIRST_EPHEMERAL), 16),
+    );
+    let port_stride = pb.reg_init("port_stride", 16, emu_types::Bits::from_u64(1, 16));
     let proto = pb.reg("proto", 8);
     let l4_sport = pb.reg("l4_sport", 16);
     let l4_dport = pb.reg("l4_dport", 16);
@@ -147,9 +165,12 @@ pub fn nat(public_ip: Ipv4) -> Service {
     allocate.push(assign(
         next_port,
         mux(
-            eq(var(next_port), lit(0xffff, 16)),
-            lit(u64::from(FIRST_EPHEMERAL), 16),
-            add(var(next_port), lit(1, 16)),
+            // Wrap before the step would overflow 16 bits: restart at
+            // `port_base` (with the default stride of 1 this fires only
+            // at 0xffff, matching the unsharded counter).
+            gt(var(next_port), sub(lit(0xffff, 16), var(port_stride))),
+            var(port_base),
+            add(var(next_port), var(port_stride)),
         ),
     ));
     allocate.extend(fwd.write(fwd_key, var(ext_port)));
@@ -332,7 +353,7 @@ mod tests {
     #[test]
     fn outbound_rewrites_source() {
         let svc = nat(public());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let f = udp_frame(internal(), 3333, remote(), 53, 2);
         let out = inst.process(&f).unwrap();
         assert_eq!(out.tx.len(), 1);
@@ -352,7 +373,7 @@ mod tests {
     #[test]
     fn inbound_translates_back() {
         let svc = nat(public());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // Open the pinhole outbound first.
         inst.process(&udp_frame(internal(), 3333, remote(), 53, 2))
             .unwrap();
@@ -372,7 +393,7 @@ mod tests {
     #[test]
     fn unsolicited_inbound_dropped() {
         let svc = nat(public());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let stray = udp_frame(remote(), 53, public(), 55555, 0);
         assert!(inst.process(&stray).unwrap().tx.is_empty());
     }
@@ -380,7 +401,7 @@ mod tests {
     #[test]
     fn same_flow_reuses_mapping() {
         let svc = nat(public());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let f = udp_frame(internal(), 3333, remote(), 53, 2);
         let a = inst.process(&f).unwrap();
         let b = inst.process(&f).unwrap();
@@ -401,7 +422,7 @@ mod tests {
     #[test]
     fn tcp_flows_translated_with_valid_checksum() {
         let svc = nat(public());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let mut syn = crate::tcp_ping::syn_frame(4000, 80, 42);
         syn.in_port = 1;
         let out = inst.process(&syn).unwrap();
@@ -417,7 +438,7 @@ mod tests {
     #[test]
     fn non_ip_traffic_dropped() {
         let svc = nat(public());
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let arp = emu_types::Frame::ethernet(
             emu_types::MacAddr::BROADCAST,
             emu_types::MacAddr::from_u64(5),

@@ -179,7 +179,7 @@ mod tests {
     }
 
     fn check_learning(svc: Service) {
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // A@0 -> B: flood.
         let out = inst.process(&frame(0xA, 0xB, 0)).unwrap();
         assert_eq!(out.tx[0].ports, 0b1110, "unknown dst must flood");
@@ -208,7 +208,7 @@ mod tests {
         // Differential test against the reference switch's functional
         // model over a pseudo-random MAC workload.
         for svc in [switch_ip_cam(), switch_behavioural(16)] {
-            let mut inst = svc.instantiate(Target::Fpga).unwrap();
+            let mut inst = svc.engine(Target::Fpga).build().unwrap();
             let mut reference = MacTable::new(TABLE_ENTRIES);
             let mut x = 0x12345u64;
             for i in 0..60 {
@@ -245,7 +245,7 @@ mod tests {
         // Table 3: Emu switch module latency 8 cycles. Accept a small
         // band — EXPERIMENTS.md records the exact measured value.
         let svc = switch_ip_cam();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         inst.process(&frame(0xB, 0xA, 1)).unwrap();
         let out = inst.process(&frame(0xA, 0xB, 0)).unwrap();
         assert!(
@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn behavioural_free_pointer_wraps() {
         let svc = switch_behavioural(4);
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         for i in 0..6u64 {
             inst.process(&frame(100 + i, 0xB, (i % 4) as u8)).unwrap();
         }

@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn syn_gets_synack() {
         let svc = tcp_ping();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let syn = syn_frame(40000, 80, 0x1000);
         let out = inst.process(&syn).unwrap();
         assert_eq!(out.tx.len(), 1);
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn non_syn_ignored() {
         let svc = tcp_ping();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // Plain ACK.
         let mut f = syn_frame(40000, 80, 1);
         f.bytes_mut()[47] = 0x10;
@@ -232,7 +232,7 @@ mod tests {
     #[test]
     fn bad_checksum_dropped() {
         let svc = tcp_ping();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let mut f = syn_frame(1234, 22, 77);
         f.bytes_mut()[38] ^= 0x40; // corrupt seq without checksum fix
         assert!(inst.process(&f).unwrap().tx.is_empty());
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn isn_advances_between_probes() {
         let svc = tcp_ping();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let a = inst.process(&syn_frame(1, 2, 3)).unwrap();
         let b = inst.process(&syn_frame(1, 2, 3)).unwrap();
         let seq_a = bitutil::get32(a.tx[0].frame.bytes(), 38);
@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn cycle_count_band() {
         let svc = tcp_ping();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let out = inst.process(&syn_frame(40000, 80, 1)).unwrap();
         assert!(
             (20..=140).contains(&out.cycles),

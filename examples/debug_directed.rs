@@ -19,7 +19,7 @@ fn main() {
     let directed = extend_program(&base.program, &cfg).expect("transform");
     let svc = Service::with_env(directed, move || (base.make_env)());
 
-    let mut inst = svc.instantiate(Target::Fpga).expect("instantiate");
+    let mut inst = svc.engine(Target::Fpga).build().expect("instantiate");
     let director = Director::new(vec!["n_get".into(), "n_set".into(), "n_hit".into()]);
 
     // Arm a trace on n_hit (captured at the service's extension point on

@@ -23,7 +23,7 @@ fn main() {
     let svc = switch_ip_cam();
 
     // --- watch it learn ------------------------------------------------
-    let mut inst = svc.instantiate(Target::Fpga).expect("instantiate");
+    let mut inst = svc.engine(Target::Fpga).build().expect("instantiate");
     println!("== learning demonstration ==");
     let out = inst.process(&frame(0xA, 0xB, 0)).expect("frame");
     println!(
@@ -46,7 +46,7 @@ fn main() {
     );
 
     // --- line-rate sweep through the pipeline ---------------------------
-    let inst = svc.instantiate(Target::Fpga).expect("instantiate");
+    let inst = svc.engine(Target::Fpga).build().expect("instantiate");
     let (driver, env) = inst.into_fpga_parts().expect("fpga");
     let mut sim = PipelineSim::new_emu(driver, env, CoreMode::Streaming);
     for p in 0..4u8 {

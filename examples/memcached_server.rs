@@ -16,7 +16,7 @@ fn main() {
 
     // --- a live conversation -------------------------------------------
     println!("== conversation ==");
-    let mut inst = svc.instantiate(Target::Fpga).expect("instantiate");
+    let mut inst = svc.engine(Target::Fpga).build().expect("instantiate");
     for body in [
         "set motd 0 0 8\r\nHELLOEMU\r\n",
         "get motd\r\n",
@@ -30,7 +30,7 @@ fn main() {
     }
 
     // --- memaslap-style latency run --------------------------------------
-    let inst = svc.instantiate(Target::Fpga).expect("instantiate");
+    let inst = svc.engine(Target::Fpga).build().expect("instantiate");
     let (driver, env) = inst.into_fpga_parts().expect("fpga");
     let mut sim = PipelineSim::new_emu(driver, env, CoreMode::Iterative);
 

@@ -21,7 +21,7 @@ fn main() {
     let mut results = Vec::new();
     for target in [Target::Cpu, Target::Fpga] {
         let svc = nat(public);
-        let mut inst = svc.instantiate(target).expect("instantiate");
+        let mut inst = svc.engine(target).build().expect("instantiate");
         let out = inst.process(&outbound).expect("process");
         println!(
             "{target:?}: translated src -> {}.{}.{}.{}:{} ({} cycles)",
@@ -39,7 +39,11 @@ fn main() {
     // h_int --(port 2)-- [NAT] --(port 0)-- h_ext
     let mut net = NetSim::new();
     let svc = nat(public);
-    let nat_node = net.add_service("nat", &svc, 4).expect("service node");
+    let nat_node = net.add_service(
+        "nat",
+        svc.engine(Target::Cpu).build().expect("build engine"),
+        4,
+    );
     let h_int = net.add_host("h_int", 1);
     let h_ext = net.add_host("h_ext", 1);
     net.link(h_int, 0, nat_node, 2, 1_000.0, 10.0);

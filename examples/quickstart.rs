@@ -35,7 +35,7 @@ fn main() {
     frame.in_port = 2;
 
     for target in [Target::Cpu, Target::Fpga] {
-        let mut inst = service.instantiate(target).expect("instantiate");
+        let mut inst = service.engine(target).build().expect("instantiate");
         let out = inst.process(&frame).expect("process");
         println!(
             "{target:?} target: {} -> {} in {} cycles, out ports {:#06b}",

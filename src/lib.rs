@@ -16,7 +16,7 @@
 //! | [`compiler`] | `kiwi` | scheduling → FSM, resources, Verilog emission |
 //! | [`rtl`] | `emu-rtl` | cycle-accurate executor + IP-block models |
 //! | [`platform`] | `netfpga-sim` | NetFPGA pipeline model + baselines |
-//! | [`stdlib`] | `emu-core` | the Emu standard library + multi-target runner |
+//! | [`stdlib`] | `emu-core` | the Emu standard library + unified engine |
 //! | [`debug`] | `direction` | direction commands / controller / packets |
 //! | [`services`] | `emu-services` | the eight §4 services |
 //! | [`host`] | `hoststack` | Linux-path baseline model |
@@ -29,43 +29,54 @@
 //!
 //! // Build the paper's learning switch and run it on the FPGA target.
 //! let svc = emu::services::switch_ip_cam();
-//! let mut inst = svc.instantiate(Target::Fpga).unwrap();
+//! let mut engine = svc.engine(Target::Fpga).build().unwrap();
 //! let mut frame = Frame::ethernet(
 //!     MacAddr::from_u64(0xB), MacAddr::from_u64(0xA), 0x0800, &[0; 46]);
 //! frame.in_port = 0;
-//! let out = inst.process(&frame).unwrap();
+//! let out = engine.process(&frame).unwrap();
 //! assert_eq!(out.tx[0].ports, 0b1110); // unknown destination floods
 //! ```
 //!
-//! ## Sharding and batching
+//! ## One engine, every deployment shape
 //!
 //! The paper's hardware scales by replicating the service pipeline across
-//! parallel datapaths (§5.4 runs one Emu core per 10G port). The same
-//! scale-out is available on every target through
-//! [`ShardedEngine`](stdlib::ShardedEngine): `N` instances of one service
-//! behind an RSS-style flow hash ([`stdlib::flow_hash`] — src/dst MAC,
-//! IPv4 addresses, and TCP/UDP ports), so all frames of one 5-tuple land
-//! on one shard and per-flow state (NAT mappings, cache entries) needs no
-//! cross-shard coordination. Frames move through the
-//! [`process_batch`](stdlib::ServiceInstance::process_batch) API, which
-//! amortizes per-frame setup across back-to-back frames and reports batch
-//! cycle costs for throughput accounting; a shard whose program traps is
-//! poisoned and isolated while its siblings keep serving.
+//! parallel datapaths (§5.4 runs one Emu core per 10G port). Every
+//! deployment shape — one pipeline or N, software or hardware target,
+//! cost-model or real-thread execution — is one
+//! [`Engine`](stdlib::Engine), configured through the builder returned by
+//! [`Service::engine`](stdlib::Service::engine):
 //!
 //! ```
 //! use emu::prelude::*;
 //!
 //! let svc = emu::services::icmp_echo();
-//! let mut engine = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+//! let mut engine = svc.engine(Target::Fpga).shards(4).build().unwrap();
 //! let pings: Vec<Frame> =
 //!     (0..8).map(|i| emu::services::icmp::echo_request_frame(32, i)).collect();
 //! let report = engine.process_batch(&pings);
 //! assert_eq!(report.ok_count(), 8);
-//! assert!(report.wall_cycles() <= report.shard_cycles.iter().sum::<u64>());
+//! assert!(report.wall_cycles() <= report.total_cycles());
 //! ```
 //!
-//! The Mininet-analogue target participates via
-//! [`simnet::NetSim::add_service_sharded`], and
+//! *Which shard* a frame runs on is a pluggable
+//! [`Dispatch`](stdlib::Dispatch) policy: [`RssHash`](stdlib::RssHash)
+//! (default — the Pearson flow hash, so one 5-tuple's frames share one
+//! shard and per-flow state needs no coordination),
+//! [`RoundRobin`](stdlib::RoundRobin) (stateless services), and
+//! [`NatSteering`](stdlib::NatSteering) (steers NAT return traffic to
+//! the shard that allocated the external port — see
+//! `examples/sharded_nat.rs`). Batches execute shards sequentially under
+//! the parallel-datapath cost model by default; `.parallel(true)` runs
+//! them on real OS threads with identical results (compare with
+//! `cargo run --release -p emu-bench --bin scaling_parallel`).
+//!
+//! A shard whose program traps is poisoned and isolated while its
+//! siblings keep serving; every failure is an
+//! [`EngineError`](stdlib::EngineError) naming the shard. The full
+//! old-API → new-API migration table is in [`stdlib::engine`].
+//!
+//! The Mininet-analogue target takes the same engines via
+//! [`simnet::NetSim::add_service`], and
 //! `cargo run --release -p emu-bench --bin scaling_shards` sweeps shard
 //! counts 1/2/4/8 over the Table 4 services.
 
@@ -83,7 +94,10 @@ pub use netsim as simnet;
 /// The handful of names nearly every user needs.
 pub mod prelude {
     pub use direction::{ControllerConfig, DirectionPacket, Director};
-    pub use emu_core::{Service, ServiceInstance, ShardedBatch, ShardedEngine, Target};
+    pub use emu_core::{
+        BatchReport, Dispatch, Engine, EngineBuilder, EngineError, NatSteering, RoundRobin,
+        RssHash, Service, Target,
+    };
     pub use emu_types::{Frame, Ipv4, MacAddr, Summary};
     pub use kiwi::{compile, emit, estimate, CostModel, IpBlock};
     pub use kiwi_ir::{dsl, ProgramBuilder};

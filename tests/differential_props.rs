@@ -16,8 +16,8 @@ proptest! {
         seeds in proptest::collection::vec((0u64..16, 0u64..16, 0u8..4), 1..24)
     ) {
         let svc = s::switch::switch_ip_cam();
-        let mut cpu = svc.instantiate(Target::Cpu).unwrap();
-        let mut fpga = svc.instantiate(Target::Fpga).unwrap();
+        let mut cpu = svc.engine(Target::Cpu).build().unwrap();
+        let mut fpga = svc.engine(Target::Fpga).build().unwrap();
         for (i, (src, dst, port)) in seeds.iter().enumerate() {
             let mut f = Frame::ethernet(
                 MacAddr::from_u64(0x100 + dst),
@@ -37,8 +37,8 @@ proptest! {
         ops in proptest::collection::vec((0u8..3, 0u64..8), 1..16)
     ) {
         let svc = s::memcached::memcached();
-        let mut cpu = svc.instantiate(Target::Cpu).unwrap();
-        let mut fpga = svc.instantiate(Target::Fpga).unwrap();
+        let mut cpu = svc.engine(Target::Cpu).build().unwrap();
+        let mut fpga = svc.engine(Target::Fpga).build().unwrap();
         for (i, (kind, key)) in ops.iter().enumerate() {
             let body = match kind {
                 0 => format!("get key{key}\r\n"),
@@ -111,8 +111,8 @@ proptest! {
         // including identical drop decisions and checksum updates.
         let public: emu_types::Ipv4 = "203.0.113.1".parse().unwrap();
         let svc = s::nat::nat(public);
-        let mut cpu = svc.instantiate(Target::Cpu).unwrap();
-        let mut fpga = svc.instantiate(Target::Fpga).unwrap();
+        let mut cpu = svc.engine(Target::Cpu).build().unwrap();
+        let mut fpga = svc.engine(Target::Fpga).build().unwrap();
         for (i, (kind, flow, port)) in ops.iter().enumerate() {
             let f = match kind {
                 0 | 1 => s::nat::udp_frame(
@@ -154,8 +154,8 @@ proptest! {
             ("emu.cam.ac.uk".to_string(), "128.232.0.20".parse().unwrap()),
         ];
         let svc = s::dns::dns_server(zone);
-        let mut cpu = svc.instantiate(Target::Cpu).unwrap();
-        let mut fpga = svc.instantiate(Target::Fpga).unwrap();
+        let mut cpu = svc.engine(Target::Cpu).build().unwrap();
+        let mut fpga = svc.engine(Target::Fpga).build().unwrap();
         let names = ["a.b", "example.com", "emu.cam.ac.uk", "miss.example", "x.y"];
         for (i, (which, id, port)) in ops.iter().enumerate() {
             let mut f = s::dns::query_frame(names[usize::from(*which) % names.len()], *id);
@@ -169,7 +169,7 @@ proptest! {
     #[test]
     fn icmp_replies_always_checksum_valid(len in 0usize..512, seq in any::<u16>()) {
         let svc = s::icmp::icmp_echo();
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         let req = s::icmp::echo_request_frame(len, seq);
         let out = inst.process(&req).unwrap();
         prop_assert_eq!(out.tx.len(), 1);
@@ -177,5 +177,108 @@ proptest! {
         let total = emu_types::bitutil::get16(b, 16) as usize;
         prop_assert!(emu_types::checksum::verify(&b[34..14 + total]));
         prop_assert!(emu_types::checksum::verify(&b[14..34]));
+    }
+
+    #[test]
+    fn flow_affine_policies_keep_a_tuple_on_one_shard(
+        flows in proptest::collection::vec((1u64..64, 1024u16..60_000, 0usize..400), 1..12),
+        shards in 2usize..9
+    ) {
+        // For every flow-affine dispatch policy, all frames of one
+        // 5-tuple — whatever their payload size — land on one shard.
+        // (`RoundRobin` is deliberately not flow-affine, which is why it
+        // is documented as stateless-only.)
+        let svc = s::nat::nat("203.0.113.1".parse().unwrap());
+        let policies: Vec<(&str, Engine)> = vec![
+            ("rss-hash", svc.engine(Target::Cpu).shards(shards).build().unwrap()),
+            (
+                "nat-steering",
+                svc.engine(Target::Cpu)
+                    .shards(shards)
+                    .dispatch(NatSteering::default())
+                    .build()
+                    .unwrap(),
+            ),
+        ];
+        for (name, engine) in &policies {
+            for (mac, sport, extra) in &flows {
+                let frame = |extra: usize| {
+                    let mut f = s::nat::udp_frame(
+                        emu_types::Ipv4::new(10, 0, (*mac % 250) as u8 + 1, 2),
+                        *sport,
+                        "8.8.8.8".parse().unwrap(),
+                        53,
+                        1,
+                    );
+                    let mut bytes = f.bytes().to_vec();
+                    bytes.extend(std::iter::repeat_n(0x5a, extra));
+                    let mut g = Frame::new(bytes);
+                    g.in_port = f.in_port;
+                    f = g;
+                    f
+                };
+                let home = engine.shard_of(&frame(0));
+                prop_assert!(home < shards, "{}: shard out of range", name);
+                prop_assert_eq!(
+                    engine.shard_of(&frame(*extra)), home,
+                    "{}: flow {}:{} split at +{}B over {} shards",
+                    name, mac, sport, extra, shards
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_is_output_transparent_for_stateless_services(
+        seqs in proptest::collection::vec((0u64..40, 8usize..200, 0u8..4), 1..16),
+        shards in 1usize..9
+    ) {
+        // Sharded output == single-instance output for a stateless
+        // service (ICMP echo) at arbitrary shard counts, under EVERY
+        // dispatch policy — including round-robin, which scatters flows.
+        let svc = s::icmp::icmp_echo();
+        let frames: Vec<Frame> = seqs.iter().map(|(client, len, port)| {
+            let mut f = s::icmp::echo_request_frame(*len, *client as u16);
+            let b = f.bytes_mut();
+            b[29] = (*client % 200) as u8 + 1;
+            emu_types::bitutil::set16(b, 24, 0);
+            let c = emu_types::checksum::internet_checksum(&b[14..34]);
+            emu_types::bitutil::set16(b, 24, c);
+            f.in_port = *port;
+            f
+        }).collect();
+
+        let mut single = svc.engine(Target::Cpu).build().unwrap();
+        let want: Vec<_> = frames.iter().map(|f| single.process(f).unwrap().tx).collect();
+
+        let engines: Vec<(&str, Engine)> = vec![
+            ("rss-hash", svc.engine(Target::Cpu).shards(shards).build().unwrap()),
+            (
+                "round-robin",
+                svc.engine(Target::Cpu)
+                    .shards(shards)
+                    .dispatch(RoundRobin::new())
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "nat-steering",
+                svc.engine(Target::Cpu)
+                    .shards(shards)
+                    .dispatch(NatSteering::default())
+                    .build()
+                    .unwrap(),
+            ),
+        ];
+        for (name, mut engine) in engines {
+            let report = engine.process_batch(&frames);
+            prop_assert_eq!(report.ok_count(), frames.len(), "{}: frames failed", name);
+            for (i, (got, want)) in report.outputs.iter().zip(&want).enumerate() {
+                prop_assert_eq!(
+                    &got.as_ref().unwrap().tx, want,
+                    "{}: frame {} diverged at {} shards", name, i, shards
+                );
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@ fn truncated_and_garbage_frames_are_survivable() {
         s::memcached::memcached(),
         s::nat::nat("203.0.113.1".parse().unwrap()),
     ] {
-        let mut inst = svc.instantiate(Target::Fpga).unwrap();
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
         // A runt frame (padded to 60 by the Frame type, all zeroes).
         inst.process(&Frame::new(vec![0; 10])).unwrap();
         // Random-ish garbage.
@@ -40,7 +40,7 @@ fn truncated_and_garbage_frames_are_survivable() {
 #[test]
 fn memcached_handles_malformed_commands() {
     let svc = s::memcached::memcached();
-    let mut inst = svc.instantiate(Target::Fpga).unwrap();
+    let mut inst = svc.engine(Target::Fpga).build().unwrap();
     for body in [
         "gibberish\r\n",
         "get \r\n",               // empty key
@@ -71,7 +71,7 @@ fn mac_table_exhaustion_keeps_forwarding() {
     // More sources than table entries: the switch must keep forwarding
     // (with evictions), never crash or stall.
     let svc = s::switch::switch_behavioural(4);
-    let mut inst = svc.instantiate(Target::Fpga).unwrap();
+    let mut inst = svc.engine(Target::Fpga).build().unwrap();
     for i in 0..64u64 {
         let mut f = Frame::ethernet(
             MacAddr::from_u64(0xE000 + (i % 7)),
@@ -147,29 +147,33 @@ fn trappable_mirror() -> Service {
     Service::new(pb.build().unwrap())
 }
 
-#[test]
-fn trapped_shard_is_isolated_from_siblings() {
-    use emu_types::MacAddr;
-    let svc = trappable_mirror();
-    let mut engine = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
-    engine.set_max_cycles_per_frame(500); // trip the wedge quickly
+/// Builds a frame for `client` (distinct MACs ⇒ distinct flows); a
+/// poison frame carries the 0xEE trigger byte that wedges the core.
+fn frame_for(client: u64, poison: bool) -> Frame {
+    let payload = if poison { [0xEEu8; 46] } else { [0x11u8; 46] };
+    Frame::ethernet(
+        MacAddr::from_u64(0xB),
+        MacAddr::from_u64(client),
+        0x0900,
+        &payload,
+    )
+}
 
-    // Distinct client MACs give distinct flows; find one per shard.
-    let frame_for = |client: u64, poison: bool| {
-        let payload = if poison { [0xEEu8; 46] } else { [0x11u8; 46] };
-        Frame::ethernet(
-            MacAddr::from_u64(0xB),
-            MacAddr::from_u64(client),
-            0x0900,
-            &payload,
-        )
-    };
-    let mut per_shard: Vec<Option<u64>> = vec![None; 4];
+/// One representative client per shard of a 4-shard RSS engine.
+fn clients_per_shard(engine: &Engine) -> Vec<u64> {
+    let mut per_shard: Vec<Option<u64>> = vec![None; engine.num_shards()];
     for client in 0..256u64 {
         let k = engine.shard_of(&frame_for(client, false));
         per_shard[k].get_or_insert(client);
     }
-    let clients: Vec<u64> = per_shard.into_iter().map(|c| c.unwrap()).collect();
+    per_shard.into_iter().map(|c| c.unwrap()).collect()
+}
+
+/// The trapped-shard isolation scenario, shared by the sequential and
+/// parallel modes: poisoning semantics must be identical in both.
+fn assert_trapped_shard_isolated(mut engine: Engine) {
+    engine.set_max_cycles_per_frame(500); // trip the wedge quickly
+    let clients = clients_per_shard(&engine);
     let victim = engine.shard_of(&frame_for(clients[2], false));
 
     // A mixed batch: healthy traffic for every shard plus one poison
@@ -186,10 +190,19 @@ fn trapped_shard_is_isolated_from_siblings() {
     let poison_at = clients.len(); // index of the poison frame
     for (i, (f, out)) in frames.iter().zip(&report.outputs).enumerate() {
         if engine.shard_of(f) == victim && i >= poison_at {
-            // The poison frame and everything after it on that shard fail
-            // with an attributed error...
+            // The poison frame reports the trap, the victim's later
+            // frames report poisoning — both naming the shard...
             let err = out.as_ref().unwrap_err();
-            assert!(err.0.contains(&format!("shard {victim}")), "{err}");
+            match err {
+                EngineError::Trap { shard, .. } | EngineError::Poisoned { shard, .. } => {
+                    assert_eq!(*shard, victim, "frame {i}: {err}");
+                }
+                other => panic!("frame {i}: unexpected error {other}"),
+            }
+            assert!(
+                err.to_string().contains(&format!("shard {victim}")),
+                "{err}"
+            );
         } else {
             // ...while frames before the trap and every sibling-shard
             // frame still mirror cleanly.
@@ -201,9 +214,30 @@ fn trapped_shard_is_isolated_from_siblings() {
 
     // Later single-frame traffic: poisoned shard reports, siblings serve.
     let err = engine.process(&frame_for(clients[2], false)).unwrap_err();
-    assert!(err.0.contains("poisoned"));
+    assert!(matches!(err, EngineError::Poisoned { shard, .. } if shard == victim));
     let ok = engine.process(&frame_for(clients[0], false)).unwrap();
     assert_eq!(ok.tx.len(), 1);
+}
+
+#[test]
+fn trapped_shard_is_isolated_from_siblings() {
+    let svc = trappable_mirror();
+    assert_trapped_shard_isolated(svc.engine(Target::Fpga).shards(4).build().unwrap());
+}
+
+#[test]
+fn trapped_shard_is_isolated_under_parallel_execution() {
+    // The same wedge on real threads: the victim shard is poisoned and
+    // isolated exactly as in sequential mode — same per-frame errors,
+    // same surviving siblings.
+    let svc = trappable_mirror();
+    assert_trapped_shard_isolated(
+        svc.engine(Target::Fpga)
+            .shards(4)
+            .parallel(true)
+            .build()
+            .unwrap(),
+    );
 }
 
 #[test]
@@ -211,22 +245,31 @@ fn oversized_frames_are_rejected_without_poisoning() {
     // An oversized frame is an input-validation failure: the shard never
     // sees it, so it must NOT be poisoned and must keep serving.
     let svc = trappable_mirror(); // 256 B frame buffer
-    let mut engine = svc.instantiate_sharded(Target::Fpga, 2).unwrap();
+    let mut engine = svc.engine(Target::Fpga).shards(2).build().unwrap();
     let small = Frame::new(vec![0x11; 64]);
     let big = Frame::new(vec![0x11; 1000]);
 
     let err = engine.process(&big).unwrap_err();
-    assert!(err.0.contains("exceeds"), "{err}");
+    assert!(
+        matches!(
+            err,
+            EngineError::Oversize {
+                len: 1000,
+                cap: 256,
+                ..
+            }
+        ),
+        "{err}"
+    );
     assert_eq!(engine.healthy_shards(), 2, "validation must not poison");
 
     // Batch mixing valid and oversized frames: per-frame results.
     let report = engine.process_batch(&[small.clone(), big, small.clone()]);
     assert!(report.outputs[0].is_ok());
-    assert!(report.outputs[1]
-        .as_ref()
-        .unwrap_err()
-        .0
-        .contains("exceeds"));
+    assert!(matches!(
+        report.outputs[1].as_ref().unwrap_err(),
+        EngineError::Oversize { .. }
+    ));
     assert!(report.outputs[2].is_ok());
     assert_eq!(engine.healthy_shards(), 2);
     assert_eq!(engine.process(&small).unwrap().tx.len(), 1);
@@ -238,7 +281,7 @@ fn malformed_direction_packets_rejected() {
     let cfg = ControllerConfig::read_only(&["n_get"]);
     let prog = extend_program(&base.program, &cfg).unwrap();
     let svc = Service::with_env(prog, move || (base.make_env)());
-    let mut inst = svc.instantiate(Target::Fpga).unwrap();
+    let mut inst = svc.engine(Target::Fpga).build().unwrap();
 
     // Unknown opcode byte: the controller answers BAD_OP (the opcode
     // decode falls through every compiled feature).

@@ -10,7 +10,7 @@ use emu::services as s;
 #[test]
 fn icmp_echo_matches_host_implementation() {
     let svc = s::icmp::icmp_echo();
-    let mut hw = svc.instantiate(Target::Fpga).unwrap();
+    let mut hw = svc.engine(Target::Fpga).build().unwrap();
     let mut host = HostIcmpEcho;
     for (i, len) in [8usize, 56, 200, 1000].iter().enumerate() {
         let req = s::icmp::echo_request_frame(*len, i as u16);
@@ -33,7 +33,7 @@ fn dns_matches_host_implementation() {
         ("a.b".into(), "1.2.3.4".parse().unwrap()),
     ];
     let svc = s::dns::dns_server(zone.clone());
-    let mut hw = svc.instantiate(Target::Fpga).unwrap();
+    let mut hw = svc.engine(Target::Fpga).build().unwrap();
     let mut host = HostDns::new(zone);
     for (i, name) in ["example.com", "a.b", "missing.org"].iter().enumerate() {
         let q = s::dns::query_frame(name, i as u16);
@@ -47,7 +47,7 @@ fn dns_matches_host_implementation() {
 #[test]
 fn memcached_matches_host_implementation() {
     let svc = s::memcached::memcached();
-    let mut hw = svc.instantiate(Target::Fpga).unwrap();
+    let mut hw = svc.engine(Target::Fpga).build().unwrap();
     let mut host = HostMemcached::default();
     let script = [
         "set alpha 0 0 8\r\nAAAABBBB\r\n",

@@ -1,15 +1,17 @@
-//! Integration suite for the sharded multi-pipeline engine:
+//! Integration suite for the unified sharded engine:
 //!
 //! * sharded output equals single-instance output for stateless services
 //!   under any shard count,
 //! * flow affinity — every frame of one 5-tuple lands on one shard — so
 //!   stateful services (NAT) keep per-flow state consistent,
 //! * `process_batch` is exactly equivalent to frame-by-frame `process`,
-//!   on both execution targets.
+//!   on both execution targets and in both execution modes,
+//! * `NatSteering` dispatch delivers inbound NAT replies to the shard
+//!   that allocated the mapping — which plain RSS provably cannot.
 
 use emu::prelude::*;
 use emu::services as s;
-use emu::stdlib::{flow_hash, ShardedEngine};
+use emu::stdlib::flow_hash;
 use emu_types::bitutil;
 
 /// Builds a UDP frame for client flow `flow` (distinct sport + src IP)
@@ -73,9 +75,9 @@ fn stateless_services_shard_transparently() {
 
     for (name, svc, frames) in cases {
         for target in [Target::Cpu, Target::Fpga] {
-            let mut single = svc.instantiate(target).unwrap();
+            let mut single = svc.engine(target).build().unwrap();
             for shards in [1usize, 2, 3, 4, 8] {
-                let mut engine = svc.instantiate_sharded(target, shards).unwrap();
+                let mut engine = svc.engine(target).shards(shards).build().unwrap();
                 for f in &frames {
                     let want = single.process(f).unwrap();
                     let got = engine.process(f).unwrap();
@@ -90,7 +92,7 @@ fn stateless_services_shard_transparently() {
 fn flow_affinity_all_frames_of_a_tuple_share_a_shard() {
     let svc = s::nat::nat("203.0.113.1".parse().unwrap());
     for shards in [2usize, 3, 4, 8] {
-        let engine = svc.instantiate_sharded(Target::Cpu, shards).unwrap();
+        let engine = svc.engine(Target::Cpu).shards(shards).build().unwrap();
         for flow in 0..64u16 {
             // Same 5-tuple, different lengths/payloads: one home shard.
             let home = engine.shard_of(&client_frame(flow, 0));
@@ -116,7 +118,7 @@ fn sharded_nat_keeps_per_flow_mappings_consistent() {
     // port must be stable across repeated frames (state lives on exactly
     // one shard), and translated frames must carry valid checksums.
     let svc = s::nat::nat("203.0.113.1".parse().unwrap());
-    let mut engine = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+    let mut engine = svc.engine(Target::Fpga).shards(4).build().unwrap();
     let mut first_port = std::collections::HashMap::new();
     for round in 0..3usize {
         for flow in 0..16u16 {
@@ -132,29 +134,127 @@ fn sharded_nat_keeps_per_flow_mappings_consistent() {
     }
 }
 
+/// Builds the inbound reply to a translated outbound frame: from the
+/// remote back to the public address at the allocated external port.
+fn reply_to(translated: &Frame) -> Frame {
+    let b = translated.bytes();
+    let public = emu_types::Ipv4::new(b[26], b[27], b[28], b[29]);
+    let ext_port = bitutil::get16(b, 34);
+    s::nat::udp_frame("8.8.8.8".parse().unwrap(), 53, public, ext_port, 0)
+}
+
+#[test]
+fn nat_steering_delivers_inbound_replies_to_the_owning_shard() {
+    // The ROADMAP inbound-steering item, end-to-end: under `NatSteering`
+    // every reply reaches the shard holding the reverse mapping and is
+    // translated back; under plain RSS the reply 5-tuple hashes
+    // independently of the owner, so (with 16 flows over 4 shards) some
+    // replies land on the wrong shard and are dropped. Swapping the
+    // NatSteering engine's dispatch for RssHash makes this test fail.
+    let svc = s::nat::nat("203.0.113.1".parse().unwrap());
+    let flows: Vec<u16> = (0..16).collect();
+
+    // Returns how many replies came back *correctly* (translated to this
+    // flow's internal port) vs wrong (dropped on a shard with no mapping,
+    // or — worse — mistranslated to another client via a duplicate
+    // mapping, since under RSS every shard allocates from the same
+    // range).
+    let run = |engine: &mut Engine| -> (usize, usize) {
+        let mut correct = 0;
+        let mut wrong = 0;
+        for &flow in &flows {
+            let out = engine.process(&client_frame(flow, 0)).unwrap();
+            assert_eq!(out.tx.len(), 1, "outbound must translate");
+            let reply = reply_to(&out.tx[0].frame);
+            let back = engine.process(&reply).unwrap();
+            let ok = back.tx.len() == 1 && {
+                let b = back.tx[0].frame.bytes();
+                b[30..34] == [192, 168, 1, 50] && bitutil::get16(b, 36) == 2000 + flow
+            };
+            if ok {
+                correct += 1;
+            } else {
+                wrong += 1;
+            }
+        }
+        (correct, wrong)
+    };
+
+    let mut steered = svc
+        .engine(Target::Fpga)
+        .shards(4)
+        .dispatch(NatSteering::default())
+        .build()
+        .unwrap();
+    let (correct, wrong) = run(&mut steered);
+    assert_eq!(
+        (correct, wrong),
+        (flows.len(), 0),
+        "NatSteering must deliver every reply to its owning shard"
+    );
+
+    let mut rss = svc.engine(Target::Fpga).shards(4).build().unwrap();
+    let (_, rss_wrong) = run(&mut rss);
+    assert!(
+        rss_wrong > 0,
+        "plain RSS mis-steers some replies (else this suite lost its teeth)"
+    );
+}
+
+#[test]
+fn nat_steering_partitions_the_ephemeral_range() {
+    // Shard k allocates first_ephemeral + k, stepping by N: external
+    // ports are globally unique across shards and their residue names
+    // the owner.
+    let svc = s::nat::nat("203.0.113.1".parse().unwrap());
+    let shards = 4usize;
+    let mut engine = svc
+        .engine(Target::Cpu)
+        .shards(shards)
+        .dispatch(NatSteering::default())
+        .build()
+        .unwrap();
+    let mut seen = std::collections::HashMap::new();
+    for flow in 0..32u16 {
+        let f = client_frame(flow, 0);
+        let home = engine.shard_of(&f);
+        let out = engine.process(&f).unwrap();
+        let ext = bitutil::get16(out.tx[0].frame.bytes(), 34);
+        assert_eq!(
+            usize::from(ext - s::nat::FIRST_EPHEMERAL) % shards,
+            home,
+            "flow {flow}: port {ext} outside shard {home}'s residue class"
+        );
+        assert!(
+            seen.insert(ext, flow).is_none(),
+            "external port {ext} allocated twice"
+        );
+    }
+}
+
 #[test]
 fn process_batch_equals_frame_by_frame() {
-    // Both on a single instance and through the sharded engine, batching
-    // must be invisible to results — including for a stateful service fed
-    // affine traffic.
+    // Both on a 1-shard engine and a 4-shard engine, batching must be
+    // invisible to results — including for a stateful service fed affine
+    // traffic.
     let svc = s::nat::nat("203.0.113.1".parse().unwrap());
     let frames: Vec<Frame> = (0..40u64)
         .map(|i| client_frame((i % 10) as u16, (i / 10) as usize))
         .collect();
 
-    // Single instance: batch vs loop.
-    let mut a = svc.instantiate(Target::Fpga).unwrap();
-    let mut b = svc.instantiate(Target::Fpga).unwrap();
-    let batch = a.process_batch(&frames).unwrap();
+    // Single pipeline: batch vs loop.
+    let mut a = svc.engine(Target::Fpga).build().unwrap();
+    let mut b = svc.engine(Target::Fpga).build().unwrap();
+    let batch = a.process_batch(&frames);
     for (f, got) in frames.iter().zip(&batch.outputs) {
-        assert_eq!(got, &b.process(f).unwrap());
+        assert_eq!(got.as_ref().unwrap(), &b.process(f).unwrap());
     }
     assert_eq!(batch.outputs.len(), frames.len());
     assert_eq!(batch.tx_count(), frames.len());
 
     // Sharded engine: batch vs one-at-a-time on a fresh engine.
-    let mut eng_batch = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
-    let mut eng_loop = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+    let mut eng_batch = svc.engine(Target::Fpga).shards(4).build().unwrap();
+    let mut eng_loop = svc.engine(Target::Fpga).shards(4).build().unwrap();
     let sharded = eng_batch.process_batch(&frames);
     assert_eq!(sharded.ok_count(), frames.len());
     for (f, got) in frames.iter().zip(&sharded.outputs) {
@@ -162,8 +262,33 @@ fn process_batch_equals_frame_by_frame() {
         assert_eq!(got.as_ref().unwrap(), &want);
     }
     // Busy cycles land only on shards that saw frames.
-    let busy: u64 = sharded.shard_cycles.iter().sum();
+    let busy = sharded.total_cycles();
     assert!(busy > 0 && sharded.wall_cycles() <= busy);
+}
+
+#[test]
+fn parallel_execution_is_invisible_to_results() {
+    // `.parallel(true)` moves shard slices onto real threads; outputs,
+    // cycle accounting, and mapping stability must match the sequential
+    // cost-model mode exactly.
+    let svc = s::nat::nat("203.0.113.1".parse().unwrap());
+    let frames: Vec<Frame> = (0..48u64)
+        .map(|i| client_frame((i % 12) as u16, (i / 12) as usize))
+        .collect();
+    let mut seq = svc.engine(Target::Fpga).shards(4).build().unwrap();
+    let mut par = svc
+        .engine(Target::Fpga)
+        .shards(4)
+        .parallel(true)
+        .build()
+        .unwrap();
+    let a = seq.process_batch(&frames);
+    let b = par.process_batch(&frames);
+    assert_eq!(a.shard_cycles, b.shard_cycles);
+    assert_eq!(a.ok_count(), b.ok_count());
+    for (i, (x, y)) in a.outputs.iter().zip(&b.outputs).enumerate() {
+        assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap(), "frame {i}");
+    }
 }
 
 #[test]
@@ -174,8 +299,8 @@ fn interpreter_and_fsm_agree_under_sharding() {
     let frames: Vec<Frame> = (0..24u64)
         .map(|i| client_frame((i % 8) as u16, 0))
         .collect();
-    let mut cpu = svc.instantiate_sharded(Target::Cpu, 4).unwrap();
-    let mut fpga = svc.instantiate_sharded(Target::Fpga, 4).unwrap();
+    let mut cpu = svc.engine(Target::Cpu).shards(4).build().unwrap();
+    let mut fpga = svc.engine(Target::Fpga).shards(4).build().unwrap();
     for f in &frames {
         assert_eq!(
             cpu.process(f).unwrap().tx,
@@ -188,9 +313,11 @@ fn interpreter_and_fsm_agree_under_sharding() {
 #[test]
 fn shard_of_is_stable_and_engine_reports_shape() {
     let svc = s::icmp::icmp_echo();
-    let engine: ShardedEngine = svc.instantiate_sharded(Target::Cpu, 5).unwrap();
+    let engine: Engine = svc.engine(Target::Cpu).shards(5).build().unwrap();
     assert_eq!(engine.num_shards(), 5);
     assert_eq!(engine.healthy_shards(), 5);
+    assert_eq!(engine.dispatch_name(), "rss-hash");
+    assert!(!engine.is_parallel());
     let f = s::icmp::echo_request_frame(56, 1);
     assert_eq!(engine.shard_of(&f), (flow_hash(&f) % 5) as usize);
 }

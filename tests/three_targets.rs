@@ -21,7 +21,7 @@ fn nat_is_identical_on_all_three_targets() {
     let mut frames = Vec::new();
     for target in [Target::Cpu, Target::Fpga] {
         let svc = nat(public);
-        let mut inst = svc.instantiate(target).unwrap();
+        let mut inst = svc.engine(target).build().unwrap();
         let out = inst.process(&outbound).unwrap();
         frames.push(out.tx[0].frame.clone());
     }
@@ -29,7 +29,7 @@ fn nat_is_identical_on_all_three_targets() {
     // Mininet-analogue.
     let mut net = NetSim::new();
     let svc = nat(public);
-    let nat_node = net.add_service("nat", &svc, 4).unwrap();
+    let nat_node = net.add_service("nat", svc.engine(Target::Cpu).build().unwrap(), 4);
     let h_int = net.add_host("h_int", 1);
     let h_ext = net.add_host("h_ext", 1);
     net.link(h_int, 0, nat_node, 2, 1_000.0, 10.0);
@@ -47,7 +47,7 @@ fn nat_return_path_across_simulated_network() {
     let public: Ipv4 = "203.0.113.1".parse().unwrap();
     let mut net = NetSim::new();
     let svc = nat(public);
-    let nat_node = net.add_service("nat", &svc, 4).unwrap();
+    let nat_node = net.add_service("nat", svc.engine(Target::Cpu).build().unwrap(), 4);
     let h_int = net.add_host("h_int", 1);
     let h_ext = net.add_host("h_ext", 1);
     net.link(h_int, 0, nat_node, 2, 1_000.0, 10.0);
