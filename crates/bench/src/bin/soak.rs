@@ -1,0 +1,287 @@
+//! The standing scenario engine: millions of generated frames through
+//! sharded **parallel** engines, with reference checkers asserting
+//! service invariants on every frame — translation consistency for
+//! NAT, cache coherence for memcached, learned forwarding for the
+//! switch — and the engine-wide rule that no input may ever trap a
+//! shard.
+//!
+//! Every service runs twice with the *same generator seed*: once on a
+//! `shards(4).parallel(true)` engine (real OS threads) and once on the
+//! sequential cost-model engine. The checker verdicts must be
+//! identical — parallel execution is invisible to semantics — and both
+//! must be **zero violations**.
+//!
+//! Emits a JSON document on stdout and a human-readable table on
+//! stderr; exits non-zero on any violation or verdict divergence.
+//!
+//! Run: `cargo run --release -p emu-bench --bin soak [-- --frames N]`
+//! (default 1,000,000 frames per service; CI's `soak-smoke` job runs
+//! 50,000).
+
+use emu_core::{Engine, NatSteering, Target};
+use emu_traffic::{
+    Adversarial, Background, Checker, DnsWeighted, McModel, MemcachedZipf, Mix, NatChecker,
+    SwitchModel, TcpConversations, TrafficGen,
+};
+use emu_types::{Frame, Ipv4};
+use std::time::Instant;
+
+const SHARDS: usize = 4;
+const BATCH: usize = 1024;
+const SEED: u64 = 0x50a1c;
+
+/// Verdict of one engine run — the quantities that must match between
+/// sequential and parallel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Verdict {
+    frames: u64,
+    tx: u64,
+    rejected: u64,
+    violations: u64,
+}
+
+struct Row {
+    service: &'static str,
+    mode: &'static str,
+    verdict: Verdict,
+    wall_s: f64,
+    notes: Vec<String>,
+}
+
+fn public() -> Ipv4 {
+    "203.0.113.1".parse().expect("valid")
+}
+
+/// The per-service traffic recipe (fresh generator for every run, so
+/// sequential and parallel consume identical streams).
+fn nat_mix(seed: u64) -> Mix {
+    Mix::new(seed)
+        .add(10, TcpConversations::new(seed ^ 1, 48, &[1, 2, 3]))
+        .add(
+            4,
+            DnsWeighted::new(seed ^ 2, &[("example.com", 3), ("emu.cam.ac.uk", 1)]),
+        )
+        .add(2, Background::new(seed ^ 3, &[1, 2, 3]))
+        .add(1, Adversarial::new(seed ^ 4, &[0, 1, 2, 3]))
+}
+
+fn mc_mix(seed: u64) -> Mix {
+    Mix::new(seed)
+        .add(12, MemcachedZipf::new(seed ^ 1, 256, 1.1, 0.9))
+        .add(2, Background::new(seed ^ 2, &[0, 1, 2, 3]))
+        .add(1, Adversarial::new(seed ^ 3, &[0, 1, 2, 3]))
+}
+
+fn switch_mix(seed: u64) -> Mix {
+    Mix::new(seed)
+        .add(8, Background::new(seed ^ 1, &[0, 1, 2, 3]))
+        .add(4, TcpConversations::new(seed ^ 2, 32, &[0, 1, 2, 3]))
+        .add(1, Adversarial::new(seed ^ 3, &[0, 1, 2, 3]))
+}
+
+/// DNS queries in the NAT mix arrive with `in_port` 0..4; NAT treats
+/// port 0 as the external side, so re-pin every generated frame to an
+/// internal port while preserving determinism.
+fn pin_internal(mut f: Frame) -> Frame {
+    if f.in_port == 0 {
+        f.in_port = 1 + (f.len() % 3) as u8;
+    }
+    f
+}
+
+/// Drives `frames` frames of `mix` through `engine` in batches,
+/// checking every batch. When `bounce` is set (NAT), every 8th batch's
+/// translated outputs come back as inbound replies — so the reverse
+/// path soaks too.
+fn run(
+    engine: &mut Engine,
+    checker: &mut dyn Checker,
+    mut mix: Mix,
+    frames: u64,
+    bounce: bool,
+) -> (Verdict, u64) {
+    let mut offered = 0u64;
+    let mut tx = 0u64;
+    let mut rejected = 0u64;
+    let mut batch_idx = 0u64;
+    while offered < frames {
+        let n = BATCH.min((frames - offered) as usize);
+        let mut batch: Vec<Frame> = (0..n).map(|_| mix.next_frame()).collect();
+        if bounce {
+            batch = batch.into_iter().map(pin_internal).collect();
+        }
+        let report = engine.process_batch(&batch);
+        checker.check_batch(&batch, &report);
+        offered += n as u64;
+        tx += report.tx_count() as u64;
+        rejected += report.outputs.iter().filter(|o| o.is_err()).count() as u64;
+        if bounce && batch_idx.is_multiple_of(8) {
+            let replies: Vec<Frame> = batch
+                .iter()
+                .zip(&report.outputs)
+                .filter(|(f, _)| f.in_port != 0)
+                .filter_map(|(_, r)| r.as_ref().ok())
+                .flat_map(|o| &o.tx)
+                .take(256)
+                .map(|t| emu_traffic::build::reply_to(&t.frame, b"soak-reply"))
+                .collect();
+            if !replies.is_empty() {
+                let reply_report = engine.process_batch(&replies);
+                checker.check_batch(&replies, &reply_report);
+                offered += replies.len() as u64;
+                tx += reply_report.tx_count() as u64;
+            }
+        }
+        batch_idx += 1;
+    }
+    (
+        Verdict {
+            frames: checker.frames(),
+            tx,
+            rejected,
+            violations: checker.violations(),
+        },
+        offered,
+    )
+}
+
+fn main() {
+    let mut frames: u64 = 1_000_000;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--frames") {
+        frames = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--frames N");
+    }
+
+    type ServiceCase = (
+        &'static str,
+        fn() -> emu_core::Service,
+        fn(u64) -> Mix,
+        fn(usize) -> Box<dyn Checker>,
+        bool, // bounce replies
+        bool, // NatSteering dispatch
+    );
+    let cases: Vec<ServiceCase> = vec![
+        (
+            "nat",
+            || emu_services::nat(public()),
+            nat_mix,
+            |shards| Box::new(NatChecker::new(public(), shards)),
+            true,
+            true,
+        ),
+        (
+            "memcached",
+            emu_services::memcached,
+            mc_mix,
+            |_| Box::new(McModel::new()),
+            false,
+            false,
+        ),
+        (
+            "switch",
+            emu_services::switch_ip_cam,
+            switch_mix,
+            |shards| Box::new(SwitchModel::new(shards)),
+            false,
+            false,
+        ),
+    ];
+
+    eprintln!(
+        "== soak: {frames} frames/service through {SHARDS}-shard engines, \
+         parallel vs sequential =="
+    );
+    eprintln!(
+        "{:<10} {:>10} {:>9} {:>10} {:>9} {:>10} {:>11} {:>10}",
+        "service", "mode", "frames", "tx", "rejected", "violations", "wall (s)", "kfps"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failed = false;
+    for (name, build, mix, checker, bounce, steer) in &cases {
+        let svc = build();
+        let mut verdicts: Vec<Verdict> = Vec::new();
+        for (mode, parallel) in [("parallel", true), ("sequential", false)] {
+            let mut b = svc.engine(Target::Cpu).shards(SHARDS).parallel(parallel);
+            if *steer {
+                b = b.dispatch(NatSteering::default());
+            }
+            let mut engine = b.build().expect("engine build");
+            let mut chk = checker(SHARDS);
+            let t0 = Instant::now();
+            let (verdict, offered) = run(&mut engine, chk.as_mut(), mix(SEED), frames, *bounce);
+            let wall_s = t0.elapsed().as_secs_f64();
+            assert!(offered >= frames, "{name}: offered {offered} < {frames}");
+            eprintln!(
+                "{:<10} {:>10} {:>9} {:>10} {:>9} {:>10} {:>11.2} {:>10.1}",
+                name,
+                mode,
+                verdict.frames,
+                verdict.tx,
+                verdict.rejected,
+                verdict.violations,
+                wall_s,
+                verdict.frames as f64 / wall_s / 1e3,
+            );
+            for note in chk.notes() {
+                eprintln!("    violation: {note}");
+            }
+            if verdict.violations > 0 {
+                failed = true;
+            }
+            verdicts.push(verdict.clone());
+            rows.push(Row {
+                service: name,
+                mode,
+                verdict,
+                wall_s,
+                notes: chk.notes().to_vec(),
+            });
+        }
+        if verdicts[0] != verdicts[1] {
+            eprintln!(
+                "{name}: sequential and parallel verdicts DIVERGED: {:?} vs {:?}",
+                verdicts[1], verdicts[0]
+            );
+            failed = true;
+        }
+    }
+
+    // JSON record on stdout.
+    println!("{{");
+    println!("  \"bench\": \"soak\",");
+    println!("  \"frames_per_service\": {frames},");
+    println!("  \"shards\": {SHARDS},");
+    println!("  \"seed\": {SEED},");
+    println!("  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        println!(
+            "    {{\"service\": \"{}\", \"mode\": \"{}\", \"frames\": {}, \"tx\": {}, \
+             \"rejected\": {}, \"violations\": {}, \"wall_s\": {:.3}, \"notes\": {}}}{comma}",
+            r.service,
+            r.mode,
+            r.verdict.frames,
+            r.verdict.tx,
+            r.verdict.rejected,
+            r.verdict.violations,
+            r.wall_s,
+            if r.notes.is_empty() {
+                "[]"
+            } else {
+                "[\"…\"]"
+            },
+        );
+    }
+    println!("  ]");
+    println!("}}");
+
+    if failed {
+        eprintln!("\nsoak FAILED: violations or verdict divergence (see above)");
+        std::process::exit(1);
+    }
+    eprintln!("\nsoak passed: zero violations, sequential == parallel ✓");
+}

@@ -8,17 +8,63 @@
 //! backend (`emu_core::Target::Cpu`), attached to virtual interfaces.
 //!
 //! Links model propagation delay and serialization at a configurable
-//! rate; frames are delivered in global time order.
+//! rate; frames are delivered in global time order. Each direction of a
+//! link is an independent lane (full duplex): serialization on a→b
+//! never delays b→a.
+//!
+//! Links can additionally carry seeded **impairments** — loss,
+//! duplication, and reorder jitter — layered on the delay/rate model
+//! (see [`Impairments`]). Emulation work (Lochin et al., *When Should I
+//! Use Network Emulation?*) shows impaired links are what separate a
+//! demo topology from a testbed; impairments here are deterministic per
+//! seed, so an impaired scenario replays exactly.
 
 use emu_core::Engine;
 use emu_types::Frame;
 use kiwi_ir::IrResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Node handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub usize);
+
+/// Link handle, returned by [`NetSim::link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Seeded link impairments: probabilities are per transmitted frame,
+/// drawn from a per-link RNG seeded by [`Impairments::seed`] — the same
+/// seed and traffic always produce the same deliveries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Impairments {
+    /// Probability a frame is lost after occupying the wire.
+    pub loss: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame's arrival is jittered (which reorders it
+    /// relative to close neighbours).
+    pub reorder: f64,
+    /// Maximum extra delay added to a jittered frame (ns).
+    pub jitter_ns: f64,
+    /// RNG seed for this link's draws.
+    pub seed: u64,
+}
+
+/// Frame-count accounting for impaired links: every offered frame is
+/// either delivered or counted lost, and duplicates are counted on top
+/// (`delivered == offered - lost + duplicated`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImpairStats {
+    /// Frames dropped by link loss.
+    pub lost: u64,
+    /// Extra copies delivered by duplication.
+    pub duplicated: u64,
+    /// Frames whose arrival was jittered.
+    pub reordered: u64,
+}
 
 /// A received frame with its arrival time.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,13 +91,17 @@ struct Node {
     ifaces: Vec<Option<usize>>,
 }
 
-#[derive(Debug, Clone, Copy)]
 struct Link {
     a: (usize, usize), // (node, port)
     b: (usize, usize),
     delay_ns: f64,
     gbps: f64,
-    busy_until_ns: f64,
+    /// Per-direction serialization horizon: `[0]` is the a→b lane,
+    /// `[1]` the b→a lane. A full-duplex link's directions never
+    /// contend for the wire.
+    busy_until_ns: [f64; 2],
+    /// Impairment model and its private RNG, when configured.
+    impair: Option<(Impairments, StdRng)>,
 }
 
 struct Event {
@@ -92,6 +142,8 @@ pub struct NetSim {
     seq: u64,
     /// Frames delivered to a port with no link attached.
     pub dropped_no_link: u64,
+    /// Aggregate impairment accounting across every impaired link.
+    pub impair_stats: ImpairStats,
 }
 
 impl Default for NetSim {
@@ -110,6 +162,7 @@ impl NetSim {
             time_ns: 0.0,
             seq: 0,
             dropped_no_link: 0,
+            impair_stats: ImpairStats::default(),
         }
     }
 
@@ -144,7 +197,8 @@ impl NetSim {
         NodeId(self.nodes.len() - 1)
     }
 
-    /// Connects `a.port_a ↔ b.port_b` with the given delay and rate.
+    /// Connects `a.port_a ↔ b.port_b` with the given delay and rate,
+    /// returning a handle for further configuration ([`NetSim::impair`]).
     ///
     /// # Panics
     ///
@@ -157,7 +211,7 @@ impl NetSim {
         port_b: usize,
         delay_ns: f64,
         gbps: f64,
-    ) {
+    ) -> LinkId {
         assert!(self.nodes[a.0].ifaces[port_a].is_none(), "port in use");
         assert!(self.nodes[b.0].ifaces[port_b].is_none(), "port in use");
         let id = self.links.len();
@@ -166,10 +220,18 @@ impl NetSim {
             b: (b.0, port_b),
             delay_ns,
             gbps,
-            busy_until_ns: 0.0,
+            busy_until_ns: [0.0; 2],
+            impair: None,
         });
         self.nodes[a.0].ifaces[port_a] = Some(id);
         self.nodes[b.0].ifaces[port_b] = Some(id);
+        LinkId(id)
+    }
+
+    /// Attaches seeded impairments to a link (both directions share the
+    /// configuration and the RNG).
+    pub fn impair(&mut self, link: LinkId, imp: Impairments) {
+        self.links[link.0].impair = Some((imp, StdRng::seed_from_u64(imp.seed ^ 0x11e7_51f1)));
     }
 
     /// Current simulation time.
@@ -188,23 +250,65 @@ impl NetSim {
             return;
         };
         let link = &mut self.links[link_id];
+        // Serialization occupies only this direction's lane: a full-
+        // duplex link's two directions never contend for the wire.
+        let dir = usize::from(!(link.a.0 == node && link.a.1 == port));
         let ser_ns = frame.wire_bytes() as f64 * 8.0 / link.gbps;
-        let start = t_ns.max(link.busy_until_ns);
-        link.busy_until_ns = start + ser_ns;
+        let start = t_ns.max(link.busy_until_ns[dir]);
+        link.busy_until_ns[dir] = start + ser_ns;
         let arrive = start + ser_ns + link.delay_ns;
-        let (dst_node, dst_port) = if link.a.0 == node && link.a.1 == port {
-            link.b
-        } else {
-            link.a
-        };
-        self.seq += 1;
-        self.events.push(Event {
-            t_ns: arrive,
-            seq: self.seq,
-            dst_node,
-            dst_port,
-            frame,
-        });
+        let (dst_node, dst_port) = if dir == 0 { link.b } else { link.a };
+
+        // Impairments: the frame occupied the wire either way; it is
+        // then lost, delivered (possibly jittered), and possibly
+        // delivered twice. Draws come from the link's seeded RNG in a
+        // fixed order, so a seed fully determines the outcome sequence.
+        let mut deliveries: Vec<f64> = Vec::with_capacity(1);
+        match &mut link.impair {
+            None => deliveries.push(arrive),
+            Some((imp, rng)) => {
+                if imp.loss > 0.0 && rng.gen_bool(imp.loss) {
+                    self.impair_stats.lost += 1;
+                } else {
+                    let mut jittered = arrive;
+                    if imp.reorder > 0.0 && imp.jitter_ns > 0.0 && rng.gen_bool(imp.reorder) {
+                        jittered += rng.gen_range(0.0..imp.jitter_ns);
+                        self.impair_stats.reordered += 1;
+                    }
+                    deliveries.push(jittered);
+                    if imp.duplicate > 0.0 && rng.gen_bool(imp.duplicate) {
+                        let mut copy = arrive;
+                        if imp.reorder > 0.0 && imp.jitter_ns > 0.0 && rng.gen_bool(imp.reorder) {
+                            copy += rng.gen_range(0.0..imp.jitter_ns);
+                        }
+                        deliveries.push(copy);
+                        self.impair_stats.duplicated += 1;
+                    }
+                }
+            }
+        }
+        // Move the frame into the last delivery; only duplicates clone.
+        let last = deliveries.pop();
+        for t in deliveries {
+            self.seq += 1;
+            self.events.push(Event {
+                t_ns: t,
+                seq: self.seq,
+                dst_node,
+                dst_port,
+                frame: frame.clone(),
+            });
+        }
+        if let Some(t) = last {
+            self.seq += 1;
+            self.events.push(Event {
+                t_ns: t,
+                seq: self.seq,
+                dst_node,
+                dst_port,
+                frame,
+            });
+        }
     }
 
     /// Runs until the event queue drains or `t_end_ns` passes. Returns the
@@ -407,5 +511,183 @@ mod tests {
         // Arrivals spaced by one 80-byte serialization time (64 ns).
         assert!((inbox[1].t_ns - inbox[0].t_ns - 64.0).abs() < 1e-9);
         assert!((inbox[2].t_ns - inbox[1].t_ns - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_link_sends_arrive_in_order_without_overlap() {
+        // Regression for `Link::busy_until_ns` accounting: back-to-back
+        // sends on a slow link must arrive in send order with at least
+        // one full serialization time between arrivals — the wire can
+        // hold one frame at a time per direction.
+        let mut net = NetSim::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        net.link(a, 0, b, 0, 250.0, 0.1); // 80 wire bytes = 6400 ns each
+        for i in 0..5u8 {
+            net.send(a, 0, Frame::new(vec![i; 60]), 0.0);
+        }
+        net.run_until(1e9).unwrap();
+        let inbox = net.inbox(b);
+        assert_eq!(inbox.len(), 5);
+        for (i, d) in inbox.iter().enumerate() {
+            assert_eq!(d.frame.bytes()[0], i as u8, "arrival order broke");
+        }
+        for w in inbox.windows(2) {
+            let gap = w[1].t_ns - w[0].t_ns;
+            assert!(gap >= 6400.0 - 1e-9, "frames overlapped on the wire: {gap}");
+        }
+        // First frame: 6400 ns serialization + 250 ns propagation.
+        assert!((inbox[0].t_ns - 6650.0).abs() < 1e-9, "{}", inbox[0].t_ns);
+    }
+
+    #[test]
+    fn link_directions_are_independent_lanes() {
+        // Full duplex: simultaneous sends in both directions must not
+        // serialize behind each other (the old shared `busy_until_ns`
+        // accounting delayed the reverse direction by a full frame).
+        let mut net = NetSim::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        net.link(a, 0, b, 0, 100.0, 0.1);
+        net.send(a, 0, Frame::new(vec![1; 60]), 0.0);
+        net.send(b, 0, Frame::new(vec![2; 60]), 0.0);
+        net.run_until(1e9).unwrap();
+        let at_b = net.inbox(b);
+        let at_a = net.inbox(a);
+        assert_eq!((at_a.len(), at_b.len()), (1, 1));
+        // Both see exactly serialization + propagation; neither waited.
+        assert!((at_b[0].t_ns - 6500.0).abs() < 1e-9, "{}", at_b[0].t_ns);
+        assert!((at_a[0].t_ns - 6500.0).abs() < 1e-9, "{}", at_a[0].t_ns);
+    }
+
+    fn lossy(loss: f64, dup: f64, reorder: f64, seed: u64) -> Impairments {
+        Impairments {
+            loss,
+            duplicate: dup,
+            reorder,
+            jitter_ns: 5_000.0,
+            seed,
+        }
+    }
+
+    /// Sends `n` distinct frames a→b over a link impaired with `imp`,
+    /// returning the delivered payload tags in arrival order plus the
+    /// final stats.
+    fn run_impaired(n: u16, imp: Impairments) -> (Vec<u16>, ImpairStats) {
+        let mut net = NetSim::new();
+        let a = net.add_host("a", 1);
+        let b = net.add_host("b", 1);
+        let l = net.link(a, 0, b, 0, 500.0, 10.0);
+        net.impair(l, imp);
+        for i in 0..n {
+            let mut bytes = vec![0u8; 60];
+            bytes[12..14].copy_from_slice(&[0x12, 0x34]); // inert ethertype
+            bytes[14..16].copy_from_slice(&i.to_be_bytes());
+            net.send(a, 0, Frame::new(bytes), f64::from(i) * 1_000.0);
+        }
+        net.run_until(1e12).unwrap();
+        let tags = net
+            .inbox(b)
+            .into_iter()
+            .map(|d| u16::from_be_bytes([d.frame.bytes()[14], d.frame.bytes()[15]]))
+            .collect();
+        (tags, net.impair_stats)
+    }
+
+    #[test]
+    fn impairments_are_deterministic_for_a_seed() {
+        let imp = lossy(0.1, 0.05, 0.2, 42);
+        let (tags_a, stats_a) = run_impaired(400, imp);
+        let (tags_b, stats_b) = run_impaired(400, imp);
+        assert_eq!(tags_a, tags_b, "same seed must replay identically");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.lost > 0 && stats_a.duplicated > 0 && stats_a.reordered > 0);
+        // A different seed gives a different realization.
+        let (tags_c, _) = run_impaired(400, lossy(0.1, 0.05, 0.2, 43));
+        assert_ne!(tags_a, tags_c);
+    }
+
+    #[test]
+    fn impairments_conserve_or_drop_frame_counts_exactly() {
+        for seed in 0..5u64 {
+            let (tags, stats) = run_impaired(500, lossy(0.15, 0.1, 0.0, seed));
+            assert_eq!(
+                tags.len() as u64,
+                500 - stats.lost + stats.duplicated,
+                "seed {seed}: delivered must equal offered - lost + duplicated"
+            );
+        }
+        // No impairment: exact conservation.
+        let (tags, stats) = run_impaired(100, Impairments::default());
+        assert_eq!(tags.len(), 100);
+        assert_eq!(stats, ImpairStats::default());
+    }
+
+    #[test]
+    fn reorder_jitter_shuffles_arrivals() {
+        let (tags, stats) = run_impaired(300, lossy(0.0, 0.0, 0.5, 7));
+        assert_eq!(tags.len(), 300, "reorder must not lose frames");
+        assert!(stats.reordered > 50);
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_ne!(tags, sorted, "jitter must actually reorder");
+        // Loss/duplication untouched.
+        assert_eq!((stats.lost, stats.duplicated), (0, 0));
+    }
+
+    #[test]
+    fn dropped_no_link_accounting_correct_under_impairment() {
+        // A flooding service behind an impaired link: deliveries that
+        // the service floods to unlinked ports are counted in
+        // `dropped_no_link`, and impairment losses are *not* (they are
+        // link losses, not missing-link drops).
+        let mut net = NetSim::new();
+        let h = net.add_host("h", 1);
+        let m = net.add_service("mirror", cpu_engine(&mirror_service(), 1), 4);
+        let l = net.link(h, 0, m, 2, 500.0, 10.0);
+        net.impair(l, lossy(0.3, 0.0, 0.0, 9));
+        for i in 0..200u8 {
+            net.send(h, 0, Frame::new(vec![i; 60]), f64::from(i) * 10_000.0);
+        }
+        net.run_until(1e12).unwrap();
+        let delivered = net.inbox(h).len() as u64;
+        let lost = net.impair_stats.lost;
+        assert!(lost > 20, "loss must bite: {lost}");
+        // The mirror echoes every frame it receives back through the
+        // same impaired link; echoes can be lost again on the way back.
+        assert_eq!(delivered + lost, 200, "h→m loss + m→h loss + deliveries");
+        assert_eq!(net.dropped_no_link, 0, "no unlinked ports involved");
+        // And an unlinked send still counts exactly once.
+        let lone = net.add_host("lone", 2);
+        net.send(lone, 1, Frame::new(vec![0; 60]), 0.0);
+        net.run_until(1e12).unwrap();
+        assert_eq!(net.dropped_no_link, 1);
+    }
+
+    #[test]
+    fn impaired_sharded_service_stays_deterministic() {
+        // End-to-end: a sharded engine behind an impaired link still
+        // yields a reproducible delivery sequence for a fixed seed.
+        let run = || {
+            let mut net = NetSim::new();
+            let h = net.add_host("h", 1);
+            let m = net.add_service("mirror", cpu_engine(&mirror_service(), 4), 4);
+            let l = net.link(h, 0, m, 1, 300.0, 10.0);
+            net.impair(l, lossy(0.2, 0.1, 0.3, 77));
+            for i in 0..100u8 {
+                net.send(
+                    h,
+                    0,
+                    Frame::new(vec![i; 60 + usize::from(i % 32)]),
+                    f64::from(i) * 5_000.0,
+                );
+            }
+            net.run_until(1e12).unwrap();
+            net.inbox(h)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() < 100);
     }
 }

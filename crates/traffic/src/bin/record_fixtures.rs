@@ -1,0 +1,43 @@
+//! Records the golden traffic fixtures under `tests/fixtures/`.
+//!
+//! Run from the workspace root after an *intentional* semantic change
+//! to a generator or service, then review the diff:
+//!
+//! ```text
+//! cargo run -p emu-traffic --bin record_fixtures [-- <out_dir>]
+//! ```
+//!
+//! `tests/traffic_replay.rs` replays these recordings byte-exact on
+//! every target; a fixture diff is the reviewable record of a semantic
+//! change.
+
+use emu_core::Target;
+use emu_traffic::scenarios::fixture_scenarios;
+use emu_traffic::Trace;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/fixtures".to_string());
+    let out = std::path::Path::new(&out_dir);
+    std::fs::create_dir_all(out).expect("create fixture dir");
+    for s in fixture_scenarios() {
+        let svc = (s.service)();
+        let mut engine = svc
+            .engine(Target::Cpu)
+            .build()
+            .expect("fixture engines are single-shard CPU");
+        let inputs = (s.inputs)();
+        let trace = Trace::record(&mut engine, &inputs);
+        let path = out.join(format!("{}.trace", s.name));
+        trace.save(&path).expect("write fixture");
+        let outputs: usize = trace.entries.iter().map(|e| e.outputs.len()).sum();
+        println!(
+            "{}: {} inputs, {} outputs -> {}",
+            s.name,
+            trace.entries.len(),
+            outputs,
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,735 @@
+//! Per-service reference checkers: independent software models that
+//! consume a batch's inputs plus its [`BatchReport`] and verify the
+//! service's invariants frame by frame.
+//!
+//! Each checker mirrors its service's *observable contract* — not its
+//! implementation — byte-reads included: a service core sees the frame
+//! zero-extended to its buffer (see [`crate::build::byte_at`]), so the
+//! models parse exactly the bytes the core parses, and malformed
+//! traffic stays checkable.
+//!
+//! Every checker also enforces the engine-wide invariant that no frame
+//! may *trap* a shard: [`EngineError::Trap`]/[`EngineError::Poisoned`]
+//! results are violations regardless of the input (adversarial frames
+//! must drop or pass, never wedge a core). `Oversize` rejections are
+//! legitimate — the core never saw the frame.
+
+use crate::build::{byte_at, ipv4_csum_ok, l4_csum_ok};
+use emu_core::{BatchReport, Dispatch, EngineError, EngineResult, RssHash};
+use emu_services::nat::FIRST_EPHEMERAL;
+use emu_types::proto::{ether_type, ip_proto, offset};
+use emu_types::{bitutil, Frame, Ipv4};
+use netfpga_sim::dataplane::CoreOutput;
+use std::collections::HashMap;
+
+/// A frame-by-frame invariant checker over engine results.
+pub trait Checker {
+    /// Checker label for reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks one input/result pair.
+    fn observe(&mut self, input: &Frame, result: &EngineResult<CoreOutput>);
+
+    /// Checks a whole batch in offer order.
+    fn check_batch(&mut self, inputs: &[Frame], report: &BatchReport) {
+        assert_eq!(inputs.len(), report.outputs.len(), "report/batch mismatch");
+        for (f, r) in inputs.iter().zip(&report.outputs) {
+            self.observe(f, r);
+        }
+    }
+
+    /// Frames observed so far.
+    fn frames(&self) -> u64;
+
+    /// Invariant violations so far.
+    fn violations(&self) -> u64;
+
+    /// Human-readable descriptions of the first violations.
+    fn notes(&self) -> &[String];
+}
+
+/// Shared violation bookkeeping.
+#[derive(Debug, Default, Clone)]
+struct Tally {
+    frames: u64,
+    violations: u64,
+    notes: Vec<String>,
+}
+
+impl Tally {
+    fn violate(&mut self, msg: String) {
+        self.violations += 1;
+        if self.notes.len() < 8 {
+            self.notes.push(msg);
+        }
+    }
+
+    /// Returns `true` if the result may be inspected further; counts
+    /// traps as violations and oversize rejections as benign.
+    fn admit(&mut self, i: u64, result: &EngineResult<CoreOutput>) -> bool {
+        self.frames += 1;
+        match result {
+            Ok(_) => true,
+            Err(EngineError::Oversize { .. }) => false,
+            Err(e) => {
+                self.violate(format!("frame {i}: engine must never trap: {e}"));
+                false
+            }
+        }
+    }
+}
+
+/// The service-side view of "is this frame translatable/parsable":
+/// IPv4 EtherType, IHL 5 (the services reject options), protocol match.
+fn ihl5(f: &Frame) -> bool {
+    byte_at(f, offset::IPV4) & 0x0f == 5
+}
+
+fn l4_proto(f: &Frame) -> u8 {
+    byte_at(f, offset::IPV4_PROTO)
+}
+
+// ---------------------------------------------------------------------
+// NAT
+// ---------------------------------------------------------------------
+
+/// Reference checker for `emu_services::nat`: translation consistency
+/// (one flow ↔ one stable external port), global external-port
+/// uniqueness, per-shard ephemeral-range discipline under
+/// `NatSteering`, header-rewrite exactness, TTL decrement, and
+/// checksum-validity preservation (RFC 1624 incremental updates keep a
+/// valid checksum valid).
+pub struct NatChecker {
+    public: Ipv4,
+    shards: usize,
+    /// {int_src, int_sport, proto} → allocated external port.
+    fwd: HashMap<(u32, u16, u8), u16>,
+    /// {ext_port, proto} → (int_src, int_sport, physical port).
+    owner: HashMap<(u16, u8), (u32, u16, u8)>,
+    tally: Tally,
+}
+
+impl NatChecker {
+    /// Creates the checker for an engine of `shards` shards behind the
+    /// given public address. `shards > 1` assumes the `NatSteering`
+    /// allocation contract (shard *k* allocates `FIRST_EPHEMERAL + k`,
+    /// stepping by the shard count) and checks the residue discipline.
+    pub fn new(public: Ipv4, shards: usize) -> Self {
+        assert!(shards >= 1);
+        NatChecker {
+            public,
+            shards,
+            fwd: HashMap::new(),
+            owner: HashMap::new(),
+            tally: Tally::default(),
+        }
+    }
+
+    /// Live translation entries in the model.
+    pub fn mappings(&self) -> usize {
+        self.owner.len()
+    }
+
+    fn translatable(f: &Frame) -> bool {
+        f.ethertype() == ether_type::IPV4
+            && ihl5(f)
+            && matches!(l4_proto(f), p if p == ip_proto::TCP || p == ip_proto::UDP)
+    }
+
+    /// Compares `got` against the input with the NAT rewrites applied
+    /// and both checksum fields masked (validity is checked
+    /// separately).
+    fn expect_rewritten(
+        &mut self,
+        i: u64,
+        input: &Frame,
+        got: &Frame,
+        rewrite: impl FnOnce(&mut [u8]),
+    ) {
+        let proto = l4_proto(input);
+        let mut want = input.bytes().to_vec();
+        want[offset::IPV4_TTL] = want[offset::IPV4_TTL].wrapping_sub(1);
+        rewrite(&mut want);
+        let mut got_b = got.bytes().to_vec();
+        let l4_csum = if proto == ip_proto::TCP {
+            offset::L4 + 16
+        } else {
+            offset::L4 + 6
+        };
+        for b in [&mut want, &mut got_b] {
+            bitutil::set16(b, offset::IPV4_CSUM, 0);
+            if b.len() >= l4_csum + 2 {
+                bitutil::set16(b, l4_csum, 0);
+            }
+        }
+        if want != got_b {
+            self.tally
+                .violate(format!("frame {i}: translated bytes diverge from model"));
+        }
+        // Incremental checksum updates must preserve validity.
+        if ipv4_csum_ok(input) == Some(true) && ipv4_csum_ok(got) != Some(true) {
+            self.tally
+                .violate(format!("frame {i}: IP checksum invalidated"));
+        }
+        if l4_csum_ok(input) == Some(true) && l4_csum_ok(got) == Some(false) {
+            self.tally
+                .violate(format!("frame {i}: L4 checksum invalidated"));
+        }
+    }
+}
+
+impl Checker for NatChecker {
+    fn name(&self) -> &'static str {
+        "nat"
+    }
+
+    fn observe(&mut self, input: &Frame, result: &EngineResult<CoreOutput>) {
+        let i = self.tally.frames;
+        if !self.tally.admit(i, result) {
+            return;
+        }
+        let out = result.as_ref().expect("admitted");
+        if !Self::translatable(input) {
+            if !out.tx.is_empty() {
+                self.tally
+                    .violate(format!("frame {i}: untranslatable frame transmitted"));
+            }
+            return;
+        }
+        let b = input.bytes();
+        let proto = l4_proto(input);
+        if input.in_port != 0 {
+            // Outbound: must translate out of the external port.
+            let src = bitutil::get32(b, offset::IPV4_SRC);
+            let sport = bitutil::get16(b, offset::L4);
+            let [tx] = &out.tx[..] else {
+                self.tally
+                    .violate(format!("frame {i}: outbound produced {} tx", out.tx.len()));
+                return;
+            };
+            if tx.ports != 1 {
+                self.tally.violate(format!(
+                    "frame {i}: outbound left via ports {:#06b}, not the external port",
+                    tx.ports
+                ));
+            }
+            let got_ext = bitutil::get16(tx.frame.bytes(), offset::L4);
+            let ext = match self.fwd.get(&(src, sport, proto)) {
+                Some(&e) => {
+                    if got_ext != e {
+                        self.tally.violate(format!(
+                            "frame {i}: flow remapped {e} → {got_ext} (translation \
+                             consistency broken)"
+                        ));
+                    }
+                    e
+                }
+                None => {
+                    // Fresh allocation: range, uniqueness, residue.
+                    if got_ext < FIRST_EPHEMERAL {
+                        self.tally.violate(format!(
+                            "frame {i}: allocated port {got_ext} below the ephemeral range"
+                        ));
+                    }
+                    if self.owner.contains_key(&(got_ext, proto)) {
+                        self.tally.violate(format!(
+                            "frame {i}: external port {got_ext} allocated twice"
+                        ));
+                    }
+                    if self.shards > 1 {
+                        let home = RssHash.shard_of(input, self.shards);
+                        let residue =
+                            usize::from(got_ext.wrapping_sub(FIRST_EPHEMERAL)) % self.shards;
+                        if residue != home {
+                            self.tally.violate(format!(
+                                "frame {i}: port {got_ext} outside shard {home}'s residue \
+                                 class (ephemeral-range discipline)"
+                            ));
+                        }
+                    }
+                    self.fwd.insert((src, sport, proto), got_ext);
+                    self.owner
+                        .insert((got_ext, proto), (src, sport, input.in_port));
+                    got_ext
+                }
+            };
+            let public = self.public;
+            self.expect_rewritten(i, input, &tx.frame, |w| {
+                w[offset::IPV4_SRC..offset::IPV4_SRC + 4].copy_from_slice(&public.octets());
+                bitutil::set16(w, offset::L4, ext);
+            });
+        } else {
+            // Inbound: translate back iff the mapping exists.
+            let dport = bitutil::get16(b, offset::L4 + 2);
+            match self.owner.get(&(dport, proto)).copied() {
+                Some((int_ip, int_port, phys)) => {
+                    let [tx] = &out.tx[..] else {
+                        self.tally.violate(format!(
+                            "frame {i}: inbound to a live mapping produced {} tx",
+                            out.tx.len()
+                        ));
+                        return;
+                    };
+                    if tx.ports != 1u8.checked_shl(phys.into()).unwrap_or(0) {
+                        self.tally.violate(format!(
+                            "frame {i}: reply delivered to ports {:#06b}, owner is port {phys}",
+                            tx.ports
+                        ));
+                    }
+                    self.expect_rewritten(i, input, &tx.frame, |w| {
+                        w[offset::IPV4_DST..offset::IPV4_DST + 4]
+                            .copy_from_slice(&Ipv4(int_ip).octets());
+                        bitutil::set16(w, offset::L4 + 2, int_port);
+                    });
+                }
+                None => {
+                    if !out.tx.is_empty() {
+                        self.tally.violate(format!(
+                            "frame {i}: unsolicited inbound to port {dport} was not dropped"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn frames(&self) -> u64 {
+        self.tally.frames
+    }
+    fn violations(&self) -> u64 {
+        self.tally.violations
+    }
+    fn notes(&self) -> &[String] {
+        &self.tally.notes
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memcached
+// ---------------------------------------------------------------------
+
+/// Offset of the memcached-UDP frame header in a request frame.
+const MC_HDR: usize = 42;
+/// Offset of the ASCII command.
+const CMD: usize = 50;
+/// The service's frame buffer capacity (see `emu_services::memcached`).
+const MC_FRAME_CAP: usize = 512;
+
+/// Reference model for `emu_services::memcached`: a shadow store that
+/// predicts every GET/SET/DELETE reply, byte-reads mirrored from the
+/// service's parser (zero-extended buffer, 8-byte key limit, skip-line
+/// value scan).
+///
+/// **Precondition for sharded engines:** traffic must keep each key on
+/// one flow (as [`crate::MemcachedZipf`] does), so per-shard stores
+/// partition the keyspace and a single global model stays exact.
+#[derive(Default)]
+pub struct McModel {
+    store: HashMap<Vec<u8>, [u8; 8]>,
+    tally: Tally,
+}
+
+impl McModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keys currently live in the model.
+    pub fn live_keys(&self) -> usize {
+        self.store.len()
+    }
+
+    fn is_mc(f: &Frame) -> bool {
+        f.ethertype() == ether_type::IPV4
+            && l4_proto(f) == ip_proto::UDP
+            && ihl5(f)
+            && bitutil::get16(f.bytes(), offset::L4 + 2) == 11_211
+    }
+
+    /// Mirrors the service's key parser: from `idx` until space/CR,
+    /// `None` when empty or over 8 bytes.
+    fn parse_key(f: &Frame, idx: &mut usize) -> Option<Vec<u8>> {
+        let mut key = Vec::new();
+        loop {
+            let b = byte_at(f, *idx);
+            if b == b' ' || b == b'\r' {
+                break;
+            }
+            if key.len() >= 8 {
+                return None;
+            }
+            key.push(b);
+            *idx += 1;
+        }
+        (!key.is_empty()).then_some(key)
+    }
+
+    /// Mirrors the SET value scan: skip to past the command line's
+    /// `\n`, then read 8 bytes.
+    fn parse_value(f: &Frame, mut idx: usize) -> [u8; 8] {
+        while byte_at(f, idx) != b'\n' && idx < MC_FRAME_CAP - 9 {
+            idx += 1;
+        }
+        idx += 1;
+        std::array::from_fn(|k| byte_at(f, idx + k))
+    }
+
+    /// The reply the service must produce for `input`, or `None` for a
+    /// drop. Updates the shadow store.
+    fn expected_reply(&mut self, input: &Frame) -> Option<Vec<u8>> {
+        if !Self::is_mc(input) {
+            return None;
+        }
+        match byte_at(input, CMD) {
+            b'g' => {
+                let mut idx = CMD + 4;
+                let key = Self::parse_key(input, &mut idx)?;
+                Some(match self.store.get(&key) {
+                    Some(v) => {
+                        let mut r = b"VALUE ".to_vec();
+                        r.extend_from_slice(&key);
+                        r.extend_from_slice(b" 0 8\r\n");
+                        r.extend_from_slice(v);
+                        r.extend_from_slice(b"\r\nEND\r\n");
+                        r
+                    }
+                    None => b"END\r\n".to_vec(),
+                })
+            }
+            b's' => {
+                let mut idx = CMD + 4;
+                let key = Self::parse_key(input, &mut idx)?;
+                let value = Self::parse_value(input, idx);
+                self.store.insert(key, value);
+                Some(b"STORED\r\n".to_vec())
+            }
+            b'd' => {
+                let mut idx = CMD + 7;
+                let key = Self::parse_key(input, &mut idx)?;
+                Some(if self.store.remove(&key).is_some() {
+                    b"DELETED\r\n".to_vec()
+                } else {
+                    b"NOT_FOUND\r\n".to_vec()
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Checker for McModel {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn observe(&mut self, input: &Frame, result: &EngineResult<CoreOutput>) {
+        let i = self.tally.frames;
+        if !self.tally.admit(i, result) {
+            return;
+        }
+        let out = result.as_ref().expect("admitted");
+        match self.expected_reply(input) {
+            None => {
+                if !out.tx.is_empty() {
+                    self.tally
+                        .violate(format!("frame {i}: non-request frame answered"));
+                }
+            }
+            Some(want) => {
+                let [tx] = &out.tx[..] else {
+                    self.tally
+                        .violate(format!("frame {i}: request produced {} tx", out.tx.len()));
+                    return;
+                };
+                let got = emu_services::memcached::reply_text(&tx.frame);
+                if got != want {
+                    self.tally.violate(format!(
+                        "frame {i}: reply {:?} != model {:?} (cache coherence)",
+                        String::from_utf8_lossy(&got),
+                        String::from_utf8_lossy(&want)
+                    ));
+                }
+                if bitutil::get16(tx.frame.bytes(), MC_HDR) != bitutil::get16(input.bytes(), MC_HDR)
+                {
+                    self.tally
+                        .violate(format!("frame {i}: request id not echoed"));
+                }
+                if tx.ports != 1u8.checked_shl(input.in_port.into()).unwrap_or(0) {
+                    self.tally.violate(format!(
+                        "frame {i}: reply left ports {:#06b}, not the arrival port",
+                        tx.ports
+                    ));
+                }
+                if ipv4_csum_ok(&tx.frame) != Some(true) {
+                    self.tally
+                        .violate(format!("frame {i}: reply IP checksum invalid"));
+                }
+            }
+        }
+    }
+
+    fn frames(&self) -> u64 {
+        self.tally.frames
+    }
+    fn violations(&self) -> u64 {
+        self.tally.violations
+    }
+    fn notes(&self) -> &[String] {
+        &self.tally.notes
+    }
+}
+
+// ---------------------------------------------------------------------
+// Switch
+// ---------------------------------------------------------------------
+
+/// Reference model for the learning switch: per-shard MAC tables
+/// (shard state is private, so each RSS shard learns independently),
+/// exact forward/flood prediction, and frame-transparency (a switch
+/// must never modify bytes).
+///
+/// The model mirrors `emu_services::switch_ip_cam` exactly — it learns
+/// any source on lookup miss — and assumes fewer than 256 distinct
+/// source MACs per shard (the CAM capacity; beyond that the hardware
+/// evicts and the model declares itself out of its domain).
+pub struct SwitchModel {
+    tables: Vec<HashMap<u64, u8>>,
+    tally: Tally,
+    capacity_blown: bool,
+}
+
+impl SwitchModel {
+    /// CAM capacity per shard (`emu_services::switch::TABLE_ENTRIES`).
+    pub const CAPACITY: usize = 256;
+
+    /// Creates the model for an engine of `shards` shards under RSS
+    /// dispatch.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1);
+        SwitchModel {
+            tables: vec![HashMap::new(); shards],
+            tally: Tally::default(),
+            capacity_blown: false,
+        }
+    }
+
+    /// Total learned entries across shard models.
+    pub fn learned(&self) -> usize {
+        self.tables.iter().map(HashMap::len).sum()
+    }
+}
+
+impl Checker for SwitchModel {
+    fn name(&self) -> &'static str {
+        "switch"
+    }
+
+    fn observe(&mut self, input: &Frame, result: &EngineResult<CoreOutput>) {
+        let i = self.tally.frames;
+        if !self.tally.admit(i, result) {
+            return;
+        }
+        let out = result.as_ref().expect("admitted");
+        let shard = if self.tables.len() == 1 {
+            0
+        } else {
+            RssHash.shard_of(input, self.tables.len())
+        };
+        let table = &mut self.tables[shard];
+        let dst = input.dst_mac().to_u64();
+        let src = input.src_mac().to_u64();
+        let want_ports = match table.get(&dst) {
+            Some(&p) => 1u8.checked_shl(p.into()).unwrap_or(0),
+            None => 0b1111 & !1u8.checked_shl(input.in_port.into()).unwrap_or(0),
+        };
+        if !table.contains_key(&src) {
+            if table.len() >= Self::CAPACITY && !self.capacity_blown {
+                self.capacity_blown = true;
+                self.tally.violate(format!(
+                    "frame {i}: model capacity exceeded ({} MACs on shard {shard}) — \
+                     bound the generator's MAC pool",
+                    table.len()
+                ));
+            }
+            table.insert(src, input.in_port);
+        }
+        let [tx] = &out.tx[..] else {
+            self.tally
+                .violate(format!("frame {i}: switch produced {} tx", out.tx.len()));
+            return;
+        };
+        if tx.ports != want_ports {
+            self.tally.violate(format!(
+                "frame {i}: forwarded to {:#06b}, model says {want_ports:#06b} \
+                 (learned forwarding)",
+                tx.ports
+            ));
+        }
+        if tx.frame.bytes() != input.bytes() {
+            self.tally
+                .violate(format!("frame {i}: switch modified frame bytes"));
+        }
+    }
+
+    fn frames(&self) -> u64 {
+        self.tally.frames
+    }
+    fn violations(&self) -> u64 {
+        self.tally.violations
+    }
+    fn notes(&self) -> &[String] {
+        &self.tally.notes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adversarial, Background, MemcachedZipf, Mix, TcpConversations, TrafficGen};
+    use emu_core::{NatSteering, Target};
+
+    fn public() -> Ipv4 {
+        "203.0.113.1".parse().unwrap()
+    }
+
+    #[test]
+    fn nat_checker_passes_an_honest_engine_and_models_replies() {
+        let svc = emu_services::nat(public());
+        let mut engine = svc
+            .engine(Target::Cpu)
+            .shards(4)
+            .dispatch(NatSteering::default())
+            .build()
+            .unwrap();
+        let mut checker = NatChecker::new(public(), 4);
+        let mut gen = Mix::new(3)
+            .add(6, TcpConversations::new(1, 12, &[1, 2, 3]))
+            .add(2, Background::new(2, &[1, 2, 3]))
+            .add(1, Adversarial::new(4, &[0, 1, 2, 3]));
+        let frames = gen.take(400);
+        let report = engine.process_batch(&frames);
+        checker.check_batch(&frames, &report);
+        // Bounce every translated outbound frame back as a reply.
+        let replies: Vec<Frame> = frames
+            .iter()
+            .zip(&report.outputs)
+            .filter(|(f, _)| f.in_port != 0)
+            .filter_map(|(_, r)| r.as_ref().ok())
+            .flat_map(|o| &o.tx)
+            .map(|t| crate::build::reply_to(&t.frame, b"reply-payload"))
+            .collect();
+        assert!(!replies.is_empty(), "soak needs inbound traffic");
+        let reply_report = engine.process_batch(&replies);
+        checker.check_batch(&replies, &reply_report);
+        assert_eq!(checker.violations(), 0, "notes: {:?}", checker.notes());
+        assert!(checker.mappings() > 0);
+    }
+
+    #[test]
+    fn nat_checker_detects_a_tampered_translation() {
+        let svc = emu_services::nat(public());
+        let mut engine = svc.engine(Target::Cpu).build().unwrap();
+        let f = emu_services::nat::udp_frame(
+            "192.168.1.9".parse().unwrap(),
+            4040,
+            "8.8.8.8".parse().unwrap(),
+            53,
+            2,
+        );
+        let mut out = engine.process(&f).unwrap();
+        // Corrupt the allocated port after the fact.
+        let off = offset::L4;
+        let b = out.tx[0].frame.bytes_mut();
+        let v = bitutil::get16(b, off);
+        bitutil::set16(b, off, v ^ 0x0101);
+        let mut checker = NatChecker::new(public(), 1);
+        checker.observe(&f, &Ok(out));
+        assert!(checker.violations() > 0);
+    }
+
+    #[test]
+    fn mc_model_agrees_with_the_service_over_a_zipf_stream() {
+        let svc = emu_services::memcached();
+        let mut engine = svc.engine(Target::Cpu).shards(4).build().unwrap();
+        let mut model = McModel::new();
+        let mut gen = MemcachedZipf::new(6, 24, 1.1, 0.7);
+        for chunk in 0..4 {
+            let frames = gen.take(150);
+            let report = engine.process_batch(&frames);
+            model.check_batch(&frames, &report);
+            assert_eq!(
+                model.violations(),
+                0,
+                "chunk {chunk}, notes: {:?}",
+                model.notes()
+            );
+        }
+        assert!(model.live_keys() > 0);
+    }
+
+    #[test]
+    fn mc_model_detects_a_stale_reply() {
+        let svc = emu_services::memcached();
+        let mut engine = svc.engine(Target::Cpu).build().unwrap();
+        let mut model = McModel::new();
+        let set = emu_services::memcached::request_frame("set kk 0 0 8\r\nAAAABBBB\r\n", 1);
+        let r = engine.process(&set).unwrap();
+        model.observe(&set, &Ok(r));
+        // The model saw the SET; feed it a forged miss for the same key.
+        let get = emu_services::memcached::request_frame("get kk\r\n", 2);
+        let miss = engine
+            .process(&emu_services::memcached::request_frame("get zz\r\n", 2))
+            .unwrap();
+        model.observe(&get, &Ok(miss));
+        assert!(model.violations() > 0, "stale END must be flagged");
+    }
+
+    #[test]
+    fn switch_model_tracks_sharded_learning() {
+        let svc = emu_services::switch_ip_cam();
+        for shards in [1usize, 4] {
+            let mut engine = svc.engine(Target::Cpu).shards(shards).build().unwrap();
+            let mut model = SwitchModel::new(shards);
+            let mut gen = Mix::new(9)
+                .add(3, Background::new(4, &[0, 1, 2, 3]))
+                .add(1, Adversarial::new(5, &[0, 1, 2, 3]));
+            for _ in 0..3 {
+                let frames = gen.take(120);
+                let report = engine.process_batch(&frames);
+                model.check_batch(&frames, &report);
+            }
+            assert_eq!(
+                model.violations(),
+                0,
+                "{shards} shards, notes: {:?}",
+                model.notes()
+            );
+            assert!(model.learned() > 0);
+        }
+    }
+
+    #[test]
+    fn checkers_flag_traps() {
+        let mut checker = SwitchModel::new(1);
+        checker.observe(
+            &Frame::new(vec![0; 60]),
+            &Err(EngineError::Trap {
+                shard: 0,
+                reason: "wedged".into(),
+            }),
+        );
+        assert_eq!(checker.violations(), 1);
+        // Oversize is a legitimate rejection, not a violation.
+        let mut checker = SwitchModel::new(1);
+        checker.observe(
+            &Frame::new(vec![0; 60]),
+            &Err(EngineError::Oversize {
+                shard: 0,
+                len: 2000,
+                cap: 1536,
+            }),
+        );
+        assert_eq!(checker.violations(), 0);
+    }
+}

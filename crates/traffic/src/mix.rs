@@ -1,0 +1,93 @@
+//! Weighted composition of traffic generators: each frame is drawn
+//! from one member generator chosen by weight, so a soak stream can be
+//! "90 % conversations, 9 % chatter, 1 % attack" with one line per
+//! ingredient. The composition is itself seeded and deterministic.
+
+use crate::TrafficGen;
+use emu_types::Frame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A weighted mix of boxed generators.
+pub struct Mix {
+    rng: StdRng,
+    members: Vec<(u32, Box<dyn TrafficGen>)>,
+    total: u32,
+}
+
+impl Mix {
+    /// Creates an empty mix seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Mix {
+            rng: StdRng::seed_from_u64(seed ^ 0x313_c0de),
+            members: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds a member with the given relative weight.
+    pub fn add(mut self, weight: u32, gen: impl TrafficGen + 'static) -> Self {
+        assert!(weight > 0, "zero-weight member");
+        self.total += weight;
+        self.members.push((weight, Box::new(gen)));
+        self
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no members were added.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl TrafficGen for Mix {
+    fn name(&self) -> &'static str {
+        "mix"
+    }
+
+    fn next_frame(&mut self) -> Frame {
+        assert!(!self.members.is_empty(), "empty mix");
+        let mut pick = self.rng.gen_range(0u32..self.total);
+        for (w, g) in &mut self.members {
+            if pick < *w {
+                return g.next_frame();
+            }
+            pick -= *w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adversarial, Background};
+
+    #[test]
+    fn weights_shape_the_blend() {
+        let mut mix = Mix::new(1)
+            .add(9, Background::new(2, &[0]))
+            .add(1, Adversarial::new(3, &[0]));
+        let n = 5_000;
+        // Background is ARP/ICMP only; adversarial never emits ARP and
+        // only rarely a valid ICMP-free IPv4 frame, so count ARP+ICMP.
+        let mut clean = 0;
+        for _ in 0..n {
+            let f = mix.next_frame();
+            let et = f.ethertype();
+            if et == emu_types::proto::ether_type::ARP
+                || (et == emu_types::proto::ether_type::IPV4
+                    && crate::build::byte_at(&f, 23) == 1
+                    && crate::build::ipv4_csum_ok(&f) == Some(true))
+            {
+                clean += 1;
+            }
+        }
+        let ratio = clean as f64 / n as f64;
+        assert!((ratio - 0.9).abs() < 0.05, "background ratio {ratio}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Record / replay: a pcap-style binary capture of a frame stream
+//! *plus* the engine's response to every frame, so any traffic window —
+//! a failing soak segment, a regression scenario — round-trips into a
+//! committed fixture that replays byte-exact on every target.
+//!
+//! Format (`EMUTRC01`, all integers little-endian):
+//!
+//! ```text
+//! magic[8] = "EMUTRC01"
+//! count: u32
+//! entry*count:
+//!   status: u8            0 = processed, 1 = rejected (e.g. oversize)
+//!   in_port: u8
+//!   len: u32, bytes[len]  the input frame
+//!   out_count: u16
+//!   out*out_count:
+//!     ports: u8           destination port bitmap
+//!     len: u32, bytes[len]
+//! ```
+
+use emu_core::{Engine, EngineError};
+use emu_types::Frame;
+
+const MAGIC: &[u8; 8] = b"EMUTRC01";
+
+/// One recorded input with the engine's observed response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// The offered frame.
+    pub input: Frame,
+    /// Whether input validation rejected the frame (oversize).
+    pub rejected: bool,
+    /// Transmitted frames, as `(port bitmap, frame)`.
+    pub outputs: Vec<(u8, Frame)>,
+}
+
+/// A recorded stream: inputs and byte-exact expected outputs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// The entries in offer order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Runs `frames` through `engine` (one batch) and records every
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine traps — a trace is a golden fixture, and a
+    /// trap while recording one is a bug to fix, not to enshrine.
+    pub fn record(engine: &mut Engine, frames: &[Frame]) -> Trace {
+        let report = engine.process_batch(frames);
+        let entries = frames
+            .iter()
+            .zip(&report.outputs)
+            .map(|(f, r)| match r {
+                Ok(out) => TraceEntry {
+                    input: f.clone(),
+                    rejected: false,
+                    outputs: out.tx.iter().map(|t| (t.ports, t.frame.clone())).collect(),
+                },
+                Err(EngineError::Oversize { .. }) => TraceEntry {
+                    input: f.clone(),
+                    rejected: true,
+                    outputs: Vec::new(),
+                },
+                Err(e) => panic!("engine trapped while recording a trace: {e}"),
+            })
+            .collect();
+        Trace { entries }
+    }
+
+    /// The recorded input frames (for re-offering to another engine).
+    pub fn inputs(&self) -> Vec<Frame> {
+        self.entries.iter().map(|e| e.input.clone()).collect()
+    }
+
+    /// Replays the inputs through `engine` and verifies every response
+    /// byte-exactly against the recording. Returns the first mismatch
+    /// as an error.
+    pub fn replay(&self, engine: &mut Engine) -> Result<(), String> {
+        let frames = self.inputs();
+        let report = engine.process_batch(&frames);
+        for (i, (want, got)) in self.entries.iter().zip(&report.outputs).enumerate() {
+            match got {
+                Ok(out) => {
+                    if want.rejected {
+                        return Err(format!("frame {i}: expected rejection, got output"));
+                    }
+                    if out.tx.len() != want.outputs.len() {
+                        return Err(format!(
+                            "frame {i}: {} tx frames, recorded {}",
+                            out.tx.len(),
+                            want.outputs.len()
+                        ));
+                    }
+                    for (j, (tx, (ports, frame))) in out.tx.iter().zip(&want.outputs).enumerate() {
+                        if tx.ports != *ports {
+                            return Err(format!(
+                                "frame {i} tx {j}: ports {:#06b} != recorded {:#06b}",
+                                tx.ports, ports
+                            ));
+                        }
+                        if tx.frame.bytes() != frame.bytes() {
+                            return Err(format!("frame {i} tx {j}: bytes diverged"));
+                        }
+                    }
+                }
+                Err(EngineError::Oversize { .. }) => {
+                    if !want.rejected {
+                        return Err(format!("frame {i}: unexpected rejection"));
+                    }
+                }
+                Err(e) => return Err(format!("frame {i}: engine trapped: {e}")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the trace.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.push(u8::from(e.rejected));
+            out.push(e.input.in_port);
+            out.extend_from_slice(&(e.input.len() as u32).to_le_bytes());
+            out.extend_from_slice(e.input.bytes());
+            out.extend_from_slice(&(e.outputs.len() as u16).to_le_bytes());
+            for (ports, f) in &e.outputs {
+                out.push(*ports);
+                out.extend_from_slice(&(f.len() as u32).to_le_bytes());
+                out.extend_from_slice(f.bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a serialized trace.
+    pub fn from_bytes(data: &[u8]) -> Result<Trace, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            let s = data
+                .get(*pos..*pos + n)
+                .ok_or_else(|| format!("truncated trace at byte {pos}", pos = *pos))?;
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 8)? != MAGIC {
+            return Err("bad trace magic".into());
+        }
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let rejected = take(&mut pos, 1)?[0] != 0;
+            let in_port = take(&mut pos, 1)?[0];
+            let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let mut input = Frame::new(take(&mut pos, len)?.to_vec());
+            input.in_port = in_port;
+            let out_count = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let mut outputs = Vec::with_capacity(out_count);
+            for _ in 0..out_count {
+                let ports = take(&mut pos, 1)?[0];
+                let flen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                outputs.push((ports, Frame::new(take(&mut pos, flen)?.to_vec())));
+            }
+            entries.push(TraceEntry {
+                input,
+                rejected,
+                outputs,
+            });
+        }
+        if pos != data.len() {
+            return Err(format!("{} trailing bytes after trace", data.len() - pos));
+        }
+        Ok(Trace { entries })
+    }
+
+    /// Writes the trace to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a trace from `path`.
+    pub fn load(path: &std::path::Path) -> Result<Trace, String> {
+        let data = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Background, TrafficGen};
+    use emu_core::Target;
+
+    #[test]
+    fn traces_round_trip_through_bytes() {
+        let svc = emu_services::switch_ip_cam();
+        let mut engine = svc.engine(Target::Cpu).build().unwrap();
+        let frames = Background::new(1, &[0, 1, 2, 3]).take(24);
+        let trace = Trace::record(&mut engine, &frames);
+        let parsed = Trace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(parsed, trace);
+        assert!(parsed.entries.iter().any(|e| !e.outputs.is_empty()));
+    }
+
+    #[test]
+    fn replay_detects_divergence() {
+        let svc = emu_services::switch_ip_cam();
+        let mut engine = svc.engine(Target::Cpu).build().unwrap();
+        let frames = Background::new(2, &[0, 1]).take(12);
+        let mut trace = Trace::record(&mut engine, &frames);
+        // Fresh engine, same inputs: replay must pass.
+        let mut fresh = svc.engine(Target::Cpu).build().unwrap();
+        trace.replay(&mut fresh).unwrap();
+        // Tamper with a recorded output: replay must fail.
+        let e = trace
+            .entries
+            .iter_mut()
+            .find(|e| !e.outputs.is_empty())
+            .unwrap();
+        e.outputs[0].0 ^= 0b1;
+        let mut fresh = svc.engine(Target::Cpu).build().unwrap();
+        assert!(trace.replay(&mut fresh).is_err());
+    }
+
+    #[test]
+    fn rejected_frames_are_recorded_as_such() {
+        let svc = emu_services::memcached(); // 512 B frame cap
+        let mut engine = svc.engine(Target::Cpu).build().unwrap();
+        let big = Frame::new(vec![0xaa; 900]);
+        let trace = Trace::record(&mut engine, &[big]);
+        assert!(trace.entries[0].rejected);
+        let mut fresh = svc.engine(Target::Cpu).build().unwrap();
+        trace.replay(&mut fresh).unwrap();
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        assert!(Trace::from_bytes(b"not a trace").is_err());
+        let svc = emu_services::switch_ip_cam();
+        let mut engine = svc.engine(Target::Cpu).build().unwrap();
+        let trace = Trace::record(&mut engine, &Background::new(3, &[0]).take(4));
+        let mut bytes = trace.to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(Trace::from_bytes(&bytes).is_err());
+        bytes.extend_from_slice(&[0; 40]);
+        assert!(Trace::from_bytes(&bytes).is_err());
+    }
+}

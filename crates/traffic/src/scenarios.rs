@@ -1,0 +1,124 @@
+//! The golden-fixture scenarios: small, fully deterministic streams
+//! whose recorded engine responses are committed under
+//! `tests/fixtures/` and replayed byte-exact by
+//! `tests/traffic_replay.rs` on every target.
+//!
+//! The recorder bin (`cargo run -p emu-traffic --bin record_fixtures`)
+//! and the replay test share these definitions, so a generator refactor
+//! that changes any stream shows up as a fixture diff — never as a
+//! silent semantic change.
+
+use crate::{
+    Adversarial, Background, DnsWeighted, MemcachedZipf, Mix, TcpConversations, TrafficGen,
+};
+use emu_core::{Service, Target};
+use emu_types::{Frame, Ipv4};
+
+/// One replayable scenario: a service and a deterministic input stream.
+pub struct Scenario {
+    /// Fixture stem (`<name>.trace`).
+    pub name: &'static str,
+    /// Builds the service under test.
+    pub service: fn() -> Service,
+    /// Builds the input stream (deterministic).
+    pub inputs: fn() -> Vec<Frame>,
+}
+
+fn nat_public() -> Ipv4 {
+    "203.0.113.1".parse().expect("valid")
+}
+
+fn nat_bidirectional_inputs() -> Vec<Frame> {
+    // Outbound conversations, then the replies a remote would send —
+    // computed by running the translation once on a throwaway CPU
+    // engine (deterministic, so recorder and replayer agree).
+    let outbound = TcpConversations::new(21, 6, &[1, 2]).take(36);
+    let svc = emu_services::nat(nat_public());
+    let mut probe = svc.engine(Target::Cpu).build().expect("probe engine");
+    let report = probe.process_batch(&outbound);
+    let replies: Vec<Frame> = report
+        .outputs
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .flat_map(|o| &o.tx)
+        .map(|t| crate::build::reply_to(&t.frame, b"fixture-reply"))
+        .collect();
+    let mut all = outbound;
+    all.extend(replies);
+    all
+}
+
+fn memcached_zipf_inputs() -> Vec<Frame> {
+    MemcachedZipf::new(31, 24, 1.1, 0.7).take(60)
+}
+
+fn malformed_mix_inputs() -> Vec<Frame> {
+    Mix::new(41)
+        .add(1, Adversarial::new(42, &[0, 1, 2, 3]))
+        .add(1, Background::new(43, &[0, 1, 2, 3]))
+        .take(60)
+}
+
+fn dns_weighted_inputs() -> Vec<Frame> {
+    DnsWeighted::new(
+        51,
+        &[
+            ("example.com", 4),
+            ("emu.cam.ac.uk", 2),
+            ("miss.example", 1),
+        ],
+    )
+    .take(48)
+}
+
+fn dns_service() -> Service {
+    emu_services::dns_server(vec![
+        (
+            "example.com".to_string(),
+            "93.184.216.34".parse().expect("valid"),
+        ),
+        (
+            "emu.cam.ac.uk".to_string(),
+            "128.232.0.20".parse().expect("valid"),
+        ),
+    ])
+}
+
+/// The committed fixture set.
+pub fn fixture_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "nat_bidirectional",
+            service: || emu_services::nat(nat_public()),
+            inputs: nat_bidirectional_inputs,
+        },
+        Scenario {
+            name: "memcached_zipf",
+            service: emu_services::memcached,
+            inputs: memcached_zipf_inputs,
+        },
+        Scenario {
+            name: "malformed_mix",
+            service: emu_services::switch_ip_cam,
+            inputs: malformed_mix_inputs,
+        },
+        Scenario {
+            name: "dns_weighted",
+            service: dns_service,
+            inputs: dns_weighted_inputs,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_inputs_are_deterministic() {
+        for s in fixture_scenarios() {
+            assert_eq!((s.inputs)(), (s.inputs)(), "{} drifted", s.name);
+            assert!(!(s.inputs)().is_empty());
+        }
+    }
+}

@@ -30,6 +30,21 @@ pub mod ip_proto {
     pub const UDP: u8 = 17;
 }
 
+/// TCP flag bits (low byte of the offset/flags word), used by the
+/// tcp_ping service, the NAT tests, and the traffic generators.
+pub mod tcp_flags {
+    /// FIN.
+    pub const FIN: u8 = 0x01;
+    /// SYN.
+    pub const SYN: u8 = 0x02;
+    /// RST.
+    pub const RST: u8 = 0x04;
+    /// PSH.
+    pub const PSH: u8 = 0x08;
+    /// ACK.
+    pub const ACK: u8 = 0x10;
+}
+
 /// Well-known UDP/TCP ports used by the paper's services.
 pub mod port {
     /// DNS.

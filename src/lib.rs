@@ -21,6 +21,7 @@
 //! | [`services`] | `emu-services` | the eight §4 services |
 //! | [`host`] | `hoststack` | Linux-path baseline model |
 //! | [`simnet`] | `netsim` | Mininet-analogue network simulator |
+//! | [`traffic`] | `emu-traffic` | seeded workload generators, checkers, record/replay |
 //!
 //! ## Quickstart
 //!
@@ -79,11 +80,46 @@
 //! [`simnet::NetSim::add_service`], and
 //! `cargo run --release -p emu-bench --bin scaling_shards` sweeps shard
 //! counts 1/2/4/8 over the Table 4 services.
+//!
+//! ## Generating traffic
+//!
+//! Hand-rolled frames stop scaling long before an engine does. The
+//! [`traffic`] crate manufactures deterministic, seeded workloads —
+//! stateful TCP conversations, Zipf-keyed memcached mixes, weighted DNS
+//! queries, ARP/ICMP chatter, and adversarial malformations — that
+//! compose by weight into a [`Mix`](traffic::Mix) and feed
+//! [`Engine::process_batch`](stdlib::Engine::process_batch) directly:
+//!
+//! ```
+//! use emu::prelude::*;
+//! use emu::traffic::{Background, Mix, TcpConversations, TrafficGen};
+//!
+//! let svc = emu::services::switch_ip_cam();
+//! let mut engine = svc.engine(Target::Cpu).shards(4).build().unwrap();
+//! let mut mix = Mix::new(7)
+//!     .add(3, TcpConversations::new(1, 8, &[0, 1, 2, 3]))
+//!     .add(1, Background::new(2, &[0, 1, 2, 3]));
+//! let frames = mix.take(64);
+//! let report: BatchReport = engine.process_batch(&frames);
+//! assert_eq!(report.ok_count(), 64);
+//! assert!(report.tx_count() >= 64); // floods fan out
+//! ```
+//!
+//! Reference checkers ([`traffic::NatChecker`], [`traffic::McModel`],
+//! [`traffic::SwitchModel`]) consume each batch's
+//! [`BatchReport`](stdlib::BatchReport) and assert service invariants
+//! frame by frame; `cargo run --release -p emu-bench --bin soak` drives
+//! ≥1M generated frames per service through 4-shard parallel engines
+//! under those checkers, and [`traffic::Trace`] records any stream into
+//! a byte-exact replay fixture (see `tests/fixtures/`). `netsim` links
+//! accept seeded impairments — loss, duplication, reorder jitter — via
+//! [`simnet::NetSim::impair`] (see `examples/traffic_soak.rs`).
 
 pub use direction as debug;
 pub use emu_core as stdlib;
 pub use emu_rtl as rtl;
 pub use emu_services as services;
+pub use emu_traffic as traffic;
 pub use emu_types as types;
 pub use hoststack as host;
 pub use kiwi as compiler;

@@ -4,6 +4,9 @@
 
 use emu::prelude::*;
 use emu::services as s;
+use emu_traffic::{
+    Adversarial, Background, DnsWeighted, MemcachedZipf, Mix, TcpConversations, TrafficGen,
+};
 use kiwi_ir::dsl::*;
 use kiwi_ir::interp::{NullEnv, NullObserver};
 use proptest::prelude::*;
@@ -277,6 +280,171 @@ proptest! {
                 prop_assert_eq!(
                     &got.as_ref().unwrap().tx, want,
                     "{}: frame {} diverged at {} shards", name, i, shards
+                );
+            }
+        }
+    }
+}
+
+/// The traffic-generator property suite: heavier per case (each case
+/// drives full service engines on both targets), so fewer cases.
+mod traffic_props {
+    use super::*;
+
+    /// The soak services each generator is paired with, as
+    /// `(label, service, generator)` for a given seed.
+    fn pairings(seed: u64) -> Vec<(&'static str, emu::stdlib::Service, Box<dyn TrafficGen>)> {
+        vec![
+            (
+                "tcp-ping",
+                s::tcp_ping(),
+                Box::new(TcpConversations::new(seed, 6, &[0, 1, 2, 3])),
+            ),
+            (
+                "memcached",
+                s::memcached(),
+                Box::new(MemcachedZipf::new(seed, 16, 1.0, 0.8)),
+            ),
+            (
+                "dns",
+                s::dns_server(vec![
+                    ("example.com".to_string(), "93.184.216.34".parse().unwrap()),
+                    ("a.b".to_string(), "1.2.3.4".parse().unwrap()),
+                ]),
+                Box::new(DnsWeighted::new(
+                    seed,
+                    &[("example.com", 2), ("a.b", 1), ("x.y", 1)],
+                )),
+            ),
+            (
+                "nat",
+                s::nat("203.0.113.1".parse().unwrap()),
+                Box::new(
+                    Mix::new(seed)
+                        .add(4, TcpConversations::new(seed ^ 1, 6, &[1, 2]))
+                        .add(1, Adversarial::new(seed ^ 2, &[1, 2, 3])),
+                ),
+            ),
+            (
+                "switch",
+                s::switch_ip_cam(),
+                Box::new(
+                    Mix::new(seed)
+                        .add(3, Background::new(seed ^ 1, &[0, 1, 2, 3]))
+                        .add(1, Adversarial::new(seed ^ 2, &[0, 1, 2, 3])),
+                ),
+            ),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn generator_streams_agree_across_targets(seed in any::<u64>()) {
+            // Every generator's stream — including its adversarial
+            // slices — produces identical per-frame outcomes on the
+            // interpreter (Cpu) and the cycle-accurate RTL (Fpga).
+            for (label, svc, mut gen) in pairings(seed) {
+                let mut cpu = svc.engine(Target::Cpu).build().unwrap();
+                let mut fpga = svc.engine(Target::Fpga).build().unwrap();
+                for i in 0..24 {
+                    let f = gen.next_frame();
+                    match (cpu.process(&f), fpga.process(&f)) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(
+                            &a.tx, &b.tx, "{}: frame {} diverged", label, i
+                        ),
+                        (Err(EngineError::Oversize { .. }), Err(EngineError::Oversize { .. })) => {}
+                        (a, b) => prop_assert!(
+                            false,
+                            "{}: frame {} outcomes diverged: {:?} vs {:?}",
+                            label, i, a.map(|o| o.tx), b.map(|o| o.tx)
+                        ),
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn generator_streams_are_shard_invariant_for_stateless_services(
+            seed in any::<u64>(),
+            shards in 2usize..7
+        ) {
+            // Stateless services must produce identical outputs whatever
+            // the shard count, for whole generated streams (valid and
+            // malformed alike).
+            let cases: Vec<(&str, emu::stdlib::Service, Box<dyn TrafficGen>)> = vec![
+                (
+                    "dns",
+                    s::dns_server(vec![
+                        ("example.com".to_string(), "93.184.216.34".parse().unwrap()),
+                    ]),
+                    Box::new(
+                        Mix::new(seed)
+                            .add(3, DnsWeighted::new(seed ^ 1, &[("example.com", 1), ("nope.x", 1)]))
+                            .add(1, Adversarial::new(seed ^ 2, &[0, 1, 2, 3])),
+                    ),
+                ),
+                (
+                    "icmp",
+                    s::icmp_echo(),
+                    Box::new(Background::new(seed, &[0, 1, 2, 3])),
+                ),
+            ];
+            for (label, svc, mut gen) in cases {
+                let frames: Vec<Frame> = (0..30).map(|_| gen.next_frame()).collect();
+                let mut single = svc.engine(Target::Cpu).build().unwrap();
+                let mut sharded = svc.engine(Target::Cpu).shards(shards).build().unwrap();
+                let want = single.process_batch(&frames);
+                let got = sharded.process_batch(&frames);
+                for (i, (a, b)) in want.outputs.iter().zip(&got.outputs).enumerate() {
+                    match (a, b) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(
+                            &a.tx, &b.tx,
+                            "{}: frame {} changed under {} shards", label, i, shards
+                        ),
+                        (Err(EngineError::Oversize { .. }), Err(EngineError::Oversize { .. })) => {}
+                        _ => prop_assert!(
+                            false,
+                            "{}: frame {} outcome changed under {} shards", label, i, shards
+                        ),
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn adversarial_streams_never_trap_any_engine(
+            seed in any::<u64>(),
+            shards in 1usize..5
+        ) {
+            // The engine-wide robustness contract: adversarial frames
+            // drop or pass — `EngineError::Trap` is unreachable and no
+            // shard is ever poisoned.
+            let services: Vec<(&str, emu::stdlib::Service)> = vec![
+                ("nat", s::nat("203.0.113.1".parse().unwrap())),
+                ("memcached", s::memcached()),
+                ("switch", s::switch_ip_cam()),
+                ("tcp-ping", s::tcp_ping()),
+                ("icmp", s::icmp_echo()),
+            ];
+            for (label, svc) in services {
+                let mut engine = svc.engine(Target::Cpu).shards(shards).build().unwrap();
+                let mut gen = Adversarial::new(seed, &[0, 1, 2, 3]);
+                let frames: Vec<Frame> = (0..40).map(|_| gen.next_frame()).collect();
+                let report = engine.process_batch(&frames);
+                for (i, out) in report.outputs.iter().enumerate() {
+                    prop_assert!(
+                        !matches!(
+                            out,
+                            Err(EngineError::Trap { .. }) | Err(EngineError::Poisoned { .. })
+                        ),
+                        "{}: adversarial frame {} trapped: {:?}", label, i, out
+                    );
+                }
+                prop_assert_eq!(
+                    engine.healthy_shards(), shards,
+                    "{}: a shard was poisoned", label
                 );
             }
         }

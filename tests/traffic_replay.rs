@@ -1,0 +1,85 @@
+//! Golden-fixture replay: the committed traffic recordings under
+//! `tests/fixtures/` must replay **byte-exact** on every execution
+//! target. A generator or service refactor that changes any observable
+//! byte shows up here as a failure — re-record deliberately with
+//! `cargo run -p emu-traffic --bin record_fixtures` and review the
+//! fixture diff; semantics never change silently.
+
+use emu::prelude::*;
+use emu_traffic::scenarios::fixture_scenarios;
+use emu_traffic::Trace;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.trace"))
+}
+
+#[test]
+fn every_scenario_has_a_committed_fixture() {
+    for s in fixture_scenarios() {
+        assert!(
+            fixture_path(s.name).exists(),
+            "{} missing — run `cargo run -p emu-traffic --bin record_fixtures`",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn fixture_inputs_match_the_generators() {
+    // The recording's input side must equal what the generators produce
+    // today: if a generator drifts, the fixture (and this assertion)
+    // says so before any output comparison confuses the matter.
+    for s in fixture_scenarios() {
+        let trace = Trace::load(&fixture_path(s.name)).expect("parse fixture");
+        let fresh = (s.inputs)();
+        assert_eq!(
+            trace.inputs().len(),
+            fresh.len(),
+            "{}: input count drifted",
+            s.name
+        );
+        for (i, (a, b)) in trace.inputs().iter().zip(&fresh).enumerate() {
+            assert_eq!(a.bytes(), b.bytes(), "{}: input {i} bytes drifted", s.name);
+            assert_eq!(a.in_port, b.in_port, "{}: input {i} port drifted", s.name);
+        }
+    }
+}
+
+#[test]
+fn fixtures_replay_byte_exact_on_every_target() {
+    for s in fixture_scenarios() {
+        let trace = Trace::load(&fixture_path(s.name)).expect("parse fixture");
+        for target in [Target::Cpu, Target::Fpga] {
+            let svc = (s.service)();
+            let mut engine = svc.engine(target).build().unwrap();
+            trace
+                .replay(&mut engine)
+                .unwrap_or_else(|e| panic!("{} on {target:?}: {e}", s.name));
+        }
+    }
+}
+
+#[test]
+fn fixtures_contain_the_interesting_shapes() {
+    // Guard the fixtures' coverage so a re-record can't quietly shrink
+    // them into triviality: NAT must exercise both directions,
+    // memcached must produce replies, and the malformed mix must
+    // include frames the engine processes *and* frames it drops.
+    let nat = Trace::load(&fixture_path("nat_bidirectional")).unwrap();
+    assert!(nat.entries.iter().any(|e| e.input.in_port != 0));
+    assert!(nat.entries.iter().any(|e| e.input.in_port == 0));
+    assert!(nat.entries.iter().all(|e| !e.outputs.is_empty()));
+
+    let mc = Trace::load(&fixture_path("memcached_zipf")).unwrap();
+    assert!(mc.entries.iter().all(|e| e.outputs.len() == 1));
+
+    let mixed = Trace::load(&fixture_path("malformed_mix")).unwrap();
+    assert!(mixed.entries.iter().any(|e| !e.outputs.is_empty()));
+    assert!(
+        mixed.entries.iter().any(|e| e.rejected),
+        "malformed mix must include an oversize rejection"
+    );
+}
