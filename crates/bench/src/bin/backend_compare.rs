@@ -1,0 +1,126 @@
+//! CPU backend comparison: per-frame processing time for every Table 4
+//! service on the tree-walking reference interpreter vs the compiled
+//! micro-op backend, as a JSON `{service, backend, us_per_frame}`
+//! matrix.
+//!
+//! This is the speed leg of the compiled-backend story (the equivalence
+//! leg is `tests/backend_equiv.rs` and the differential proptests): the
+//! two backends are byte-identical in every observable — this harness
+//! re-checks outputs while timing — so the only difference left to
+//! report is throughput. The harness **exits non-zero** unless the
+//! compiled backend is faster on *every* service and at least 2× faster
+//! on at least three of them.
+//!
+//! Run: `cargo run --release -p emu-bench --bin backend_compare
+//! [-- --frames N]` (default 3000 frames per service per backend).
+
+use emu_bench::table4_services;
+use emu_core::{Backend, Target};
+use emu_types::Frame;
+use std::time::Instant;
+
+const BATCH: usize = 256;
+
+struct Row {
+    service: &'static str,
+    us_per_frame: [f64; 2], // [compiled, treewalk]
+    speedup: f64,
+}
+
+/// Times `frames` through a fresh engine on `backend`, returning
+/// (µs/frame, per-frame tx counts as an output fingerprint).
+fn run(build: fn() -> emu_core::Service, frames: &[Frame], backend: Backend) -> (f64, Vec<usize>) {
+    let svc = build();
+    let mut engine = svc
+        .engine(Target::Cpu)
+        .backend(backend)
+        .build()
+        .expect("engine build");
+    // Warm-up: populate caches/stores so both backends time steady state.
+    let warm = frames.len().min(BATCH);
+    engine.process_batch(&frames[..warm]);
+
+    let mut fingerprint = Vec::with_capacity(frames.len());
+    let t0 = Instant::now();
+    for chunk in frames.chunks(BATCH) {
+        let report = engine.process_batch(chunk);
+        for out in &report.outputs {
+            fingerprint.push(out.as_ref().map(|o| o.tx.len()).unwrap_or(usize::MAX));
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (wall / frames.len() as f64 * 1e6, fingerprint)
+}
+
+fn main() {
+    let mut frames_n: usize = 3_000;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--frames") {
+        frames_n = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--frames N");
+    }
+
+    eprintln!("== backend_compare: {frames_n} frames/service, compiled vs tree-walk ==");
+    eprintln!(
+        "{:<12} {:>16} {:>16} {:>9}",
+        "service", "compiled (us/f)", "treewalk (us/f)", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for svc in table4_services() {
+        let frames: Vec<Frame> = (0..frames_n as u64).map(svc.request).collect();
+        let (us_c, fp_c) = run(svc.build, &frames, Backend::Compiled);
+        let (us_t, fp_t) = run(svc.build, &frames, Backend::TreeWalk);
+        assert_eq!(
+            fp_c, fp_t,
+            "{}: backend outputs diverged while timing",
+            svc.name
+        );
+        let speedup = us_t / us_c;
+        eprintln!(
+            "{:<12} {:>16.3} {:>16.3} {:>8.2}x",
+            svc.name, us_c, us_t, speedup
+        );
+        if us_c >= us_t {
+            eprintln!("    FAIL: compiled must beat tree-walk on {}", svc.name);
+            failed = true;
+        }
+        rows.push(Row {
+            service: svc.name,
+            us_per_frame: [us_c, us_t],
+            speedup,
+        });
+    }
+
+    let twox = rows.iter().filter(|r| r.speedup >= 2.0).count();
+    if twox < 3 {
+        eprintln!("FAIL: only {twox} services reach a 2x speedup (need >= 3)");
+        failed = true;
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"backend_compare\",");
+    println!("  \"frames_per_service\": {frames_n},");
+    println!("  \"rows\": [");
+    let n = rows.len();
+    for (i, r) in rows.iter().enumerate() {
+        for (b, label) in [(0usize, "compiled"), (1, "treewalk")] {
+            let comma = if i + 1 == n && b == 1 { "" } else { "," };
+            println!(
+                "    {{\"service\": \"{}\", \"backend\": \"{}\", \"us_per_frame\": {:.4}}}{comma}",
+                r.service, label, r.us_per_frame[b]
+            );
+        }
+    }
+    println!("  ]");
+    println!("}}");
+
+    if failed {
+        eprintln!("\nbackend_compare FAILED (see above)");
+        std::process::exit(1);
+    }
+    eprintln!("\nbackend_compare passed: compiled faster everywhere, {twox}/5 services >= 2x");
+}

@@ -11,9 +11,10 @@
 //! Run: `cargo run --release -p emu-bench --bin scaling_shards`
 
 use emu_bench::shard_scale_services;
-use emu_core::Target;
+use emu_core::{Backend, Target};
 use emu_types::Frame;
 use netfpga_sim::timing::NS_PER_CYCLE;
+use std::time::Instant;
 
 const REQUESTS: usize = 4_000;
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -35,12 +36,30 @@ fn run(build: fn() -> emu_core::Service, frames: &[Frame], shards: usize) -> f64
     frames.len() as f64 / (wall_ns / 1e9)
 }
 
+/// Host-side wall time per frame for a 1-shard Cpu engine on `backend` —
+/// the per-backend column of this report (model time above is
+/// backend-independent by construction).
+fn host_us_per_frame(build: fn() -> emu_core::Service, frames: &[Frame], backend: Backend) -> f64 {
+    let svc = build();
+    let mut engine = svc
+        .engine(Target::Cpu)
+        .backend(backend)
+        .build()
+        .expect("build engine");
+    engine.process_batch(&frames[..frames.len().min(256)]); // warm-up
+    let t0 = Instant::now();
+    let batch = engine.process_batch(frames);
+    assert_eq!(batch.ok_count(), frames.len());
+    t0.elapsed().as_secs_f64() / frames.len() as f64 * 1e6
+}
+
 fn main() {
     println!("== shard scaling: Table 4 services on 1/2/4/8 pipelines ==");
-    println!("   ({REQUESTS} requests over 64 client flows, RSS flow-hash dispatch)\n");
+    println!("   ({REQUESTS} requests over 64 client flows, RSS flow-hash dispatch)");
+    println!("   (us/f columns: host wall time per frame, 1-shard Cpu engine per backend)\n");
     println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10}   speedup@4",
-        "service", "1 (Mq/s)", "2 (Mq/s)", "4 (Mq/s)", "8 (Mq/s)"
+        "{:<12} {:>10} {:>10} {:>10} {:>10}  speedup@4 {:>10} {:>10}",
+        "service", "1 (Mq/s)", "2 (Mq/s)", "4 (Mq/s)", "8 (Mq/s)", "cmp us/f", "tw us/f"
     );
 
     for svc in shard_scale_services() {
@@ -49,15 +68,19 @@ fn main() {
         for &n in &SHARD_SWEEP {
             rps.push(run(svc.build, &frames, n));
         }
+        let us_compiled = host_us_per_frame(svc.build, &frames, Backend::Compiled);
+        let us_treewalk = host_us_per_frame(svc.build, &frames, Backend::TreeWalk);
         let tag = if svc.stateless { "" } else { " (stateful)" };
         println!(
-            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}   {:>5.2}x{tag}",
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  {:>8.2}x {:>10.2} {:>10.2}{tag}",
             svc.name,
             rps[0] / 1e6,
             rps[1] / 1e6,
             rps[2] / 1e6,
             rps[3] / 1e6,
             rps[2] / rps[0],
+            us_compiled,
+            us_treewalk,
         );
         if svc.stateless {
             assert!(

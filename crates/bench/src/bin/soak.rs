@@ -14,11 +14,14 @@
 //! Emits a JSON document on stdout and a human-readable table on
 //! stderr; exits non-zero on any violation or verdict divergence.
 //!
-//! Run: `cargo run --release -p emu-bench --bin soak [-- --frames N]`
-//! (default 1,000,000 frames per service; CI's `soak-smoke` job runs
-//! 50,000).
+//! Run: `cargo run --release -p emu-bench --bin soak
+//! [-- --frames N] [-- --backend compiled|treewalk]`
+//! (default 1,000,000 frames per service on the compiled CPU backend;
+//! CI's `soak-smoke` job runs 50,000). Every row reports `us_per_frame`
+//! for the selected backend; `backend_compare` reports the compiled-vs-
+//! tree-walk matrix directly.
 
-use emu_core::{Engine, NatSteering, Target};
+use emu_core::{Backend, Engine, NatSteering, Target};
 use emu_traffic::{
     Adversarial, Background, Checker, DnsWeighted, McModel, MemcachedZipf, Mix, NatChecker,
     SwitchModel, TcpConversations, TrafficGen,
@@ -147,12 +150,20 @@ fn run(
 
 fn main() {
     let mut frames: u64 = 1_000_000;
+    let mut backend = Backend::Compiled;
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--frames") {
         frames = args
             .get(i + 1)
             .and_then(|v| v.parse().ok())
             .expect("--frames N");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        backend = match args.get(i + 1).map(String::as_str) {
+            Some("treewalk") => Backend::TreeWalk,
+            Some("compiled") => Backend::Compiled,
+            other => panic!("--backend compiled|treewalk, got {other:?}"),
+        };
     }
 
     type ServiceCase = (
@@ -191,12 +202,13 @@ fn main() {
     ];
 
     eprintln!(
-        "== soak: {frames} frames/service through {SHARDS}-shard engines, \
-         parallel vs sequential =="
+        "== soak: {frames} frames/service through {SHARDS}-shard {} engines, \
+         parallel vs sequential ==",
+        backend.label()
     );
     eprintln!(
-        "{:<10} {:>10} {:>9} {:>10} {:>9} {:>10} {:>11} {:>10}",
-        "service", "mode", "frames", "tx", "rejected", "violations", "wall (s)", "kfps"
+        "{:<10} {:>10} {:>9} {:>10} {:>9} {:>10} {:>11} {:>10} {:>8}",
+        "service", "mode", "frames", "tx", "rejected", "violations", "wall (s)", "kfps", "us/f"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -205,7 +217,11 @@ fn main() {
         let svc = build();
         let mut verdicts: Vec<Verdict> = Vec::new();
         for (mode, parallel) in [("parallel", true), ("sequential", false)] {
-            let mut b = svc.engine(Target::Cpu).shards(SHARDS).parallel(parallel);
+            let mut b = svc
+                .engine(Target::Cpu)
+                .backend(backend)
+                .shards(SHARDS)
+                .parallel(parallel);
             if *steer {
                 b = b.dispatch(NatSteering::default());
             }
@@ -216,7 +232,7 @@ fn main() {
             let wall_s = t0.elapsed().as_secs_f64();
             assert!(offered >= frames, "{name}: offered {offered} < {frames}");
             eprintln!(
-                "{:<10} {:>10} {:>9} {:>10} {:>9} {:>10} {:>11.2} {:>10.1}",
+                "{:<10} {:>10} {:>9} {:>10} {:>9} {:>10} {:>11.2} {:>10.1} {:>8.2}",
                 name,
                 mode,
                 verdict.frames,
@@ -225,6 +241,7 @@ fn main() {
                 verdict.violations,
                 wall_s,
                 verdict.frames as f64 / wall_s / 1e3,
+                wall_s / verdict.frames as f64 * 1e6,
             );
             for note in chk.notes() {
                 eprintln!("    violation: {note}");
@@ -256,19 +273,23 @@ fn main() {
     println!("  \"frames_per_service\": {frames},");
     println!("  \"shards\": {SHARDS},");
     println!("  \"seed\": {SEED},");
+    println!("  \"backend\": \"{}\",", backend.label());
     println!("  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         println!(
-            "    {{\"service\": \"{}\", \"mode\": \"{}\", \"frames\": {}, \"tx\": {}, \
-             \"rejected\": {}, \"violations\": {}, \"wall_s\": {:.3}, \"notes\": {}}}{comma}",
+            "    {{\"service\": \"{}\", \"mode\": \"{}\", \"backend\": \"{}\", \"frames\": {}, \
+             \"tx\": {}, \"rejected\": {}, \"violations\": {}, \"wall_s\": {:.3}, \
+             \"us_per_frame\": {:.4}, \"notes\": {}}}{comma}",
             r.service,
             r.mode,
+            backend.label(),
             r.verdict.frames,
             r.verdict.tx,
             r.verdict.rejected,
             r.verdict.violations,
             r.wall_s,
+            r.wall_s / r.verdict.frames.max(1) as f64 * 1e6,
             if r.notes.is_empty() {
                 "[]"
             } else {

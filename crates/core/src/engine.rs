@@ -55,6 +55,18 @@
 //!   hashes independently of the outbound one. See [`NatSteering`] for
 //!   the allocation-register contract.
 //!
+//! # Execution backends
+//!
+//! On [`Target::Cpu`] the builder additionally selects an execution
+//! [`Backend`]: the **compiled** micro-op bytecode (the default — the
+//! production software path) or the **tree-walking** interpreter (the
+//! reference semantics). The two are byte-identical in every observable
+//! and differ only in speed; `EngineBuilder::backend` pins one
+//! explicitly, and the `EMU_CPU_BACKEND` environment variable flips the
+//! default (CI uses it to run the whole suite on the reference
+//! interpreter). The `backend_compare` bench bin reports the per-frame
+//! speedup per service.
+//!
 //! # Execution modes
 //!
 //! By default shards execute **sequentially** on the calling thread under
@@ -77,7 +89,7 @@
 //! in sequential and parallel modes, and every error is an
 //! [`EngineError`] that names the shard.
 
-use crate::runner::{flow_hash, AnyDriver, Service, Target};
+use crate::runner::{flow_hash, AnyDriver, Backend, Service, Target};
 use emu_rtl::{IpEnv, RtlMachine};
 use emu_types::proto::{ether_type, ip_proto, offset};
 use emu_types::{Bits, Frame};
@@ -364,9 +376,9 @@ pub struct Shard {
 }
 
 impl Shard {
-    fn new(service: &Service, target: Target) -> IrResult<Self> {
+    fn new(service: &Service, target: Target, backend: Backend) -> IrResult<Self> {
         Ok(Shard {
-            driver: AnyDriver::new(service, target)?,
+            driver: AnyDriver::new(service, target, backend)?,
             env: (service.make_env)(),
         })
     }
@@ -429,6 +441,7 @@ impl Service {
         EngineBuilder {
             service: self,
             target,
+            backend: None,
             shards: 1,
             dispatch: Box::new(RssHash),
             parallel: false,
@@ -442,6 +455,7 @@ impl Service {
 pub struct EngineBuilder<'a> {
     service: &'a Service,
     target: Target,
+    backend: Option<Backend>,
     shards: usize,
     dispatch: Box<dyn Dispatch>,
     parallel: bool,
@@ -452,6 +466,15 @@ impl EngineBuilder<'_> {
     /// Number of replicated pipelines (default 1; must be ≥ 1).
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// Selects the CPU execution backend (default [`Backend::Compiled`];
+    /// ignored on [`Target::Fpga`]). An explicit call here always wins
+    /// over the `EMU_CPU_BACKEND` environment override, so differential
+    /// tests can pin both sides even under a forced-tree-walk CI run.
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = Some(b);
         self
     }
 
@@ -485,9 +508,10 @@ impl EngineBuilder<'_> {
                 "an engine needs at least one shard".into(),
             ));
         }
+        let backend = self.backend.unwrap_or_else(Backend::env_default);
         let mut shards = Vec::with_capacity(self.shards);
         for k in 0..self.shards {
-            let mut shard = Shard::new(self.service, self.target)?;
+            let mut shard = Shard::new(self.service, self.target, backend)?;
             if let Some(n) = self.max_cycles_per_frame {
                 shard.driver.set_max_cycles_per_frame(n);
             }
@@ -874,7 +898,7 @@ impl Engine {
         let shard = self.shards.into_iter().next().expect("one shard");
         match shard.driver {
             AnyDriver::Fpga(d) => Some((d, shard.env)),
-            AnyDriver::Cpu(_) => None,
+            AnyDriver::Cpu(_) | AnyDriver::CpuCompiled(_) => None,
         }
     }
 }
@@ -1043,6 +1067,34 @@ mod tests {
         emu_types::bitutil::set16(low.bytes_mut(), offset::L4 + 2, 80);
         low.in_port = 0;
         assert_eq!(steer.shard_of(&low, 4), RssHash.shard_of(&low, 4));
+    }
+
+    #[test]
+    fn cpu_backends_are_interchangeable() {
+        // The compiled default and the tree-walk reference must agree on
+        // outputs AND cycle accounting, sharded or not.
+        let svc = port_mirror();
+        let frames: Vec<Frame> = (0..24)
+            .map(|i| flow_frame(i % 5, i as u16 * 11, 60 + (i as usize % 50)))
+            .collect();
+        let mut compiled = svc
+            .engine(Target::Cpu)
+            .backend(Backend::Compiled)
+            .shards(3)
+            .build()
+            .unwrap();
+        let mut treewalk = svc
+            .engine(Target::Cpu)
+            .backend(Backend::TreeWalk)
+            .shards(3)
+            .build()
+            .unwrap();
+        let a = compiled.process_batch(&frames);
+        let b = treewalk.process_batch(&frames);
+        assert_eq!(a.shard_cycles, b.shard_cycles);
+        for (x, y) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+        }
     }
 
     #[test]

@@ -39,4 +39,6 @@ pub use ipblock::{CamDeleteIf, CamIf, HashIf, LruIf, NaughtyQIf};
 pub use proto::{
     ArpWrapper, DnsWrapper, EthernetWrapper, IcmpWrapper, Ipv4Wrapper, TcpWrapper, UdpWrapper,
 };
-pub use runner::{assert_targets_agree, flow_hash, flow_key, service_builder, Service, Target};
+pub use runner::{
+    assert_targets_agree, flow_hash, flow_key, service_builder, Backend, Service, Target,
+};

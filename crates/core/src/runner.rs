@@ -29,10 +29,63 @@ use netfpga_sim::DataplaneDriver;
 /// Execution target selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Target {
-    /// Sequential interpreter — the paper's x86 process target.
+    /// Software execution — the paper's x86 process target. Which CPU
+    /// backend runs it is selected by [`Backend`] (compiled micro-ops
+    /// by default).
     Cpu,
     /// Cycle-accurate compiled FSM — the FPGA target.
     Fpga,
+}
+
+/// CPU execution backend selector (ignored by [`Target::Fpga`]).
+///
+/// Both backends execute the identical flattened op stream with
+/// byte-identical semantics — state, outputs, observer callbacks, cycle
+/// and op counts, trap messages — which the differential suites assert.
+/// They differ only in speed:
+///
+/// * [`Backend::Compiled`] (the default): each thread is lowered to a
+///   pre-decoded micro-op bytecode through the optimization pipeline in
+///   `kiwi_ir::opt` and run by a tight non-recursive loop with a `u64`
+///   fast path — the production software backend.
+/// * [`Backend::TreeWalk`]: the recursive `Box<Expr>` interpreter — the
+///   slow, obviously-correct reference. CI forces it once over the whole
+///   test suite (`EMU_CPU_BACKEND=treewalk`) so it cannot rot.
+///
+/// An explicit [`crate::EngineBuilder::backend`] call always wins; the
+/// `EMU_CPU_BACKEND` environment variable (`compiled` / `treewalk`)
+/// overrides only the *default*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pre-decoded micro-op bytecode (fast path; the default).
+    #[default]
+    Compiled,
+    /// Recursive tree-walking interpreter (reference semantics).
+    TreeWalk,
+}
+
+impl Backend {
+    /// The default backend after consulting `EMU_CPU_BACKEND`.
+    ///
+    /// Panics on an unrecognized non-empty value: the variable exists so
+    /// CI can force the reference interpreter over the whole suite, and
+    /// a typo silently running the compiled backend instead would defeat
+    /// exactly that run.
+    pub fn env_default() -> Backend {
+        match std::env::var("EMU_CPU_BACKEND").as_deref() {
+            Ok("treewalk") | Ok("tree-walk") => Backend::TreeWalk,
+            Ok("compiled") | Ok("") | Err(_) => Backend::Compiled,
+            Ok(other) => panic!("EMU_CPU_BACKEND must be `compiled` or `treewalk`, got `{other}`"),
+        }
+    }
+
+    /// Human-readable backend label (bench and report rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Compiled => "compiled",
+            Backend::TreeWalk => "treewalk",
+        }
+    }
 }
 
 /// A deployable service: program + IP-block environment recipe.
@@ -74,21 +127,28 @@ impl Service {
 /// Target-erased dataplane driver (internal: the public execution
 /// surface is [`crate::Engine`]).
 pub(crate) enum AnyDriver {
-    /// Interpreter-backed.
+    /// Tree-walking interpreter (the reference CPU backend).
     Cpu(DataplaneDriver<Machine>),
+    /// Compiled micro-op bytecode (the fast CPU backend).
+    CpuCompiled(DataplaneDriver<kiwi_ir::CompiledMachine>),
     /// FSM-backed.
     Fpga(DataplaneDriver<emu_rtl::RtlMachine>),
 }
 
 impl AnyDriver {
-    /// Instantiates the driver for `service` on `target`.
-    pub(crate) fn new(service: &Service, target: Target) -> IrResult<Self> {
-        Ok(match target {
-            Target::Cpu => {
+    /// Instantiates the driver for `service` on `target`, using
+    /// `backend` when the target is software.
+    pub(crate) fn new(service: &Service, target: Target, backend: Backend) -> IrResult<Self> {
+        Ok(match (target, backend) {
+            (Target::Cpu, Backend::TreeWalk) => {
                 let m = Machine::new(kiwi_ir::flatten(&service.program)?);
                 AnyDriver::Cpu(DataplaneDriver::new(m)?)
             }
-            Target::Fpga => {
+            (Target::Cpu, Backend::Compiled) => {
+                let cp = kiwi_ir::compile(&kiwi_ir::flatten(&service.program)?)?;
+                AnyDriver::CpuCompiled(DataplaneDriver::new(kiwi_ir::CompiledMachine::new(cp))?)
+            }
+            (Target::Fpga, _) => {
                 let fsm = kiwi::compile_with(&service.program, service.cost_model.clone())?;
                 AnyDriver::Fpga(DataplaneDriver::new(emu_rtl::RtlMachine::new(fsm))?)
             }
@@ -103,6 +163,7 @@ impl AnyDriver {
     ) -> IrResult<CoreOutput> {
         match self {
             AnyDriver::Cpu(d) => d.process(frame, env, obs),
+            AnyDriver::CpuCompiled(d) => d.process(frame, env, obs),
             AnyDriver::Fpga(d) => d.process(frame, env, obs),
         }
     }
@@ -110,6 +171,7 @@ impl AnyDriver {
     pub(crate) fn idle(&mut self, n: u64, env: &mut IpEnv, obs: &mut dyn Observer) -> IrResult<()> {
         match self {
             AnyDriver::Cpu(d) => d.idle(n, env, obs),
+            AnyDriver::CpuCompiled(d) => d.idle(n, env, obs),
             AnyDriver::Fpga(d) => d.idle(n, env, obs),
         }
     }
@@ -117,6 +179,7 @@ impl AnyDriver {
     pub(crate) fn set_max_cycles_per_frame(&mut self, n: u64) {
         match self {
             AnyDriver::Cpu(d) => d.max_cycles_per_frame = n,
+            AnyDriver::CpuCompiled(d) => d.max_cycles_per_frame = n,
             AnyDriver::Fpga(d) => d.max_cycles_per_frame = n,
         }
     }
@@ -124,6 +187,7 @@ impl AnyDriver {
     pub(crate) fn frame_capacity(&self) -> usize {
         match self {
             AnyDriver::Cpu(d) => d.frame_capacity(),
+            AnyDriver::CpuCompiled(d) => d.frame_capacity(),
             AnyDriver::Fpga(d) => d.frame_capacity(),
         }
     }
@@ -132,6 +196,7 @@ impl AnyDriver {
         use emu_rtl::ExecBackend;
         match self {
             AnyDriver::Cpu(d) => d.backend().program(),
+            AnyDriver::CpuCompiled(d) => d.backend().program(),
             AnyDriver::Fpga(d) => d.backend().program(),
         }
     }
@@ -140,6 +205,7 @@ impl AnyDriver {
         use emu_rtl::ExecBackend;
         match self {
             AnyDriver::Cpu(d) => d.backend().machine_state(),
+            AnyDriver::CpuCompiled(d) => d.backend().machine_state(),
             AnyDriver::Fpga(d) => d.backend().machine_state(),
         }
     }
@@ -148,23 +214,38 @@ impl AnyDriver {
         use emu_rtl::ExecBackend;
         match self {
             AnyDriver::Cpu(d) => d.backend_mut().machine_state_mut(),
+            AnyDriver::CpuCompiled(d) => d.backend_mut().machine_state_mut(),
             AnyDriver::Fpga(d) => d.backend_mut().machine_state_mut(),
         }
     }
 }
 
-/// Runs the same frames through both targets and asserts identical
-/// transmissions — the differential harness used across the test suite.
+/// Runs the same frames through every execution backend — tree-walking
+/// CPU, compiled CPU, and the FPGA FSM — and asserts identical
+/// transmissions. The differential harness used across the test suite.
 pub fn assert_targets_agree(service: &Service, frames: &[Frame]) -> IrResult<()> {
-    let mut cpu = service.engine(Target::Cpu).build()?;
+    let mut treewalk = service
+        .engine(Target::Cpu)
+        .backend(Backend::TreeWalk)
+        .build()?;
+    let mut compiled = service
+        .engine(Target::Cpu)
+        .backend(Backend::Compiled)
+        .build()?;
     let mut fpga = service.engine(Target::Fpga).build()?;
     for (i, f) in frames.iter().enumerate() {
-        let a = cpu.process(f)?;
+        let a = treewalk.process(f)?;
+        let c = compiled.process(f)?;
         let b = fpga.process(f)?;
         if a.tx != b.tx {
             return Err(kiwi_ir::IrError(format!(
                 "target divergence on frame {i}: cpu {:?} vs fpga {:?}",
                 a.tx, b.tx
+            )));
+        }
+        if a != c {
+            return Err(kiwi_ir::IrError(format!(
+                "backend divergence on frame {i}: treewalk {a:?} vs compiled {c:?}"
             )));
         }
     }

@@ -32,6 +32,29 @@ pub enum UnOp {
 /// Arithmetic/logic operators produce `max(lhs, rhs)` bits (operands are
 /// zero-extended); shifts keep the left operand's width; comparisons are
 /// unsigned and produce a single bit.
+///
+/// # The shift width rule
+///
+/// `Shl`/`Shr` are deliberately **asymmetric**: where every other binary
+/// op widens both operands to the result width, a shift uses the
+/// *unresized* left operand and its result keeps `width(lhs)` —
+/// whatever the width or value of the right operand. Consequences every
+/// backend must honour identically:
+///
+/// * `Shl` bits shifted at or past `width(lhs)` are lost — a wider
+///   right operand does **not** widen the left before shifting
+///   (`shl(8'h80, 16'h1) == 8'h0`, not `16'h100`);
+/// * a shift amount ≥ `width(lhs)` yields zero;
+/// * the shift amount is the right operand's low 64 bits, saturating at
+///   `u32::MAX` (which always exceeds any legal width).
+///
+/// This mirrors Verilog's self-determined shift semantics when the
+/// expression is truncated to the left operand's width, which is why
+/// the Verilog emitter masks `<<` results to `width(lhs)` — see
+/// `kiwi::verilog`. The rule is pinned across the tree-walking
+/// interpreter, the compiled micro-op backend, and the RTL executor by
+/// directed tests (`shift_rule_*` in this crate and
+/// `tests/backend_equiv.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Modular addition.
@@ -342,6 +365,20 @@ mod tests {
                 .unwrap(),
             16
         );
+    }
+
+    #[test]
+    fn shift_rule_width_is_left_operand() {
+        // The documented asymmetry: shifts keep width(lhs) whatever the
+        // right operand's width, while other ops take the max.
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.reg("a", 8);
+        let b = pb.reg("b", 16);
+        let p = pb.build_for_test();
+        assert_eq!(shl(var(a), var(b)).width(&p).unwrap(), 8);
+        assert_eq!(shr(var(a), var(b)).width(&p).unwrap(), 8);
+        assert_eq!(shl(var(b), var(a)).width(&p).unwrap(), 16);
+        assert_eq!(add(var(a), var(b)).width(&p).unwrap(), 16);
     }
 
     #[test]

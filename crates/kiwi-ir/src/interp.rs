@@ -1,4 +1,12 @@
-//! Sequential interpreter: the paper's x86 / software-semantics target.
+//! Sequential tree-walking interpreter: the *reference* software
+//! semantics.
+//!
+//! This is the slow-but-obviously-correct CPU backend. Production CPU
+//! execution goes through the compiled micro-op backend in
+//! [`mod@crate::compile`], which must stay byte-identical to this
+//! interpreter (the differential suites compare them directly, and CI
+//! runs the whole test suite once with the tree-walker forced via
+//! `EMU_CPU_BACKEND=treewalk` so this reference cannot rot).
 //!
 //! The interpreter executes the flattened op stream of each thread until a
 //! `Pause`, then hands control to the environment — virtual NICs, IP-block
@@ -219,72 +227,81 @@ impl Machine {
         if self.threads[ti].halted {
             return Ok(());
         }
-        let mut budget = self.max_ops_per_cycle;
+        // Split borrows: the op stream and program are read-only, state
+        // and the thread context are mutated — so ops are executed in
+        // place, never cloned.
+        let max_ops = self.max_ops_per_cycle;
+        let Machine {
+            flat,
+            state,
+            threads,
+            ops_executed,
+            ..
+        } = self;
+        let thread = &flat.threads[ti];
+        let prog = &flat.prog;
+        let ctx = &mut threads[ti];
+        let mut budget = max_ops;
         loop {
-            let pc = self.threads[ti].pc;
-            let op = {
-                let ops = &self.flat.threads[ti].ops;
-                if pc >= ops.len() {
-                    self.threads[ti].halted = true;
-                    return Ok(());
-                }
-                ops[pc].clone()
+            let pc = ctx.pc;
+            let Some(op) = thread.ops.get(pc) else {
+                ctx.halted = true;
+                return Ok(());
             };
-            self.ops_executed += 1;
+            *ops_executed += 1;
             budget = budget.checked_sub(1).ok_or_else(|| {
                 IrError(format!(
                     "thread {} exceeded {} ops without pausing (missing pause()?)",
-                    self.flat.threads[ti].name, self.max_ops_per_cycle
+                    thread.name, max_ops
                 ))
             })?;
             match op {
                 Op::Assign(dst, e) => {
-                    let w = self.flat.prog.var(dst).expect("validated").width;
-                    let v = eval(&e, &self.flat.prog, &self.state).resize(w);
-                    let old = self.state.vars[dst.0 as usize].clone();
-                    obs.on_assign(dst.0, &old, &v);
-                    self.state.vars[dst.0 as usize] = v;
-                    self.threads[ti].pc = pc + 1;
+                    let w = prog.var(*dst).expect("validated").width;
+                    let v = eval(e, prog, state).resize(w);
+                    obs.on_assign(dst.0, &state.vars[dst.0 as usize], &v);
+                    state.vars[dst.0 as usize] = v;
+                    ctx.pc = pc + 1;
                 }
                 Op::ArrWrite(arr, idx, val) => {
-                    let decl = self.flat.prog.array(arr).expect("validated");
+                    let decl = prog.array(*arr).expect("validated");
                     let w = decl.elem_width;
-                    let i = eval(&idx, &self.flat.prog, &self.state).to_u64() as usize;
-                    let v = eval(&val, &self.flat.prog, &self.state).resize(w);
-                    let data = &mut self.state.arrays[arr.0 as usize];
+                    let i = eval(idx, prog, state).to_u64() as usize;
+                    let v = eval(val, prog, state).resize(w);
+                    let data = &mut state.arrays[arr.0 as usize];
                     if i < data.len() {
                         data[i] = v;
-                        self.state.note_arr_write(arr.0 as usize, i);
+                        state.note_arr_write(arr.0 as usize, i);
                     }
-                    self.threads[ti].pc = pc + 1;
+                    ctx.pc = pc + 1;
                 }
                 Op::SigWrite(sig, val) => {
-                    let w = self.flat.prog.signal(sig).expect("validated").width;
-                    let v = eval(&val, &self.flat.prog, &self.state).resize(w);
-                    self.state.sigs_out[sig.0 as usize] = v;
-                    self.threads[ti].pc = pc + 1;
+                    let w = prog.signal(*sig).expect("validated").width;
+                    let v = eval(val, prog, state).resize(w);
+                    state.sigs_out[sig.0 as usize] = v;
+                    ctx.pc = pc + 1;
                 }
                 Op::Branch(cond, if_false) => {
-                    let c = eval(&cond, &self.flat.prog, &self.state);
-                    self.threads[ti].pc = if c.to_bool() { pc + 1 } else { if_false };
+                    let c = eval(cond, prog, state);
+                    ctx.pc = if c.to_bool() { pc + 1 } else { *if_false };
                 }
                 Op::Jump(t) => {
-                    self.threads[ti].pc = t;
+                    ctx.pc = *t;
                 }
                 Op::Pause => {
-                    self.threads[ti].pc = pc + 1;
+                    ctx.pc = pc + 1;
                     return Ok(());
                 }
                 Op::Label(name) => {
-                    obs.on_label(&name);
-                    self.threads[ti].pc = pc + 1;
+                    obs.on_label(name);
+                    ctx.pc = pc + 1;
                 }
                 Op::ExtPoint(id) => {
-                    obs.on_ext_point(id, &mut self.state);
-                    self.threads[ti].pc = pc + 1;
+                    obs.on_ext_point(*id, state);
+                    ctx.pc = pc + 1;
                 }
                 Op::Halt => {
-                    self.threads[ti].halted = true;
+                    ctx.halted = true;
                     return Ok(());
                 }
             }

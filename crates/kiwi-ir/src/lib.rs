@@ -9,8 +9,11 @@
 //! * program containers ([`program`]) mirroring Kiwi's split into
 //!   registers, arrays (RAMs), boundary signals, and hardware threads,
 //! * a structured-to-linear lowering ([`flat`]) shared by all back ends,
-//! * a sequential interpreter ([`interp`]) — the software-semantics / x86
-//!   target, and
+//! * a sequential tree-walking interpreter ([`interp`]) — the *reference*
+//!   software semantics,
+//! * a compiled micro-op backend ([`mod@compile`]) with an optimization pass
+//!   pipeline ([`opt`]) — the *fast* software target, byte-identical to
+//!   the tree-walker by construction, and
 //! * pretty-printers ([`pretty`]) for diagnostics.
 //!
 //! The FPGA back end (scheduling, FSM generation, resource estimation,
@@ -18,13 +21,16 @@
 //! simulator lives in `emu-rtl`.
 
 pub mod ast;
+pub mod compile;
 pub mod dsl;
 pub mod flat;
 pub mod interp;
+pub mod opt;
 pub mod pretty;
 pub mod program;
 
 pub use ast::{BinOp, Expr, IrError, IrResult, Stmt, UnOp};
+pub use compile::{compile, mops_to_string, CompiledMachine, CompiledProgram, CompiledThread};
 pub use flat::{flatten, FlatProgram, FlatThread, Op};
 pub use interp::{eval, Env, Machine, MachineState, NullEnv, NullObserver, Observer};
 pub use program::{

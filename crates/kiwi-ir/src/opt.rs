@@ -1,0 +1,482 @@
+//! The micro-op optimization pass pipeline.
+//!
+//! Passes run at lowering time, between [`mod@crate::compile`]'s naive
+//! per-statement lowering and the final flatten/retarget step. They
+//! operate on **regions** — one `Vec<MOp>` per source [`crate::flat::Op`]
+//! — inside which scratch slots are written exactly once before use
+//! (statement-local SSA). Branches only ever target region starts, so a
+//! pass may delete or rewrite ops freely within a region without
+//! touching control flow, and no pass moves work *across* regions: the
+//! environment may mutate machine state at any statement boundary
+//! (observers, `ExtPoint`, `Env::tick` at pauses), so cached loads must
+//! not outlive their statement.
+//!
+//! The default pipeline is
+//! [`ConstFold`](Pass::ConstFold) → [`CopyProp`](Pass::CopyProp) →
+//! [`Coalesce`](Pass::Coalesce) → [`DeadScratch`](Pass::DeadScratch).
+//! Constant folding routes through the *same* ALU helpers the executor
+//! uses, so a fold can never disagree with execution.
+//!
+//! # Before / after
+//!
+//! The statement `a := resize(resize(a + 1, 16), 8)` on an 8-bit
+//! register lowers naively to
+//!
+//! ```text
+//!   0: s0 <- var a
+//!   1: s1 <- const 0x1
+//!   2: s2 <- s0 Add s1 & 0xff
+//!   3: s3 <- s2            // resize 8 -> 16: identity copy
+//!   4: s4 <- s3 & 0xff     // resize 16 -> 8: mask
+//!   5: var a := s4
+//! ```
+//!
+//! after the pipeline the copy is propagated, the mask collapses, and
+//! the dead slots disappear:
+//!
+//! ```text
+//!   0: s0 <- var a
+//!   1: s1 <- const 0x1
+//!   2: s2 <- s0 Add s1 & 0xff
+//!   3: s3 <- s2 & 0xff
+//!   4: var a := s3
+//! ```
+//!
+//! (each pass is individually testable — see the tests below, which
+//! assert on exactly these pretty-printed listings).
+
+use crate::compile::{bin_s, bin_w, cmp_s, cmp_w, shift_amount, shl_s, shr_s, MOp, Slot};
+use emu_types::Bits;
+use std::collections::HashMap;
+
+/// One optimization pass over the lowered regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Evaluate pure micro-ops whose operands are all constants,
+    /// replacing them with `ConstS`/`ConstW` loads.
+    ConstFold,
+    /// Rewrite uses of `CopyS`/`CopyW` destinations to their sources
+    /// (the copies themselves die in [`Pass::DeadScratch`]).
+    CopyProp,
+    /// Merge chained slice/resize ops — `(x >> a & m1) >> b & m2` folds
+    /// to one shift-and-mask — the coalescing that makes byte-field
+    /// access over `Resize`/`Slice` towers cheap.
+    Coalesce,
+    /// Remove producer ops whose destination slot is never read.
+    DeadScratch,
+}
+
+/// The default pipeline, in order.
+pub fn default_pipeline() -> &'static [Pass] {
+    &[
+        Pass::ConstFold,
+        Pass::CopyProp,
+        Pass::Coalesce,
+        Pass::DeadScratch,
+    ]
+}
+
+/// Runs `passes` over every region, in order.
+pub fn run(regions: &mut [Vec<MOp>], passes: &[Pass]) {
+    for region in regions.iter_mut() {
+        for pass in passes {
+            match pass {
+                Pass::ConstFold => const_fold(region),
+                Pass::CopyProp => copy_prop(region),
+                Pass::Coalesce => coalesce(region),
+                Pass::DeadScratch => dead_scratch(region),
+            }
+        }
+    }
+}
+
+/// Constant folding: forward pass tracking slots with known values.
+fn const_fold(region: &mut [MOp]) {
+    let mut sc: HashMap<Slot, u64> = HashMap::new();
+    let mut wc: HashMap<Slot, Bits> = HashMap::new();
+    for op in region.iter_mut() {
+        let s = |slot: &Slot| sc.get(slot).copied();
+        let w = |slot: &Slot| wc.get(slot);
+        let folded: Option<MOp> = match &*op {
+            MOp::CopyS { dst, a } => s(a).map(|v| MOp::ConstS { dst: *dst, v }),
+            MOp::CopyW { dst, a } => w(a).map(|v| MOp::ConstW {
+                dst: *dst,
+                v: v.clone(),
+            }),
+            MOp::Widen { dst, a, w: width } => s(a).map(|v| MOp::ConstW {
+                dst: *dst,
+                v: Bits::from_u64(v, *width),
+            }),
+            MOp::Narrow { dst, a, mask } => w(a).map(|v| MOp::ConstS {
+                dst: *dst,
+                v: v.to_u64() & mask,
+            }),
+            MOp::MaskS { dst, a, mask } => s(a).map(|v| MOp::ConstS {
+                dst: *dst,
+                v: v & mask,
+            }),
+            MOp::ResizeW { dst, a, w: width } => w(a).map(|v| MOp::ConstW {
+                dst: *dst,
+                v: v.resize(*width),
+            }),
+            MOp::NotS { dst, a, mask } => s(a).map(|v| MOp::ConstS {
+                dst: *dst,
+                v: !v & mask,
+            }),
+            MOp::NegS { dst, a, mask } => s(a).map(|v| MOp::ConstS {
+                dst: *dst,
+                v: v.wrapping_neg() & mask,
+            }),
+            MOp::RedOrS { dst, a } => s(a).map(|v| MOp::ConstS {
+                dst: *dst,
+                v: u64::from(v != 0),
+            }),
+            MOp::NotW { dst, a } => w(a).map(|v| MOp::ConstW {
+                dst: *dst,
+                v: v.not(),
+            }),
+            MOp::NegW { dst, a } => w(a).map(|v| MOp::ConstW {
+                dst: *dst,
+                v: Bits::zero(v.width()).wrapping_sub(v),
+            }),
+            MOp::RedOrW { dst, a } => w(a).map(|v| MOp::ConstS {
+                dst: *dst,
+                v: u64::from(!v.is_zero()),
+            }),
+            MOp::BinS {
+                dst,
+                op,
+                a,
+                b,
+                mask,
+            } => s(a).zip(s(b)).map(|(x, y)| MOp::ConstS {
+                dst: *dst,
+                v: bin_s(*op, x, y, *mask),
+            }),
+            MOp::CmpS { dst, op, a, b } => s(a).zip(s(b)).map(|(x, y)| MOp::ConstS {
+                dst: *dst,
+                v: cmp_s(*op, x, y),
+            }),
+            MOp::ShlS { dst, a, b, mask } => s(a).zip(s(b)).map(|(x, n)| MOp::ConstS {
+                dst: *dst,
+                v: shl_s(x, n, *mask),
+            }),
+            MOp::ShrS { dst, a, b } => s(a).zip(s(b)).map(|(x, n)| MOp::ConstS {
+                dst: *dst,
+                v: shr_s(x, n),
+            }),
+            MOp::ConcatS { dst, a, b, bw } => s(a).zip(s(b)).map(|(x, y)| MOp::ConstS {
+                dst: *dst,
+                v: (x << bw) | y,
+            }),
+            MOp::SliceS { dst, a, lo, mask } => s(a).map(|v| MOp::ConstS {
+                dst: *dst,
+                v: (v >> lo) & mask,
+            }),
+            MOp::SliceWS { dst, a, lo, mask } => w(a).map(|v| MOp::ConstS {
+                dst: *dst,
+                v: v.shr(u32::from(*lo)).to_u64() & mask,
+            }),
+            MOp::SliceW { dst, a, hi, lo } => w(a).map(|v| MOp::ConstW {
+                dst: *dst,
+                v: v.slice(*hi, *lo),
+            }),
+            MOp::BinW { dst, op, a, b } => w(a).zip(w(b)).map(|(x, y)| MOp::ConstW {
+                dst: *dst,
+                v: bin_w(*op, x, y),
+            }),
+            MOp::CmpW { dst, op, a, b } => w(a).zip(w(b)).map(|(x, y)| MOp::ConstS {
+                dst: *dst,
+                v: cmp_w(*op, x, y),
+            }),
+            MOp::ShlW { dst, a, b } => w(a).zip(s(b).as_ref()).map(|(x, n)| MOp::ConstW {
+                dst: *dst,
+                v: x.shl(shift_amount(*n)),
+            }),
+            MOp::ShrW { dst, a, b } => w(a).zip(s(b).as_ref()).map(|(x, n)| MOp::ConstW {
+                dst: *dst,
+                v: x.shr(shift_amount(*n)),
+            }),
+            MOp::ConcatW { dst, a, b } => w(a).zip(w(b)).map(|(x, y)| MOp::ConstW {
+                dst: *dst,
+                v: x.concat(y),
+            }),
+            MOp::MuxS { dst, c, t, e } => {
+                s(c).zip(s(t).zip(s(e))).map(|(cv, (tv, ev))| MOp::ConstS {
+                    dst: *dst,
+                    v: if cv != 0 { tv } else { ev },
+                })
+            }
+            MOp::MuxW { dst, c, t, e } => {
+                s(c).zip(w(t).zip(w(e))).map(|(cv, (tv, ev))| MOp::ConstW {
+                    dst: *dst,
+                    v: if cv != 0 { tv.clone() } else { ev.clone() },
+                })
+            }
+            _ => None,
+        };
+        if let Some(f) = folded {
+            *op = f;
+        }
+        match op {
+            MOp::ConstS { dst, v } => {
+                sc.insert(*dst, *v);
+            }
+            MOp::ConstW { dst, v } => {
+                wc.insert(*dst, v.clone());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Copy propagation: substitute copy sources into later uses.
+fn copy_prop(region: &mut [MOp]) {
+    let mut map_s: HashMap<Slot, Slot> = HashMap::new();
+    let mut map_w: HashMap<Slot, Slot> = HashMap::new();
+    for op in region.iter_mut() {
+        op.uses_mut(&mut |slot, wide| {
+            let m = if wide { &map_w } else { &map_s };
+            if let Some(&r) = m.get(slot) {
+                *slot = r;
+            }
+        });
+        // Record after rewriting, so chains resolve transitively.
+        match op {
+            MOp::CopyS { dst, a } => {
+                map_s.insert(*dst, *a);
+            }
+            MOp::CopyW { dst, a } => {
+                map_w.insert(*dst, *a);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Slice/resize coalescing over the small scratch file.
+///
+/// All four rewrites are pure shift-and-mask algebra on canonical `u64`
+/// values; the summed shifts stay below 64 because each `lo` is bounded
+/// by its source expression's width.
+fn coalesce(region: &mut [MOp]) {
+    let mut defs: HashMap<Slot, MOp> = HashMap::new();
+    for op in region.iter_mut() {
+        let rep = match &*op {
+            MOp::MaskS { dst, a, mask } => match defs.get(a) {
+                Some(MOp::MaskS {
+                    a: a2, mask: m2, ..
+                }) => Some(MOp::MaskS {
+                    dst: *dst,
+                    a: *a2,
+                    mask: mask & m2,
+                }),
+                Some(MOp::SliceS {
+                    a: a2,
+                    lo,
+                    mask: m2,
+                    ..
+                }) => Some(MOp::SliceS {
+                    dst: *dst,
+                    a: *a2,
+                    lo: *lo,
+                    mask: m2 & mask,
+                }),
+                _ => None,
+            },
+            MOp::SliceS { dst, a, lo, mask } => match defs.get(a) {
+                Some(MOp::MaskS {
+                    a: a2, mask: m2, ..
+                }) => Some(MOp::SliceS {
+                    dst: *dst,
+                    a: *a2,
+                    lo: *lo,
+                    mask: (m2 >> lo) & mask,
+                }),
+                Some(MOp::SliceS {
+                    a: a2,
+                    lo: l2,
+                    mask: m2,
+                    ..
+                }) => Some(MOp::SliceS {
+                    dst: *dst,
+                    a: *a2,
+                    lo: lo + l2,
+                    mask: (m2 >> lo) & mask,
+                }),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(r) = rep {
+            *op = r;
+        }
+        if let Some((d, false)) = op.dst() {
+            defs.insert(d, op.clone());
+        }
+    }
+}
+
+/// Dead scratch elimination: backward liveness within the region;
+/// terminals are the roots.
+fn dead_scratch(region: &mut Vec<MOp>) {
+    let mut live: std::collections::HashSet<(Slot, bool)> = std::collections::HashSet::new();
+    let mut keep = vec![true; region.len()];
+    for i in (0..region.len()).rev() {
+        let op = &region[i];
+        let needed = match op.dst() {
+            Some(d) => live.contains(&d),
+            None => true, // terminals
+        };
+        if !needed {
+            keep[i] = false;
+            continue;
+        }
+        op.uses(&mut |s, w| {
+            live.insert((s, w));
+        });
+    }
+    let mut it = keep.iter();
+    region.retain(|_| *it.next().expect("keep mask sized to region"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_with_passes, mops_to_string, CompiledProgram};
+    use crate::dsl::*;
+    use crate::flat::flatten;
+    use crate::interp::{Machine, NullEnv, NullObserver};
+    use crate::program::ProgramBuilder;
+
+    /// Compiles `pb`'s program under the given passes.
+    fn lower(pb: &ProgramBuilder, passes: &[Pass]) -> CompiledProgram {
+        compile_with_passes(&flatten(&pb.clone().build().unwrap()).unwrap(), passes).unwrap()
+    }
+
+    fn listing(cp: &CompiledProgram) -> String {
+        mops_to_string(&cp.threads[0], &cp.prog)
+    }
+
+    /// The doc-example program: `a := resize(resize(a + 1, 16), 8)`.
+    fn resize_tower() -> ProgramBuilder {
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(a, resize(resize(add(var(a), lit(1, 8)), 16), 8)),
+                halt(),
+            ],
+        );
+        pb
+    }
+
+    #[test]
+    fn const_fold_replaces_pure_ops() {
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 16);
+        pb.thread(
+            "main",
+            vec![
+                assign(a, add(lit(3, 16), mul(lit(5, 16), lit(7, 16)))),
+                halt(),
+            ],
+        );
+        let naive = lower(&pb, &[]);
+        assert!(listing(&naive).contains("Add"), "{}", listing(&naive));
+        let folded = lower(&pb, &[Pass::ConstFold, Pass::DeadScratch]);
+        let text = listing(&folded);
+        assert!(!text.contains("Add"), "arith must fold away:\n{text}");
+        assert!(text.contains("const 0x26"), "3 + 5*7 = 38:\n{text}");
+    }
+
+    #[test]
+    fn const_fold_matches_interpreter_on_wide_values() {
+        // The fold routes through the executor's ALU helpers; a 128-bit
+        // constant expression must land on the interpreter's value.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 128);
+        pb.thread(
+            "main",
+            vec![
+                assign(a, sub(shl(lit(1, 128), lit(100, 8)), lit(0x1234_5678, 128))),
+                halt(),
+            ],
+        );
+        let mut tw = Machine::new(flatten(&pb.clone().build().unwrap()).unwrap());
+        tw.run_cycles(3, &mut NullEnv, &mut NullObserver).unwrap();
+        let mut cm =
+            crate::compile::CompiledMachine::new(lower(&pb, &[Pass::ConstFold, Pass::DeadScratch]));
+        cm.run_cycles(3, &mut NullEnv, &mut NullObserver).unwrap();
+        assert_eq!(tw.state().vars[0], cm.state().vars[0]);
+    }
+
+    #[test]
+    fn copy_prop_bypasses_identity_resizes() {
+        let naive = lower(&resize_tower(), &[]);
+        let text = listing(&naive);
+        assert!(text.contains("s3 <- s2"), "naive keeps the copy:\n{text}");
+        let prop = lower(&resize_tower(), &[Pass::CopyProp]);
+        let text = listing(&prop);
+        // The mask now reads the Add's slot directly.
+        assert!(text.contains("s4 <- s2 & 0xff"), "{text}");
+    }
+
+    #[test]
+    fn coalesce_merges_slice_chains() {
+        // slice(slice(x, 15, 4), 7, 4) == slice(x, 11, 8): two shifts
+        // collapse into one.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 16);
+        let b = pb.reg("b", 4);
+        pb.thread(
+            "main",
+            vec![assign(b, slice(slice(var(a), 15, 4), 7, 4)), halt()],
+        );
+        let naive = lower(&pb, &[]);
+        assert_eq!(
+            listing(&naive).matches(">>").count(),
+            2,
+            "{}",
+            listing(&naive)
+        );
+        let opt = lower(&pb, &[Pass::CopyProp, Pass::Coalesce, Pass::DeadScratch]);
+        let text = listing(&opt);
+        assert_eq!(text.matches(">>").count(), 1, "{text}");
+        assert!(text.contains(">> 8 & 0xf"), "merged shift of 4+4:\n{text}");
+        // And it still computes the right value.
+        let mut cm = crate::compile::CompiledMachine::new(opt);
+        cm.state_mut().vars[0] = emu_types::Bits::from_u64(0xabcd, 16);
+        cm.run_cycles(3, &mut NullEnv, &mut NullObserver).unwrap();
+        assert_eq!(cm.state().vars[1].to_u64(), 0xb);
+    }
+
+    #[test]
+    fn dead_scratch_removes_orphans() {
+        let prop = lower(&resize_tower(), &[Pass::CopyProp]);
+        let n_before = prop.threads[0].mops.len();
+        let full = lower(
+            &resize_tower(),
+            &[Pass::CopyProp, Pass::Coalesce, Pass::DeadScratch],
+        );
+        let n_after = full.threads[0].mops.len();
+        assert!(n_after < n_before, "{n_before} -> {n_after}");
+        // The orphaned copy is gone; the terminal survives.
+        let text = listing(&full);
+        assert!(!text.contains("s3 <- s2\n"), "{text}");
+        assert!(text.contains("var a :="), "{text}");
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics() {
+        // The doc example end-to-end: optimized and unoptimized bytecode
+        // both agree with the tree-walker.
+        for passes in [&[][..], default_pipeline()] {
+            let mut cm = crate::compile::CompiledMachine::new(lower(&resize_tower(), passes));
+            cm.state_mut().vars[0] = emu_types::Bits::from_u64(0xfe, 8);
+            cm.run_cycles(3, &mut NullEnv, &mut NullObserver).unwrap();
+            assert_eq!(cm.state().vars[0].to_u64(), 0xff);
+        }
+    }
+}

@@ -18,8 +18,15 @@
 //! Use Network Emulation?*) shows impaired links are what separate a
 //! demo topology from a testbed; impairments here are deterministic per
 //! seed, so an impaired scenario replays exactly.
+//!
+//! Service nodes carry **per-node drop accounting**: an engine refusing
+//! one frame (oversize input, trapping core) increments the node's drop
+//! counter ([`NetSim::service_drops`]) instead of aborting the
+//! simulation, so adversarial traffic mixes can soak whole topologies.
+//! Only simulation-fatal engine errors (`Build`, `Poisoned`) abort
+//! [`NetSim::run_until`].
 
-use emu_core::Engine;
+use emu_core::{Engine, EngineError};
 use emu_types::Frame;
 use kiwi_ir::IrResult;
 use rand::rngs::StdRng;
@@ -89,6 +96,13 @@ struct Node {
     kind: NodeKind,
     /// Interface table: port index → (link id) when connected.
     ifaces: Vec<Option<usize>>,
+    /// Frames this node's engine refused per-frame (oversize input or a
+    /// trapping core) — the per-node drop accounting that lets
+    /// adversarial mixes run through topologies without aborting the
+    /// simulation. Always zero for hosts.
+    drops: u64,
+    /// The most recent drop's error text (diagnostics).
+    last_drop: Option<String>,
 }
 
 struct Link {
@@ -172,6 +186,8 @@ impl NetSim {
             name: name.to_string(),
             kind: NodeKind::Host { inbox: Vec::new() },
             ifaces: vec![None; ports],
+            drops: 0,
+            last_drop: None,
         });
         NodeId(self.nodes.len() - 1)
     }
@@ -193,6 +209,8 @@ impl NetSim {
             name: name.to_string(),
             kind: NodeKind::Service(Box::new(engine)),
             ifaces: vec![None; ports],
+            drops: 0,
+            last_drop: None,
         });
         NodeId(self.nodes.len() - 1)
     }
@@ -313,6 +331,15 @@ impl NetSim {
 
     /// Runs until the event queue drains or `t_end_ns` passes. Returns the
     /// number of events processed.
+    ///
+    /// A service node refusing one frame — [`EngineError::Oversize`]
+    /// input validation or a [`EngineError::Trap`] out of the core — is
+    /// a *per-node drop* ([`NetSim::service_drops`]), exactly as a real
+    /// NIC counts rx errors, so adversarial mixes run whole topologies
+    /// without killing the simulation. Simulation-fatal errors —
+    /// [`EngineError::Build`] and [`EngineError::Poisoned`] (the node
+    /// kept receiving traffic after a trap already poisoned the shard) —
+    /// still abort.
     pub fn run_until(&mut self, t_end_ns: f64) -> IrResult<u64> {
         let mut processed = 0;
         while let Some(ev) = self.events.peek() {
@@ -324,7 +351,8 @@ impl NetSim {
             processed += 1;
             let mut frame = ev.frame;
             frame.in_port = ev.dst_port as u8;
-            let out = match &mut self.nodes[ev.dst_node].kind {
+            let node = &mut self.nodes[ev.dst_node];
+            let out = match &mut node.kind {
                 NodeKind::Host { inbox } => {
                     inbox.push(Delivery {
                         t_ns: ev.t_ns,
@@ -332,7 +360,15 @@ impl NetSim {
                     });
                     continue;
                 }
-                NodeKind::Service(engine) => engine.process(&frame)?,
+                NodeKind::Service(engine) => match engine.process(&frame) {
+                    Ok(out) => out,
+                    Err(e @ (EngineError::Oversize { .. } | EngineError::Trap { .. })) => {
+                        node.drops += 1;
+                        node.last_drop = Some(e.to_string());
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                },
             };
             // Service processing time on the CPU target is not modelled
             // (Mininet gives functional, not temporal, fidelity);
@@ -370,6 +406,17 @@ impl NetSim {
             NodeKind::Service(engine) => Some(engine),
             NodeKind::Host { .. } => None,
         }
+    }
+
+    /// Frames node `n`'s engine refused per-frame (oversize or trap) —
+    /// see [`NetSim::run_until`]. Zero for hosts.
+    pub fn service_drops(&self, n: NodeId) -> u64 {
+        self.nodes[n.0].drops
+    }
+
+    /// The most recent per-node drop's error text, if any.
+    pub fn last_drop_reason(&self, n: NodeId) -> Option<&str> {
+        self.nodes[n.0].last_drop.as_deref()
     }
 }
 
@@ -662,6 +709,55 @@ mod tests {
         net.send(lone, 1, Frame::new(vec![0; 60]), 0.0);
         net.run_until(1e12).unwrap();
         assert_eq!(net.dropped_no_link, 1);
+    }
+
+    #[test]
+    fn adversarial_mix_through_impaired_link_counts_drops() {
+        // The ROADMAP open item: a topology must survive an adversarial
+        // mix. Oversize frames out of the generator are refused by the
+        // service's engine and counted on the node — the simulation
+        // keeps running and well-formed traffic still flows.
+        use emu_traffic::{Adversarial, Background, Mix, TrafficGen};
+        let mut net = NetSim::new();
+        let h = net.add_host("h", 1);
+        let sw = net.add_service("sw", cpu_engine(&emu_services::switch_ip_cam(), 4), 4);
+        let l = net.link(h, 0, sw, 1, 500.0, 10.0);
+        net.impair(l, lossy(0.05, 0.02, 0.1, 11));
+        let mut mix = Mix::new(5)
+            .add(3, Background::new(6, &[0]))
+            .add(2, Adversarial::new(7, &[0]));
+        let mut oversize_sent = 0u64;
+        for i in 0..400u64 {
+            let f = mix.next_frame();
+            if f.len() > net.engine_mut(sw).unwrap().frame_capacity() {
+                oversize_sent += 1;
+            }
+            net.send(h, 0, f, i as f64 * 20_000.0);
+        }
+        net.run_until(1e12)
+            .expect("adversarial mix must not abort the sim");
+        assert!(oversize_sent > 0, "generator must produce oversize frames");
+        let drops = net.service_drops(sw);
+        assert!(drops > 0, "oversize frames must count as node drops");
+        assert!(
+            drops <= oversize_sent,
+            "drops {drops} cannot exceed oversize offered {oversize_sent} \
+             (the impaired link may lose some first)"
+        );
+        assert!(
+            net.last_drop_reason(sw).unwrap().contains("exceeds"),
+            "{:?}",
+            net.last_drop_reason(sw)
+        );
+        // The switch still processed the well-formed majority: broadcast
+        // frames flooded to unlinked ports count there, not as drops.
+        assert!(net.dropped_no_link > 0);
+        assert_eq!(net.service_drops(h), 0, "hosts never drop");
+        assert_eq!(
+            net.engine_mut(sw).unwrap().healthy_shards(),
+            4,
+            "adversarial traffic must not poison shards"
+        );
     }
 
     #[test]

@@ -15,12 +15,14 @@ use kiwi_ir::interp::{eval, Env, MachineState, Observer};
 use kiwi_ir::{IrError, IrResult};
 use std::collections::HashMap;
 
-/// A uniform stepping interface over the two execution targets.
+/// A uniform stepping interface over the execution backends.
 ///
 /// The NetFPGA platform driver and the Mininet-analogue nodes are generic
 /// over this trait, which is what lets one service program run unchanged
-/// on the interpreter (software semantics) and the cycle-accurate FSM
-/// (hardware semantics) — the heterogeneous-target property of §1.
+/// on the tree-walking interpreter (reference software semantics), the
+/// compiled micro-op backend (fast software semantics), and the
+/// cycle-accurate FSM (hardware semantics) — the heterogeneous-target
+/// property of §1.
 pub trait ExecBackend {
     /// Advances one cycle (interpreter: one pause-to-pause slice).
     fn step(&mut self, env: &mut dyn Env, obs: &mut dyn Observer) -> IrResult<()>;
@@ -63,6 +65,27 @@ impl ExecBackend for kiwi_ir::Machine {
     }
     fn program(&self) -> &kiwi_ir::Program {
         kiwi_ir::Machine::program(self)
+    }
+    fn machine_state(&self) -> &MachineState {
+        self.state()
+    }
+    fn machine_state_mut(&mut self) -> &mut MachineState {
+        self.state_mut()
+    }
+    fn cycles(&self) -> u64 {
+        self.cycle()
+    }
+    fn is_halted(&self) -> bool {
+        self.halted()
+    }
+}
+
+impl ExecBackend for kiwi_ir::CompiledMachine {
+    fn step(&mut self, env: &mut dyn Env, obs: &mut dyn Observer) -> IrResult<()> {
+        self.step_cycle(env, obs)
+    }
+    fn program(&self) -> &kiwi_ir::Program {
+        kiwi_ir::CompiledMachine::program(self)
     }
     fn machine_state(&self) -> &MachineState {
         self.state()

@@ -81,6 +81,43 @@
 //! `cargo run --release -p emu-bench --bin scaling_shards` sweeps shard
 //! counts 1/2/4/8 over the Table 4 services.
 //!
+//! ## Execution backends
+//!
+//! On the Cpu target the service program can execute on either of two
+//! software backends, selected with
+//! [`EngineBuilder::backend`](stdlib::EngineBuilder::backend):
+//!
+//! * [`Backend::Compiled`](stdlib::Backend) (**default**) — each thread
+//!   is lowered once, at build time, to a linear micro-op bytecode with
+//!   explicit scratch registers, pre-resolved ids, pre-computed widths,
+//!   and a `u64` fast path for values ≤ 64 bits, then run through an
+//!   optimization pass pipeline (constant folding → copy propagation →
+//!   slice/resize coalescing → dead-scratch elimination; see
+//!   [`ir::opt`]). Pick it everywhere throughput matters — it is what
+//!   the soak and scaling benches measure, and
+//!   `cargo run --release -p emu-bench --bin backend_compare` prints the
+//!   per-service speedup matrix.
+//! * [`Backend::TreeWalk`](stdlib::Backend) — the recursive reference
+//!   interpreter over the flattened statement stream ([`ir::interp`]).
+//!   Pick it when debugging a suspected compiled-backend bug, or as the
+//!   second opinion in differential tests. `EMU_CPU_BACKEND=treewalk`
+//!   forces it process-wide without code changes (CI runs the whole
+//!   test suite this way so the reference cannot rot).
+//!
+//! The two backends are **byte-identical in every observable**: machine
+//! state after every cycle (registers, arrays, output signals), observer
+//! traces (assignments, labels, extension points, in order), cycle and
+//! op counts, trap messages, and per-frame engine outcomes. The Fpga
+//! target stays the golden reference for both. This is enforced by
+//! directed lockstep tests in `kiwi-ir`, random-program proptests across
+//! all three executions in `tests/backend_equiv.rs`, and the soak
+//! harness. Both backends also maintain the `arr_high` per-array
+//! high-water contract ([`ir::interp::MachineState::arr_high`]): after
+//! any run, `arr_high[a]` is one past the highest slot of array `a` that
+//! may differ from zero. Platform drivers rely on it to bound per-frame
+//! buffer re-initialization, so a backend that under-reports it corrupts
+//! frame data and one that never resets it forfeits the batch fast path.
+//!
 //! ## Generating traffic
 //!
 //! Hand-rolled frames stop scaling long before an engine does. The
@@ -131,8 +168,8 @@ pub use netsim as simnet;
 pub mod prelude {
     pub use direction::{ControllerConfig, DirectionPacket, Director};
     pub use emu_core::{
-        BatchReport, Dispatch, Engine, EngineBuilder, EngineError, NatSteering, RoundRobin,
-        RssHash, Service, Target,
+        Backend, BatchReport, Dispatch, Engine, EngineBuilder, EngineError, NatSteering,
+        RoundRobin, RssHash, Service, Target,
     };
     pub use emu_types::{Frame, Ipv4, MacAddr, Summary};
     pub use kiwi::{compile, emit, estimate, CostModel, IpBlock};

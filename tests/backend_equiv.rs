@@ -1,0 +1,477 @@
+//! Cross-backend equivalence for the CPU execution backends.
+//!
+//! Random IR programs generated over `kiwi_ir::dsl` must behave
+//! identically under all three executions of the same `Program`:
+//!
+//! * the tree-walking interpreter (`kiwi_ir::Machine`, the reference),
+//! * the compiled micro-op backend (`kiwi_ir::CompiledMachine`, the
+//!   production CPU path), and
+//! * the FSM/RTL executor (`emu::rtl::RtlMachine`, the hardware target),
+//!
+//! comparing full [`MachineState`] snapshots — registers, arrays, output
+//! signals, and the `arr_high` high-water marks platform drivers rely
+//! on — plus the complete [`Observer`] trace (assignments with old/new
+//! values, labels, extension points, in order).
+//!
+//! The soak-level leg drives whole `emu-traffic` mixes through
+//! `Engine`s built on [`Backend::Compiled`] and [`Backend::TreeWalk`]
+//! and asserts the resulting [`BatchReport`]s agree outcome-for-outcome
+//! (including error variants and per-shard cycle accounting) for all
+//! five soak services.
+
+use emu::prelude::*;
+use emu::services as s;
+use emu_traffic::{
+    Adversarial, Background, DnsWeighted, MemcachedZipf, Mix, TcpConversations, TrafficGen,
+};
+use emu_types::Bits;
+use kiwi_ir::dsl::*;
+// `dsl::sig` would be shadowed by `sig: &Sig` parameters below.
+use kiwi_ir::dsl::sig as dsl_sig;
+use kiwi_ir::interp::{Env, Machine, MachineState, NullEnv, Observer};
+use kiwi_ir::program::{ArrId, ArrayBacking, Program, SigId, VarId};
+use kiwi_ir::{flatten, CompiledMachine, Expr, Stmt};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random program generation over the builder DSL.
+// ---------------------------------------------------------------------
+
+/// Deterministic entropy source: a finite byte tape, consumed cyclically
+/// so any prefix proptest shrinks to is still a valid program seed.
+struct Tape {
+    bytes: Vec<u8>,
+    i: usize,
+}
+
+impl Tape {
+    fn new(bytes: &[u8]) -> Self {
+        let bytes = if bytes.is_empty() {
+            vec![0]
+        } else {
+            bytes.to_vec()
+        };
+        Tape { bytes, i: 0 }
+    }
+
+    fn next(&mut self) -> u8 {
+        let b = self.bytes[self.i % self.bytes.len()];
+        self.i += 1;
+        b
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        usize::from(self.next()) % n
+    }
+
+    fn val(&mut self) -> u64 {
+        let mut v = 0u64;
+        for _ in 0..8 {
+            v = (v << 8) | u64::from(self.next());
+        }
+        v
+    }
+}
+
+/// The fixed declaration signature every generated program shares:
+/// registers and array elements span narrow, word-size, and wide (>64)
+/// widths so both the u64 fast path and the `Bits` limb path of the
+/// compiled backend are exercised.
+struct Sig {
+    regs: Vec<(VarId, u16)>,
+    arrs: Vec<(ArrId, u16, u64)>,
+    ins: Vec<SigId>,
+    outs: Vec<SigId>,
+    /// Loop counters, reserved: never assigned by random statements.
+    ctrs: Vec<VarId>,
+}
+
+const REG_WIDTHS: [u16; 7] = [1, 8, 13, 32, 64, 80, 128];
+
+fn declare(pb: &mut kiwi_ir::ProgramBuilder, threads: usize) -> Sig {
+    let regs = REG_WIDTHS
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (pb.reg(&format!("r{i}"), w), w))
+        .collect();
+    let arrs = vec![
+        (pb.array("mem8", 8, 16, ArrayBacking::LutRam), 8, 16),
+        (pb.array("memw", 96, 4, ArrayBacking::BlockRam), 96, 4),
+    ];
+    let ins = vec![pb.sig_in("in_a", 32), pb.sig_in("in_b", 80)];
+    let outs = vec![pb.sig_out("out_a", 24), pb.sig_out("out_b", 128)];
+    let ctrs = (0..threads * 2)
+        .map(|i| pb.reg(&format!("ctr{i}"), 8))
+        .collect();
+    Sig {
+        regs,
+        arrs,
+        ins,
+        outs,
+        ctrs,
+    }
+}
+
+/// Builds a random expression of bounded depth. Every produced tree is
+/// width-valid by construction (slices go through an explicit resize;
+/// concat operands are capped so no width exceeds 128 < `MAX_WIDTH`).
+fn expr(t: &mut Tape, sig: &Sig, depth: u32) -> Expr {
+    if depth == 0 {
+        return match t.pick(4) {
+            0 => {
+                let w = 1 + t.pick(96) as u16;
+                lit_bits(Bits::from_u64(t.val(), w))
+            }
+            1 | 2 => var(sig.regs[t.pick(sig.regs.len())].0),
+            _ => dsl_sig(sig.ins[t.pick(sig.ins.len())]),
+        };
+    }
+    match t.pick(15) {
+        0 => add(expr(t, sig, depth - 1), expr(t, sig, depth - 1)),
+        1 => sub(expr(t, sig, depth - 1), expr(t, sig, depth - 1)),
+        2 => mul(expr(t, sig, depth - 1), expr(t, sig, depth - 1)),
+        3 => band(expr(t, sig, depth - 1), expr(t, sig, depth - 1)),
+        4 => bor(expr(t, sig, depth - 1), expr(t, sig, depth - 1)),
+        5 => bxor(expr(t, sig, depth - 1), expr(t, sig, depth - 1)),
+        // Shifts: both small literal and arbitrary-expression amounts,
+        // pinning the documented shift width rule on random shapes.
+        6 => shl(expr(t, sig, depth - 1), expr(t, sig, depth - 1)),
+        7 => shr(expr(t, sig, depth - 1), expr(t, sig, depth - 1)),
+        8 => {
+            let l = expr(t, sig, depth - 1);
+            let r = expr(t, sig, depth - 1);
+            match t.pick(6) {
+                0 => eq(l, r),
+                1 => ne(l, r),
+                2 => lt(l, r),
+                3 => le(l, r),
+                4 => gt(l, r),
+                _ => ge(l, r),
+            }
+        }
+        9 => mux(
+            expr(t, sig, depth - 1),
+            expr(t, sig, depth - 1),
+            expr(t, sig, depth - 1),
+        ),
+        10 => match t.pick(3) {
+            0 => not(expr(t, sig, depth - 1)),
+            1 => neg(expr(t, sig, depth - 1)),
+            _ => nonzero(expr(t, sig, depth - 1)),
+        },
+        11 => {
+            let lo = t.pick(32) as u16;
+            let hi = lo + t.pick(32 - usize::from(lo)) as u16;
+            slice(resize(expr(t, sig, depth - 1), 32), hi, lo)
+        }
+        12 => {
+            let wh = 1 + t.pick(64) as u16;
+            let wl = 1 + t.pick(64) as u16;
+            concat(
+                resize(expr(t, sig, depth - 1), wh),
+                resize(expr(t, sig, depth - 1), wl),
+            )
+        }
+        13 => resize(expr(t, sig, depth - 1), 1 + t.pick(128) as u16),
+        _ => {
+            let (a, _, _) = sig.arrs[t.pick(sig.arrs.len())];
+            arr_read(a, expr(t, sig, depth - 1))
+        }
+    }
+}
+
+/// A run of random statements. `depth` bounds statement nesting
+/// (`if_else` bodies); expressions are depth ≤ 2 off the leaves.
+fn stmts(t: &mut Tape, sig: &Sig, depth: u32, count: usize) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(match t.pick(10) {
+            0..=3 => assign(sig.regs[t.pick(sig.regs.len())].0, expr(t, sig, 2)),
+            4 => {
+                let (a, _, _) = sig.arrs[t.pick(sig.arrs.len())];
+                arr_write(a, expr(t, sig, 1), expr(t, sig, 2))
+            }
+            5 => sig_write(sig.outs[t.pick(sig.outs.len())], expr(t, sig, 2)),
+            6 => label(["alpha", "beta", "gamma"][t.pick(3)]),
+            7 => ext_point(t.next() as u32 % 5),
+            _ if depth > 0 => {
+                let cond = expr(t, sig, 2);
+                let nt = 1 + t.pick(2);
+                let then_ = stmts(t, sig, depth - 1, nt);
+                let ne = 1 + t.pick(2);
+                let else_ = stmts(t, sig, depth - 1, ne);
+                if_else(cond, then_, else_)
+            }
+            _ => assign(sig.regs[t.pick(sig.regs.len())].0, expr(t, sig, 2)),
+        });
+    }
+    out
+}
+
+/// A loop guaranteed to terminate: `ctr` is reserved for this loop (the
+/// random statement pool never writes counters), counts up from its
+/// init value of 0, and pauses each iteration.
+fn bounded_loop(ctr: VarId, trips: u64, mut body: Vec<Stmt>) -> Stmt {
+    body.push(assign(ctr, add(var(ctr), lit(1, 8))));
+    body.push(pause());
+    while_loop(lt(var(ctr), lit(trips, 8)), body)
+}
+
+/// One random halting thread body: prologue, a bounded loop whose body
+/// may contain a nested bounded loop, epilogue, halt.
+fn thread_body(t: &mut Tape, sig: &Sig, ctr0: VarId, ctr1: VarId) -> Vec<Stmt> {
+    let outer_trips = 1 + t.pick(5) as u64;
+    let inner_trips = 1 + t.pick(3) as u64;
+
+    let n_loop = 2 + t.pick(5);
+    let mut loop_body = stmts(t, sig, 2, n_loop);
+    if t.pick(2) == 0 {
+        let n_inner = 1 + t.pick(3);
+        let inner_body = stmts(t, sig, 1, n_inner);
+        loop_body.push(bounded_loop(ctr1, inner_trips, inner_body));
+        // Re-arm the inner counter so it runs again next outer trip.
+        loop_body.push(assign(ctr1, lit(0, 8)));
+    }
+
+    let n_pre = 1 + t.pick(3);
+    let mut body = stmts(t, sig, 1, n_pre);
+    body.push(bounded_loop(ctr0, outer_trips, loop_body));
+    let n_post = 1 + t.pick(3);
+    body.extend(stmts(t, sig, 1, n_post));
+    body.push(halt());
+    body
+}
+
+/// Full observer trace: every assignment (register, old, new), label,
+/// and extension point, in execution order.
+#[derive(Default, PartialEq, Debug)]
+struct Trace {
+    assigns: Vec<(u32, Bits, Bits)>,
+    labels: Vec<String>,
+    exts: Vec<u32>,
+}
+
+impl Observer for Trace {
+    fn on_assign(&mut self, v: u32, old: &Bits, new: &Bits) {
+        self.assigns.push((v, old.clone(), new.clone()));
+    }
+    fn on_label(&mut self, n: &str) {
+        self.labels.push(n.into());
+    }
+    fn on_ext_point(&mut self, id: u32, _s: &mut MachineState) {
+        self.exts.push(id);
+    }
+}
+
+/// Asserts two machine states are identical in every field a backend
+/// can influence.
+fn assert_state_eq(label: &str, a: &MachineState, b: &MachineState) {
+    assert_eq!(a.vars, b.vars, "{label}: registers diverged");
+    assert_eq!(a.arrays, b.arrays, "{label}: arrays diverged");
+    assert_eq!(a.sigs_out, b.sigs_out, "{label}: output signals diverged");
+    assert_eq!(a.arr_high, b.arr_high, "{label}: arr_high marks diverged");
+}
+
+/// Drives every input signal with a value derived from the cycle number
+/// (splitmix64), so the program's input stream is deterministic but
+/// dense in both narrow and wide bit patterns.
+struct Pump;
+
+impl Env for Pump {
+    fn tick(&mut self, cycle: u64, prog: &Program, st: &mut MachineState) {
+        for (i, name) in ["in_a", "in_b"].iter().enumerate() {
+            let mut z = cycle.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            st.drive(prog, name, Bits::from_u64(z ^ (z >> 31), 80));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tree-walk vs compiled, strongest form: two random threads over
+    /// shared state, env-driven input signals, full state snapshot
+    /// compared after **every** cycle, full observer traces, and the
+    /// cycle/op accounting the engine's cost model is built on.
+    #[test]
+    fn random_programs_treewalk_vs_compiled_cycle_lockstep(
+        seed in proptest::collection::vec(any::<u8>(), 16..96)
+    ) {
+        let mut t = Tape::new(&seed);
+        let mut pb = kiwi_ir::ProgramBuilder::new("rand");
+        let sig = declare(&mut pb, 2);
+        let b0 = thread_body(&mut t, &sig, sig.ctrs[0], sig.ctrs[1]);
+        let b1 = thread_body(&mut t, &sig, sig.ctrs[2], sig.ctrs[3]);
+        pb.thread("t0", b0);
+        pb.thread("t1", b1);
+        let prog = pb.build().expect("generated program must be valid");
+
+        let mut tw = Machine::new(flatten(&prog).unwrap());
+        let mut cm = CompiledMachine::from_program(&prog).unwrap();
+        let (mut ta, mut tb) = (Trace::default(), Trace::default());
+
+        for cycle in 0..300u64 {
+            if tw.halted() {
+                break;
+            }
+            tw.step_cycle(&mut Pump, &mut ta).unwrap();
+            cm.step_cycle(&mut Pump, &mut tb).unwrap();
+            prop_assert_eq!(tw.halted(), cm.halted(), "halt state at cycle {}", cycle);
+            assert_state_eq(&format!("cycle {cycle}"), tw.state(), cm.state());
+        }
+        prop_assert_eq!(tw.cycle(), cm.cycle(), "cycle counts diverged");
+        prop_assert_eq!(tw.ops_executed(), cm.ops_executed(), "op counts diverged");
+        prop_assert_eq!(ta, tb, "observer traces diverged");
+    }
+
+    /// All three backends on the same random halting program: the
+    /// tree-walker, the compiled backend, and the RTL executor under
+    /// both a generous and a deliberately tight clock budget (which
+    /// forces extra FSM state splits) must land on the same final
+    /// machine state and emit the same observer trace.
+    #[test]
+    fn random_programs_all_three_backends_agree(
+        seed in proptest::collection::vec(any::<u8>(), 16..96)
+    ) {
+        let mut t = Tape::new(&seed);
+        let mut pb = kiwi_ir::ProgramBuilder::new("rand3");
+        let sig = declare(&mut pb, 1);
+        let body = thread_body(&mut t, &sig, sig.ctrs[0], sig.ctrs[1]);
+        pb.thread("main", body);
+        let prog = pb.build().expect("generated program must be valid");
+
+        let mut tw = Machine::new(flatten(&prog).unwrap());
+        let mut cm = CompiledMachine::from_program(&prog).unwrap();
+        let mut traces = vec![Trace::default(), Trace::default()];
+        tw.run_cycles(10_000, &mut NullEnv, &mut traces[0]).unwrap();
+        cm.run_cycles(10_000, &mut NullEnv, &mut traces[1]).unwrap();
+        prop_assert!(tw.halted() && cm.halted(), "software backends must halt");
+        prop_assert_eq!(tw.cycle(), cm.cycle());
+
+        let models = [
+            ("fpga-loose", CostModel::default()),
+            ("fpga-tight", CostModel { period_units: 10, clock_hz: 200_000_000 }),
+        ];
+        let mut rtls = Vec::new();
+        for (label, model) in models {
+            let fsm = kiwi::compile_with(&prog, model).unwrap();
+            let mut rtl = emu::rtl::RtlMachine::new(fsm);
+            let mut trace = Trace::default();
+            rtl.run_cycles(500_000, &mut NullEnv, &mut trace).unwrap();
+            prop_assert!(rtl.halted(), "{} must halt", label);
+            traces.push(trace);
+            rtls.push((label, rtl));
+        }
+
+        assert_state_eq("treewalk vs compiled", tw.state(), cm.state());
+        for (label, rtl) in &rtls {
+            assert_state_eq(&format!("treewalk vs {label}"), tw.state(), rtl.state());
+        }
+        // The CPU backends must agree on the *entire* trace, labels
+        // included. The FSM target erases `Label` markers that land on
+        // state boundaries (they are zero-delay debug symbols, resolved
+        // through like jumps — see `kiwi::fsm::FsmThread::resolve`), so
+        // against the RTL only the semantic events — assignments and
+        // extension points — are required to match.
+        prop_assert_eq!(&traces[0], &traces[1], "CPU backend traces diverged");
+        for (i, trace) in traces.iter().enumerate().skip(2) {
+            prop_assert_eq!(&traces[0].assigns, &trace.assigns, "rtl trace {} assigns", i);
+            prop_assert_eq!(&traces[0].exts, &trace.exts, "rtl trace {} ext points", i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Soak-level: whole traffic mixes through Engines on both CPU backends.
+// ---------------------------------------------------------------------
+
+/// The five soak services paired with their generators (same pairings
+/// as the soak harness and `differential_props::traffic_props`).
+fn soak_pairings(seed: u64) -> Vec<(&'static str, emu::stdlib::Service, Box<dyn TrafficGen>)> {
+    vec![
+        (
+            "tcp-ping",
+            s::tcp_ping(),
+            Box::new(TcpConversations::new(seed, 6, &[0, 1, 2, 3])),
+        ),
+        (
+            "memcached",
+            s::memcached(),
+            Box::new(MemcachedZipf::new(seed, 16, 1.0, 0.8)),
+        ),
+        (
+            "dns",
+            s::dns_server(vec![
+                ("example.com".to_string(), "93.184.216.34".parse().unwrap()),
+                ("a.b".to_string(), "1.2.3.4".parse().unwrap()),
+            ]),
+            Box::new(DnsWeighted::new(
+                seed,
+                &[("example.com", 2), ("a.b", 1), ("x.y", 1)],
+            )),
+        ),
+        (
+            "nat",
+            s::nat("203.0.113.1".parse().unwrap()),
+            Box::new(
+                Mix::new(seed)
+                    .add(4, TcpConversations::new(seed ^ 1, 6, &[1, 2]))
+                    .add(1, Adversarial::new(seed ^ 2, &[1, 2, 3])),
+            ),
+        ),
+        (
+            "switch",
+            s::switch_ip_cam(),
+            Box::new(
+                Mix::new(seed)
+                    .add(3, Background::new(seed ^ 1, &[0, 1, 2, 3]))
+                    .add(1, Adversarial::new(seed ^ 2, &[0, 1, 2, 3])),
+            ),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Compiled-vs-tree-walk `BatchReport` agreement for all five soak
+    /// services under their `emu-traffic` mixes: every per-frame outcome
+    /// (success bytes and error variants alike) and the per-shard cycle
+    /// accounting must be identical.
+    #[test]
+    fn batch_reports_agree_across_cpu_backends(
+        seed in any::<u64>(),
+        shards in 1usize..5
+    ) {
+        for (label, svc, mut gen) in soak_pairings(seed) {
+            let frames: Vec<Frame> = (0..120).map(|_| gen.next_frame()).collect();
+            let mut fast = svc
+                .engine(Target::Cpu)
+                .backend(Backend::Compiled)
+                .shards(shards)
+                .build()
+                .unwrap();
+            let mut reference = svc
+                .engine(Target::Cpu)
+                .backend(Backend::TreeWalk)
+                .shards(shards)
+                .build()
+                .unwrap();
+            let a = fast.process_batch(&frames);
+            let b = reference.process_batch(&frames);
+            prop_assert_eq!(
+                &a.shard_cycles, &b.shard_cycles,
+                "{}: shard cycle accounting diverged at {} shards", label, shards
+            );
+            for (i, (x, y)) in a.outputs.iter().zip(&b.outputs).enumerate() {
+                prop_assert_eq!(
+                    x, y,
+                    "{}: frame {} diverged across CPU backends at {} shards",
+                    label, i, shards
+                );
+            }
+        }
+    }
+}
