@@ -1,7 +1,7 @@
 //! CPU backend comparison: per-frame processing time for every Table 4
 //! service on the tree-walking reference interpreter vs the compiled
-//! micro-op backend, as a JSON `{service, backend, us_per_frame}`
-//! matrix.
+//! micro-op backend, as a `{service, backend, us_per_frame}` row matrix
+//! in the shared bench-report schema.
 //!
 //! This is the speed leg of the compiled-backend story (the equivalence
 //! leg is `tests/backend_equiv.rs` and the differential proptests): the
@@ -16,6 +16,7 @@
 
 use emu_bench::table4_services;
 use emu_core::{Backend, Target};
+use emu_telemetry::{BenchReport, Json};
 use emu_types::Frame;
 use std::time::Instant;
 
@@ -101,22 +102,19 @@ fn main() {
         failed = true;
     }
 
-    println!("{{");
-    println!("  \"bench\": \"backend_compare\",");
-    println!("  \"frames_per_service\": {frames_n},");
-    println!("  \"rows\": [");
-    let n = rows.len();
-    for (i, r) in rows.iter().enumerate() {
+    let mut report =
+        BenchReport::new("backend_compare").param("frames_per_service", frames_n as u64);
+    for r in &rows {
         for (b, label) in [(0usize, "compiled"), (1, "treewalk")] {
-            let comma = if i + 1 == n && b == 1 { "" } else { "," };
-            println!(
-                "    {{\"service\": \"{}\", \"backend\": \"{}\", \"us_per_frame\": {:.4}}}{comma}",
-                r.service, label, r.us_per_frame[b]
-            );
+            report.push_row(Json::obj(vec![
+                ("service", Json::from(r.service)),
+                ("backend", Json::from(label)),
+                ("us_per_frame", Json::from(r.us_per_frame[b])),
+                ("speedup", Json::from(r.speedup)),
+            ]));
         }
     }
-    println!("  ]");
-    println!("}}");
+    println!("{}", report.render());
 
     if failed {
         eprintln!("\nbackend_compare FAILED (see above)");

@@ -10,13 +10,15 @@
 //! cores. This harness tracks that speedup so the perf trajectory
 //! accumulates run over run.
 //!
-//! Emits a JSON document on stdout (one object per service/shard-count
-//! configuration) followed by a human-readable table on stderr.
+//! Emits a bench report on stdout (one row per service/shard-count
+//! configuration, shared `emu-telemetry` schema) and a human-readable
+//! table on stderr.
 //!
 //! Run: `cargo run --release -p emu-bench --bin scaling_parallel`
 
 use emu_bench::shard_scale_services;
 use emu_core::Target;
+use emu_telemetry::{BenchReport, Json};
 use emu_types::Frame;
 use netfpga_sim::timing::NS_PER_CYCLE;
 use std::time::Instant;
@@ -113,29 +115,21 @@ fn main() {
         }
     }
 
-    // JSON on stdout: the accumulating perf record.
-    println!("{{");
-    println!("  \"bench\": \"scaling_parallel\",");
-    println!("  \"requests\": {REQUESTS},");
-    println!("  \"host_cores\": {cores},");
-    println!("  \"rows\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        println!(
-            "    {{\"service\": \"{}\", \"shards\": {}, \"seq_wall_s\": {:.6}, \
-             \"par_wall_s\": {:.6}, \"speedup\": {:.3}, \"model_wall_ns\": {:.1}, \
-             \"ok\": {}}}{comma}",
-            r.service,
-            r.shards,
-            r.seq_wall_s,
-            r.par_wall_s,
-            r.seq_wall_s / r.par_wall_s,
-            r.model_wall_ns,
-            r.ok
-        );
+    // Bench report on stdout: the accumulating perf record (the host
+    // core count is in the report's standard `host` block).
+    let mut report = BenchReport::new("scaling_parallel").param("requests", REQUESTS as u64);
+    for r in &rows {
+        report.push_row(Json::obj(vec![
+            ("service", Json::from(r.service)),
+            ("shards", Json::from(r.shards as u64)),
+            ("seq_wall_s", Json::from(r.seq_wall_s)),
+            ("par_wall_s", Json::from(r.par_wall_s)),
+            ("speedup", Json::from(r.seq_wall_s / r.par_wall_s)),
+            ("model_wall_ns", Json::from(r.model_wall_ns)),
+            ("ok", Json::from(r.ok as u64)),
+        ]));
     }
-    println!("  ]");
-    println!("}}");
+    println!("{}", report.render());
 
     // On hosts with the cores to show it, real threads must beat the
     // sequential walk at 4 shards for the batch-heavy services.

@@ -8,10 +8,14 @@
 //! shard count, limited only by flow-hash balance; stateful services
 //! additionally rely on flow affinity to keep per-shard state correct.
 //!
+//! Emits a bench report on stdout (shared `emu-telemetry` schema) and
+//! the human-readable table on stderr.
+//!
 //! Run: `cargo run --release -p emu-bench --bin scaling_shards`
 
 use emu_bench::shard_scale_services;
 use emu_core::{Backend, Target};
+use emu_telemetry::{BenchReport, Json};
 use emu_types::Frame;
 use netfpga_sim::timing::NS_PER_CYCLE;
 use std::time::Instant;
@@ -54,14 +58,17 @@ fn host_us_per_frame(build: fn() -> emu_core::Service, frames: &[Frame], backend
 }
 
 fn main() {
-    println!("== shard scaling: Table 4 services on 1/2/4/8 pipelines ==");
-    println!("   ({REQUESTS} requests over 64 client flows, RSS flow-hash dispatch)");
-    println!("   (us/f columns: host wall time per frame, 1-shard Cpu engine per backend)\n");
-    println!(
+    eprintln!("== shard scaling: Table 4 services on 1/2/4/8 pipelines ==");
+    eprintln!("   ({REQUESTS} requests over 64 client flows, RSS flow-hash dispatch)");
+    eprintln!("   (us/f columns: host wall time per frame, 1-shard Cpu engine per backend)\n");
+    eprintln!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}  speedup@4 {:>10} {:>10}",
         "service", "1 (Mq/s)", "2 (Mq/s)", "4 (Mq/s)", "8 (Mq/s)", "cmp us/f", "tw us/f"
     );
 
+    let mut report = BenchReport::new("scaling_shards")
+        .param("requests", REQUESTS as u64)
+        .param("flow_pool", emu_bench::FLOW_POOL);
     for svc in shard_scale_services() {
         let frames: Vec<Frame> = (0..REQUESTS as u64).map(svc.request).collect();
         let mut rps = Vec::new();
@@ -71,7 +78,7 @@ fn main() {
         let us_compiled = host_us_per_frame(svc.build, &frames, Backend::Compiled);
         let us_treewalk = host_us_per_frame(svc.build, &frames, Backend::TreeWalk);
         let tag = if svc.stateless { "" } else { " (stateful)" };
-        println!(
+        eprintln!(
             "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  {:>8.2}x {:>10.2} {:>10.2}{tag}",
             svc.name,
             rps[0] / 1e6,
@@ -82,6 +89,17 @@ fn main() {
             us_compiled,
             us_treewalk,
         );
+        for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+            report.push_row(Json::obj(vec![
+                ("service", Json::from(svc.name)),
+                ("shards", Json::from(shards as u64)),
+                ("model_rps", Json::from(rps[i])),
+                ("speedup_vs_1", Json::from(rps[i] / rps[0])),
+                ("stateless", Json::from(svc.stateless)),
+                ("host_us_per_frame_compiled", Json::from(us_compiled)),
+                ("host_us_per_frame_treewalk", Json::from(us_treewalk)),
+            ]));
+        }
         if svc.stateless {
             assert!(
                 rps[0] < rps[1] && rps[1] < rps[2],
@@ -90,7 +108,8 @@ fn main() {
             );
         }
     }
+    println!("{}", report.render());
 
-    println!("\npaper §5.4: four cores give 3.7x on a 90/10 memcached mix;");
-    println!("stateless services approach linear scaling, bounded by flow balance.");
+    eprintln!("\npaper §5.4: four cores give 3.7x on a 90/10 memcached mix;");
+    eprintln!("stateless services approach linear scaling, bounded by flow balance.");
 }

@@ -11,8 +11,11 @@
 //! identical — parallel execution is invisible to semantics — and both
 //! must be **zero violations**.
 //!
-//! Emits a JSON document on stdout and a human-readable table on
-//! stderr; exits non-zero on any violation or verdict divergence.
+//! Emits a bench report (`emu-telemetry`'s versioned schema) on stdout
+//! — one row per service × mode carrying the checker's name, its
+//! per-checker frame/violation counts, and the first violation notes
+//! verbatim — plus a human-readable table on stderr; exits non-zero on
+//! any violation or verdict divergence.
 //!
 //! Run: `cargo run --release -p emu-bench --bin soak
 //! [-- --frames N] [-- --backend compiled|treewalk]`
@@ -22,6 +25,7 @@
 //! tree-walk matrix directly.
 
 use emu_core::{Backend, Engine, NatSteering, Target};
+use emu_telemetry::{BenchReport, Json};
 use emu_traffic::{
     Adversarial, Background, Checker, DnsWeighted, McModel, MemcachedZipf, Mix, NatChecker,
     SwitchModel, TcpConversations, TrafficGen,
@@ -46,6 +50,7 @@ struct Verdict {
 struct Row {
     service: &'static str,
     mode: &'static str,
+    checker: &'static str,
     verdict: Verdict,
     wall_s: f64,
     notes: Vec<String>,
@@ -253,6 +258,7 @@ fn main() {
             rows.push(Row {
                 service: name,
                 mode,
+                checker: chk.name(),
                 verdict,
                 wall_s,
                 notes: chk.notes().to_vec(),
@@ -267,38 +273,37 @@ fn main() {
         }
     }
 
-    // JSON record on stdout.
-    println!("{{");
-    println!("  \"bench\": \"soak\",");
-    println!("  \"frames_per_service\": {frames},");
-    println!("  \"shards\": {SHARDS},");
-    println!("  \"seed\": {SEED},");
-    println!("  \"backend\": \"{}\",", backend.label());
-    println!("  \"rows\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        println!(
-            "    {{\"service\": \"{}\", \"mode\": \"{}\", \"backend\": \"{}\", \"frames\": {}, \
-             \"tx\": {}, \"rejected\": {}, \"violations\": {}, \"wall_s\": {:.3}, \
-             \"us_per_frame\": {:.4}, \"notes\": {}}}{comma}",
-            r.service,
-            r.mode,
-            backend.label(),
-            r.verdict.frames,
-            r.verdict.tx,
-            r.verdict.rejected,
-            r.verdict.violations,
-            r.wall_s,
-            r.wall_s / r.verdict.frames.max(1) as f64 * 1e6,
-            if r.notes.is_empty() {
-                "[]"
-            } else {
-                "[\"…\"]"
-            },
-        );
+    // Bench report on stdout. Each row carries its checker's own
+    // frame/violation tally and the first violation notes verbatim
+    // (escaped by the JSON writer), so a failing soak is diagnosable
+    // from the report alone.
+    let mut report = BenchReport::new("soak")
+        .param("frames_per_service", frames)
+        .param("shards", SHARDS as u64)
+        .param("seed", SEED)
+        .param("backend", backend.label());
+    for r in &rows {
+        report.push_row(Json::obj(vec![
+            ("service", Json::from(r.service)),
+            ("mode", Json::from(r.mode)),
+            ("backend", Json::from(backend.label())),
+            ("checker", Json::from(r.checker)),
+            ("frames", Json::from(r.verdict.frames)),
+            ("tx", Json::from(r.verdict.tx)),
+            ("rejected", Json::from(r.verdict.rejected)),
+            ("violations", Json::from(r.verdict.violations)),
+            ("wall_s", Json::from(r.wall_s)),
+            (
+                "us_per_frame",
+                Json::from(r.wall_s / r.verdict.frames.max(1) as f64 * 1e6),
+            ),
+            (
+                "notes",
+                Json::Arr(r.notes.iter().map(|n| Json::from(n.as_str())).collect()),
+            ),
+        ]));
     }
-    println!("  ]");
-    println!("}}");
+    println!("{}", report.render());
 
     if failed {
         eprintln!("\nsoak FAILED: violations or verdict divergence (see above)");

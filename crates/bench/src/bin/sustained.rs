@@ -1,0 +1,445 @@
+//! The canonical sustained-rate benchmark — the one number the repo
+//! quotes for "how fast is the engine", recorded as `BENCH_6.json`.
+//!
+//! Every Table 4 service runs a **pinned, seeded emu-traffic mix**
+//! (not the single-flow request generators: sustained rate is about
+//! realistic flow churn) through the unified `Engine` across the full
+//! backend × shard-count matrix. Each configuration reports:
+//!
+//! - **Mpps** — host wall-clock millions of packets per second;
+//! - **p50/p99/p999 ns** — per-frame service latency from the engine's
+//!   telemetry cycle histogram at the 200 MHz core clock. Model time,
+//!   not wall time: the quantiles are deterministic per seed.
+//!
+//! The run doubles as the telemetry subsystem's acceptance test:
+//!
+//! - sequential and parallel execution must produce **equal**
+//!   telemetry snapshots (shards > 1 runs both and compares);
+//! - compiled and tree-walk backends must produce **equal** cycle
+//!   histograms (cycle accounting is backend-independent);
+//! - instrumentation overhead (telemetry on vs off, min-of-trials on
+//!   the busiest configuration) must stay **under 5 %**;
+//! - no frame may trap or hit a poisoned shard.
+//!
+//! Run: `cargo run --release -p emu-bench --bin sustained
+//! [-- --frames N] [-- --smoke] [-- --out PATH] [-- --check]
+//! [-- --baseline PATH]`
+//!
+//! `--baseline` compares against a committed report and fails on a
+//! Mpps drop over 10 % or a p99 rise over 20 % for any matching
+//! configuration (p99 is deterministic; Mpps is host-dependent, so
+//! compare reports from comparable hosts — the `host` block records
+//! os/arch/cores).
+
+use emu_core::{Backend, NatSteering, Service, Target};
+use emu_telemetry::{BenchReport, EngineSnapshot, Json};
+use emu_traffic::{Background, DnsWeighted, MemcachedZipf, Mix, TcpConversations, TrafficGen};
+use emu_types::Frame;
+use netfpga_sim::timing::NS_PER_CYCLE;
+use std::collections::HashMap;
+use std::time::Instant;
+
+const SEED: u64 = 0x5057;
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 1024;
+/// Telemetry-overhead budget (fraction) and trials for the gate.
+const OVERHEAD_BUDGET: f64 = 0.05;
+const OVERHEAD_TRIALS: usize = 5;
+/// Wall-clock trials per reported Mpps (min taken). A single sample is
+/// at the mercy of scheduler noise; the min of three keeps the 10 %
+/// baseline gate meaningful on shared hosts.
+const MPPS_TRIALS: usize = 3;
+
+/// One Table 4 service with its pinned sustained-rate mix.
+struct Case {
+    name: &'static str,
+    build: fn() -> Service,
+    mix: fn(u64) -> Mix,
+    /// NAT needs flow steering and internal-port pinning.
+    nat: bool,
+}
+
+fn dns_names() -> Vec<(&'static str, u32)> {
+    // The four bench_zone() names, weighted toward the hot ones.
+    vec![
+        ("example.com", 4),
+        ("emu.cam.ac.uk", 2),
+        ("a.b", 1),
+        ("cache.io", 1),
+    ]
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "icmp-echo",
+            build: emu_services::icmp::icmp_echo,
+            mix: |s| Mix::new(s).add(1, Background::new(s ^ 1, &[0, 1, 2, 3])),
+            nat: false,
+        },
+        Case {
+            name: "tcp-ping",
+            build: emu_services::tcp_ping::tcp_ping,
+            mix: |s| Mix::new(s).add(1, TcpConversations::new(s ^ 1, 48, &[0, 1, 2, 3])),
+            nat: false,
+        },
+        Case {
+            name: "dns",
+            build: || emu_services::dns::dns_server(emu_bench::bench_zone()),
+            mix: |s| Mix::new(s).add(1, DnsWeighted::new(s ^ 1, &dns_names())),
+            nat: false,
+        },
+        Case {
+            name: "nat",
+            build: || emu_services::nat("203.0.113.1".parse().expect("valid")),
+            mix: |s| {
+                Mix::new(s)
+                    .add(8, TcpConversations::new(s ^ 1, 48, &[1, 2, 3]))
+                    .add(3, DnsWeighted::new(s ^ 2, &dns_names()))
+                    .add(1, Background::new(s ^ 3, &[1, 2, 3]))
+            },
+            nat: true,
+        },
+        Case {
+            name: "memcached",
+            build: emu_services::memcached,
+            mix: |s| Mix::new(s).add(1, MemcachedZipf::new(s ^ 1, 256, 1.1, 0.9)),
+            nat: false,
+        },
+    ]
+}
+
+/// NAT treats port 0 as the external side; re-pin stray frames to an
+/// internal port (deterministically), as the soak harness does.
+fn pin_internal(mut f: Frame) -> Frame {
+    if f.in_port == 0 {
+        f.in_port = 1 + (f.len() % 3) as u8;
+    }
+    f
+}
+
+/// Generates the pinned frame stream for one case.
+fn frames_for(case: &Case, n: usize) -> Vec<Frame> {
+    let mut mix = (case.mix)(SEED);
+    (0..n)
+        .map(|_| {
+            let f = mix.next_frame();
+            if case.nat {
+                pin_internal(f)
+            } else {
+                f
+            }
+        })
+        .collect()
+}
+
+fn build_engine(
+    case: &Case,
+    backend: Backend,
+    shards: usize,
+    parallel: bool,
+    telemetry: bool,
+) -> emu_core::Engine {
+    let svc = (case.build)();
+    let mut b = svc
+        .engine(Target::Cpu)
+        .backend(backend)
+        .shards(shards)
+        .parallel(parallel)
+        .telemetry(telemetry);
+    if case.nat {
+        b = b.dispatch(NatSteering::default());
+    }
+    b.build().expect("engine build")
+}
+
+/// Runs `frames` through a fresh engine, returning wall seconds and the
+/// telemetry snapshot.
+fn run(
+    case: &Case,
+    backend: Backend,
+    shards: usize,
+    parallel: bool,
+    frames: &[Frame],
+) -> (f64, EngineSnapshot) {
+    let mut engine = build_engine(case, backend, shards, parallel, true);
+    let t0 = Instant::now();
+    for chunk in frames.chunks(BATCH) {
+        engine.process_batch(chunk);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let snap = engine.telemetry().expect("telemetry enabled");
+    let total = snap.total();
+    assert_eq!(
+        total.counters.drop_trap + total.counters.drop_poisoned,
+        0,
+        "{} ({} shards={shards}): sustained traffic must never trap a shard",
+        case.name,
+        backend.label()
+    );
+    (wall_s, snap)
+}
+
+/// Measures telemetry overhead on the busiest configuration: every
+/// service's full stream through a compiled 4-shard parallel engine,
+/// with instrumentation on vs off, min wall time of `OVERHEAD_TRIALS`
+/// trials per arm. One untimed warmup pass runs first (page faults and
+/// allocator growth would otherwise be billed to whichever arm goes
+/// first), and the arm order alternates per trial so slow background
+/// load hits both arms symmetrically.
+fn telemetry_overhead(cases: &[Case], streams: &[Vec<Frame>]) -> f64 {
+    let pass = |telemetry: bool| {
+        for (case, frames) in cases.iter().zip(streams) {
+            let mut engine = build_engine(case, Backend::Compiled, 4, true, telemetry);
+            for chunk in frames.chunks(BATCH) {
+                engine.process_batch(chunk);
+            }
+        }
+    };
+    pass(true); // warmup, untimed
+    let mut walls = [f64::INFINITY; 2]; // [on, off]
+    for trial in 0..OVERHEAD_TRIALS {
+        let mut arms = [(0, true), (1, false)];
+        if trial % 2 == 1 {
+            arms.reverse();
+        }
+        for (arm, telemetry) in arms {
+            let t0 = Instant::now();
+            pass(telemetry);
+            walls[arm] = walls[arm].min(t0.elapsed().as_secs_f64());
+        }
+    }
+    walls[0] / walls[1] - 1.0
+}
+
+fn quantile_ns(snap: &EngineSnapshot, q: f64) -> f64 {
+    let cycles = snap
+        .total()
+        .cycles
+        .quantile(q)
+        .expect("non-empty histogram");
+    cycles as f64 * NS_PER_CYCLE
+}
+
+/// Baseline comparison: >10 % Mpps drop or >20 % p99 rise on any
+/// configuration present in both reports fails the run.
+fn check_against_baseline(current: &Json, baseline: &Json) -> Result<(), String> {
+    BenchReport::validate(baseline).map_err(|e| format!("baseline invalid: {e}"))?;
+    let key = |row: &Json| {
+        (
+            row.get("service").and_then(Json::as_str).map(String::from),
+            row.get("backend").and_then(Json::as_str).map(String::from),
+            row.get("shards").and_then(Json::as_u64),
+        )
+    };
+    let base_rows = baseline.get("rows").and_then(Json::as_arr).expect("rows");
+    let cur_rows = current.get("rows").and_then(Json::as_arr).expect("rows");
+    let mut compared = 0usize;
+    for cur in cur_rows {
+        let Some(base) = base_rows.iter().find(|b| key(b) == key(cur)) else {
+            continue;
+        };
+        compared += 1;
+        let field = |row: &Json, k: &str| row.get(k).and_then(Json::as_f64).expect("numeric field");
+        let (mpps, base_mpps) = (field(cur, "mpps"), field(base, "mpps"));
+        if mpps < base_mpps * 0.9 {
+            return Err(format!(
+                "{:?}: mpps {mpps:.3} regressed >10% vs baseline {base_mpps:.3}",
+                key(cur)
+            ));
+        }
+        let (p99, base_p99) = (field(cur, "p99_ns"), field(base, "p99_ns"));
+        if p99 > base_p99 * 1.2 {
+            return Err(format!(
+                "{:?}: p99 {p99:.0} ns regressed >20% vs baseline {base_p99:.0} ns",
+                key(cur)
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("baseline shares no configurations with this run".into());
+    }
+    eprintln!("baseline: {compared} configurations within thresholds ✓");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut frames_per_service: usize = if smoke { 8_000 } else { 40_000 };
+    if let Some(i) = args.iter().position(|a| a == "--frames") {
+        frames_per_service = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--frames N");
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone());
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .map(|i| args[i + 1].clone());
+    let self_check = args.iter().any(|a| a == "--check");
+
+    let cases = cases();
+    let streams: Vec<Vec<Frame>> = cases
+        .iter()
+        .map(|c| frames_for(c, frames_per_service))
+        .collect();
+
+    eprintln!(
+        "== sustained: {frames_per_service} frames/service, shards {SHARD_SWEEP:?}, \
+         compiled + tree-walk ==",
+    );
+    eprintln!(
+        "{:<11} {:>9} {:>7} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "service", "backend", "shards", "mode", "Mpps", "p50 ns", "p99 ns", "p999 ns"
+    );
+
+    let mut report = BenchReport::new("sustained")
+        .param("frames_per_service", frames_per_service as u64)
+        .param("seed", SEED)
+        .param("smoke", smoke)
+        .param("batch", BATCH as u64)
+        .param("ns_per_cycle", NS_PER_CYCLE);
+
+    // (service, shards) → compiled-backend snapshot, for the
+    // cross-backend cycle-equality assertion.
+    let mut compiled_snaps: HashMap<(usize, usize), EngineSnapshot> = HashMap::new();
+
+    for (ci, case) in cases.iter().enumerate() {
+        let frames = &streams[ci];
+        for backend in [Backend::Compiled, Backend::TreeWalk] {
+            for &shards in &SHARD_SWEEP {
+                // Sequential run always; parallel run when sharded. The
+                // canonical Mpps comes from the mode a deployment would
+                // use (parallel when sharded), min wall time of
+                // `MPPS_TRIALS` fresh-engine runs.
+                let (seq_wall, seq_snap) = run(case, backend, shards, false, frames);
+                let canonical = |parallel: bool, first: (f64, EngineSnapshot)| {
+                    let mut wall = first.0;
+                    for _ in 1..MPPS_TRIALS {
+                        let (w, s) = run(case, backend, shards, parallel, frames);
+                        assert_eq!(s, first.1, "{}: trials must not diverge", case.name);
+                        wall = wall.min(w);
+                    }
+                    (wall, first.1)
+                };
+                let (wall_s, snap, mode) = if shards > 1 {
+                    let (par_wall, par_snap) = run(case, backend, shards, true, frames);
+                    assert_eq!(
+                        par_snap,
+                        seq_snap,
+                        "{} ({} shards={shards}): sequential and parallel \
+                         telemetry snapshots diverged",
+                        case.name,
+                        backend.label()
+                    );
+                    let (wall, snap) = canonical(true, (par_wall, par_snap));
+                    (wall, snap, "parallel")
+                } else {
+                    let (wall, snap) = canonical(false, (seq_wall, seq_snap));
+                    (wall, snap, "sequential")
+                };
+                match backend {
+                    Backend::Compiled => {
+                        compiled_snaps.insert((ci, shards), snap.clone());
+                    }
+                    Backend::TreeWalk => {
+                        let compiled = &compiled_snaps[&(ci, shards)];
+                        assert_eq!(
+                            &snap, compiled,
+                            "{} (shards={shards}): compiled and tree-walk \
+                             telemetry snapshots diverged",
+                            case.name
+                        );
+                    }
+                }
+                let total = snap.total();
+                let mpps = frames.len() as f64 / wall_s / 1e6;
+                let (p50, p99, p999) = (
+                    quantile_ns(&snap, 0.50),
+                    quantile_ns(&snap, 0.99),
+                    quantile_ns(&snap, 0.999),
+                );
+                eprintln!(
+                    "{:<11} {:>9} {:>7} {:>11} {:>9.3} {:>9.0} {:>9.0} {:>9.0}",
+                    case.name,
+                    backend.label(),
+                    shards,
+                    mode,
+                    mpps,
+                    p50,
+                    p99,
+                    p999
+                );
+                report.push_row(Json::obj(vec![
+                    ("service", Json::from(case.name)),
+                    ("backend", Json::from(backend.label())),
+                    ("shards", Json::from(shards as u64)),
+                    ("mode", Json::from(mode)),
+                    ("frames", Json::from(total.counters.frames)),
+                    ("drop_oversize", Json::from(total.counters.drop_oversize)),
+                    ("mpps", Json::from(mpps)),
+                    ("p50_ns", Json::from(p50)),
+                    ("p99_ns", Json::from(p99)),
+                    ("p999_ns", Json::from(p999)),
+                    (
+                        "mean_cycles",
+                        Json::from(total.cycles.mean().expect("non-empty")),
+                    ),
+                ]));
+            }
+        }
+    }
+
+    // Instrumentation overhead gate.
+    let overhead = telemetry_overhead(&cases, &streams);
+    eprintln!(
+        "telemetry overhead: {:+.2}% (budget {:.0}%, min of {OVERHEAD_TRIALS} trials)",
+        overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+    report = report.param("telemetry_overhead", overhead);
+    assert!(
+        overhead < OVERHEAD_BUDGET,
+        "telemetry overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+
+    let rendered = report.render();
+    let doc = Json::parse(&rendered).expect("self-parse");
+    if self_check {
+        BenchReport::validate(&doc).expect("schema");
+        BenchReport::require_row_keys(
+            &doc,
+            &[
+                "service", "backend", "shards", "mode", "frames", "mpps", "p50_ns", "p99_ns",
+                "p999_ns",
+            ],
+        )
+        .expect("row keys");
+        eprintln!(
+            "self-check: report validates against {} ✓",
+            emu_telemetry::SCHEMA
+        );
+    }
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).expect("read baseline");
+        let base = Json::parse(&text).expect("parse baseline");
+        if let Err(e) = check_against_baseline(&doc, &base) {
+            eprintln!("sustained FAILED baseline comparison: {e}");
+            std::process::exit(1);
+        }
+    }
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n").expect("write --out");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+}

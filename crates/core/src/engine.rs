@@ -88,9 +88,22 @@
 //! the frame, so its state is still good. These semantics are identical
 //! in sequential and parallel modes, and every error is an
 //! [`EngineError`] that names the shard.
+//!
+//! # Telemetry
+//!
+//! Every engine maintains per-shard [`ShardStats`] — frames, bytes,
+//! per-outcome drops, and a log-bucketed histogram of per-frame core
+//! *cycles* (model time, so the numbers are byte-identical across the
+//! compiled/tree-walk backends and sequential/parallel execution).
+//! [`Engine::telemetry`] snapshots the whole engine; counters are
+//! updated on whichever thread runs the shard's slice, so parallel
+//! mode pays no synchronization. Builders can opt out with
+//! [`EngineBuilder::telemetry`]`(false)` — the `sustained` bench bin
+//! uses that to prove the instrumentation costs < 5 % of the hot path.
 
 use crate::runner::{flow_hash, AnyDriver, Backend, Service, Target};
 use emu_rtl::{IpEnv, RtlMachine};
+use emu_telemetry::{DropKind, EngineSnapshot, ShardStats};
 use emu_types::proto::{ether_type, ip_proto, offset};
 use emu_types::{Bits, Frame};
 use kiwi_ir::interp::{NullObserver, Observer};
@@ -373,14 +386,47 @@ impl Dispatch for NatSteering {
 pub struct Shard {
     driver: AnyDriver,
     env: IpEnv,
+    /// Per-shard telemetry, `None` when the engine was built with
+    /// telemetry disabled. Boxed: the histogram's bucket array should
+    /// not bloat `Shard` moves.
+    stats: Option<Box<ShardStats>>,
 }
 
 impl Shard {
-    fn new(service: &Service, target: Target, backend: Backend) -> IrResult<Self> {
+    fn new(service: &Service, target: Target, backend: Backend, telemetry: bool) -> IrResult<Self> {
         Ok(Shard {
             driver: AnyDriver::new(service, target, backend)?,
             env: (service.make_env)(),
+            stats: telemetry.then(|| Box::new(ShardStats::new())),
         })
+    }
+
+    /// This shard's telemetry, `None` when disabled at build time.
+    pub fn stats(&self) -> Option<&ShardStats> {
+        self.stats.as_deref()
+    }
+
+    /// Records a refused frame against this shard's telemetry.
+    #[inline]
+    fn record_drop(&mut self, kind: DropKind) {
+        if let Some(s) = self.stats.as_deref_mut() {
+            s.record_drop(kind);
+        }
+    }
+
+    /// Records a successfully processed frame against this shard's
+    /// telemetry.
+    #[inline]
+    fn record_ok(&mut self, frame: &Frame, out: &CoreOutput) {
+        if let Some(s) = self.stats.as_deref_mut() {
+            let tx_bytes: u64 = out.tx.iter().map(|t| t.frame.len() as u64).sum();
+            s.record_ok(
+                frame.len() as u64,
+                out.tx.len() as u64,
+                tx_bytes,
+                out.cycles,
+            );
+        }
     }
 
     /// Reads a register by name (debug/verification convenience).
@@ -446,6 +492,7 @@ impl Service {
             dispatch: Box::new(RssHash),
             parallel: false,
             max_cycles_per_frame: None,
+            telemetry: true,
         }
     }
 }
@@ -460,6 +507,7 @@ pub struct EngineBuilder<'a> {
     dispatch: Box<dyn Dispatch>,
     parallel: bool,
     max_cycles_per_frame: Option<u64>,
+    telemetry: bool,
 }
 
 impl EngineBuilder<'_> {
@@ -500,6 +548,15 @@ impl EngineBuilder<'_> {
         self
     }
 
+    /// Maintain per-shard telemetry (default `true`). Disabling skips
+    /// every counter and histogram update; [`Engine::telemetry`] then
+    /// returns `None`. Exists so the overhead of the instrumentation
+    /// itself can be measured — leave it on otherwise.
+    pub fn telemetry(mut self, yes: bool) -> Self {
+        self.telemetry = yes;
+        self
+    }
+
     /// Instantiates the engine: `shards` copies of the service on the
     /// target, each configured by the dispatch policy.
     pub fn build(self) -> EngineResult<Engine> {
@@ -511,7 +568,7 @@ impl EngineBuilder<'_> {
         let backend = self.backend.unwrap_or_else(Backend::env_default);
         let mut shards = Vec::with_capacity(self.shards);
         for k in 0..self.shards {
-            let mut shard = Shard::new(self.service, self.target, backend)?;
+            let mut shard = Shard::new(self.service, self.target, backend, self.telemetry)?;
             if let Some(n) = self.max_cycles_per_frame {
                 shard.driver.set_max_cycles_per_frame(n);
             }
@@ -624,6 +681,7 @@ fn run_shard(k: usize, shard: &mut Shard, frames: &[Frame], idxs: &[usize]) -> S
     };
     for &i in idxs {
         if let Some(reason) = &run.trap {
+            shard.record_drop(DropKind::Poisoned);
             run.results.push((
                 i,
                 Err(EngineError::Poisoned {
@@ -636,9 +694,11 @@ fn run_shard(k: usize, shard: &mut Shard, frames: &[Frame], idxs: &[usize]) -> S
         match shard.process(&frames[i], &mut NullObserver) {
             Ok(out) => {
                 run.cycles += out.cycles;
+                shard.record_ok(&frames[i], &out);
                 run.results.push((i, Ok(out)));
             }
             Err(e) => {
+                shard.record_drop(DropKind::Trap);
                 run.trap = Some(e.0.clone());
                 run.results.push((
                     i,
@@ -779,6 +839,7 @@ impl Engine {
     ) -> EngineResult<CoreOutput> {
         let k = self.shard_of(frame);
         if let Some(reason) = &self.poisoned[k] {
+            self.shards[k].record_drop(DropKind::Poisoned);
             return Err(EngineError::Poisoned {
                 shard: k,
                 reason: reason.clone(),
@@ -786,19 +847,27 @@ impl Engine {
         }
         let cap = self.shards[k].frame_capacity();
         if frame.len() > cap {
+            self.shards[k].record_drop(DropKind::Oversize);
             return Err(EngineError::Oversize {
                 shard: k,
                 len: frame.len(),
                 cap,
             });
         }
-        self.shards[k].process(frame, obs).map_err(|e| {
-            self.poisoned[k] = Some(e.0.clone());
-            EngineError::Trap {
-                shard: k,
-                reason: e.0,
+        match self.shards[k].process(frame, obs) {
+            Ok(out) => {
+                self.shards[k].record_ok(frame, &out);
+                Ok(out)
             }
-        })
+            Err(e) => {
+                self.shards[k].record_drop(DropKind::Trap);
+                self.poisoned[k] = Some(e.0.clone());
+                Err(EngineError::Trap {
+                    shard: k,
+                    reason: e.0,
+                })
+            }
+        }
     }
 
     /// Processes a batch: frames are dispatched up front (one
@@ -819,10 +888,14 @@ impl Engine {
         outputs.resize_with(frames.len(), || None);
         let mut plan: Vec<Vec<usize>> = vec![Vec::new(); n];
 
-        // Dispatch + validation pass, in input order.
+        // Dispatch + validation pass, in input order. Drops rejected
+        // here are recorded on the owning shard's stats before its
+        // slice ever runs, so telemetry is identical whether the
+        // execution pass below is sequential or threaded.
         for (i, f) in frames.iter().enumerate() {
             let k = self.shard_of(f);
             if let Some(reason) = &self.poisoned[k] {
+                self.shards[k].record_drop(DropKind::Poisoned);
                 outputs[i] = Some(Err(EngineError::Poisoned {
                     shard: k,
                     reason: reason.clone(),
@@ -831,6 +904,7 @@ impl Engine {
             }
             let cap = self.shards[k].frame_capacity();
             if f.len() > cap {
+                self.shards[k].record_drop(DropKind::Oversize);
                 outputs[i] = Some(Err(EngineError::Oversize {
                     shard: k,
                     len: f.len(),
@@ -884,6 +958,29 @@ impl Engine {
                 .map(|o| o.expect("every frame planned or rejected"))
                 .collect(),
             shard_cycles,
+        }
+    }
+
+    /// Snapshot of every shard's telemetry, or `None` when the engine
+    /// was built with [`EngineBuilder::telemetry`]`(false)`.
+    ///
+    /// The snapshot is deterministic: it counts frames and **model
+    /// cycles**, never wall time, so two engines fed the same frames
+    /// produce byte-identical snapshots regardless of execution mode
+    /// (sequential vs parallel) or backend (compiled vs tree-walk).
+    pub fn telemetry(&self) -> Option<EngineSnapshot> {
+        let shards: Option<Vec<ShardStats>> =
+            self.shards.iter().map(|s| s.stats().cloned()).collect();
+        shards.map(|shards| EngineSnapshot { shards })
+    }
+
+    /// Zeroes every shard's telemetry (a bench's warm-up frames should
+    /// not pollute its measured histogram). No-op when disabled.
+    pub fn reset_telemetry(&mut self) {
+        for s in &mut self.shards {
+            if let Some(stats) = s.stats.as_deref_mut() {
+                stats.reset();
+            }
         }
     }
 
@@ -1004,6 +1101,58 @@ mod tests {
         for (x, y) in a.outputs.iter().zip(&b.outputs) {
             assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn telemetry_counts_frames_and_matches_across_modes() {
+        let svc = port_mirror();
+        let frames: Vec<Frame> = (0..40)
+            .map(|i| flow_frame(i % 6, i as u16 * 11, 60 + (i as usize % 30)))
+            .collect();
+        let mut seq = svc.engine(Target::Fpga).shards(4).build().unwrap();
+        let mut par = svc
+            .engine(Target::Fpga)
+            .shards(4)
+            .parallel(true)
+            .build()
+            .unwrap();
+        seq.process_batch(&frames);
+        par.process_batch(&frames);
+        let (a, b) = (seq.telemetry().unwrap(), par.telemetry().unwrap());
+        assert_eq!(a, b, "telemetry must not depend on execution mode");
+        let total = a.total();
+        assert_eq!(total.counters.frames, frames.len() as u64);
+        assert_eq!(total.counters.drops(), 0);
+        assert_eq!(
+            total.counters.rx_bytes,
+            frames.iter().map(|f| f.len() as u64).sum::<u64>()
+        );
+        assert_eq!(total.cycles.count(), frames.len() as u64);
+        // A mirror transmits every frame back out unmodified.
+        assert_eq!(total.counters.tx_frames, frames.len() as u64);
+        assert_eq!(total.counters.tx_bytes, total.counters.rx_bytes);
+        seq.reset_telemetry();
+        assert_eq!(seq.telemetry().unwrap().total().counters.offered(), 0);
+    }
+
+    #[test]
+    fn telemetry_records_oversize_drops_and_can_be_disabled() {
+        let svc = port_mirror();
+        let mut engine = svc.engine(Target::Cpu).build().unwrap();
+        let cap = engine.frame_capacity();
+        let big = Frame::new(vec![0; cap + 1]);
+        assert!(matches!(
+            engine.process(&big),
+            Err(EngineError::Oversize { .. })
+        ));
+        engine.process_batch(&[big, Frame::new(vec![0; 60])]);
+        let total = engine.telemetry().unwrap().total();
+        assert_eq!(total.counters.drop_oversize, 2);
+        assert_eq!(total.counters.frames, 1);
+        assert_eq!(total.counters.offered(), 3);
+
+        let off = svc.engine(Target::Cpu).telemetry(false).build().unwrap();
+        assert!(off.telemetry().is_none());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! [`NetSim::run_until`].
 
 use emu_core::{Engine, EngineError};
+use emu_telemetry::Json;
 use emu_types::Frame;
 use kiwi_ir::IrResult;
 use rand::rngs::StdRng;
@@ -418,6 +419,56 @@ impl NetSim {
     pub fn last_drop_reason(&self, n: NodeId) -> Option<&str> {
         self.nodes[n.0].last_drop.as_deref()
     }
+
+    /// Whole-network telemetry as one JSON object in the bench-report
+    /// row shape: per-node drop accounting (with the embedded engine's
+    /// [`Engine::telemetry`] snapshot for service nodes), plus the
+    /// network-level counters — frames offered to unlinked ports and
+    /// the aggregate [`ImpairStats`].
+    ///
+    /// The snapshot is deterministic for a seeded scenario: it folds
+    /// model-cycle histograms and frame counters, never wall time.
+    pub fn telemetry(&self) -> Json {
+        let nodes: Vec<Json> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let mut fields = vec![
+                    ("node", Json::from(node.name.as_str())),
+                    (
+                        "kind",
+                        Json::from(match node.kind {
+                            NodeKind::Host { .. } => "host",
+                            NodeKind::Service(_) => "service",
+                        }),
+                    ),
+                    ("drops", Json::from(node.drops)),
+                ];
+                if let Some(reason) = &node.last_drop {
+                    fields.push(("last_drop", Json::from(reason.as_str())));
+                }
+                if let NodeKind::Service(engine) = &node.kind {
+                    if let Some(snap) = engine.telemetry() {
+                        fields.push(("engine", snap.to_json()));
+                    }
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        Json::obj(vec![
+            ("time_ns", Json::from(self.time_ns)),
+            ("dropped_no_link", Json::from(self.dropped_no_link)),
+            (
+                "impairments",
+                Json::obj(vec![
+                    ("lost", Json::from(self.impair_stats.lost)),
+                    ("duplicated", Json::from(self.impair_stats.duplicated)),
+                    ("reordered", Json::from(self.impair_stats.reordered)),
+                ]),
+            ),
+            ("nodes", Json::Arr(nodes)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -523,6 +574,47 @@ mod tests {
         let sharded = run(4);
         assert_eq!(single.len(), 6);
         assert_eq!(single, sharded);
+    }
+
+    #[test]
+    fn telemetry_folds_node_and_engine_stats() {
+        let mut net = NetSim::new();
+        let h = net.add_host("h", 1);
+        let m = net.add_service("mirror", cpu_engine(&mirror_service(), 2), 4);
+        net.link(h, 0, m, 2, 500.0, 10.0);
+        for i in 0..5u8 {
+            net.send(h, 0, Frame::new(vec![i; 60]), f64::from(i) * 1e4);
+        }
+        net.run_until(1e9).unwrap();
+        // An unlinked send shows up in the network-level counter.
+        let h2 = net.add_host("h2", 2);
+        net.send(h2, 1, Frame::new(vec![0; 60]), 0.0);
+        net.run_until(2e9).unwrap();
+
+        let t = net.telemetry();
+        assert_eq!(t.get("dropped_no_link").and_then(Json::as_u64), Some(1));
+        let nodes = t.get("nodes").and_then(Json::as_arr).unwrap();
+        assert_eq!(nodes.len(), 3);
+        let svc = nodes
+            .iter()
+            .find(|n| n.get("kind").and_then(Json::as_str) == Some("service"))
+            .unwrap();
+        assert_eq!(svc.get("node").and_then(Json::as_str), Some("mirror"));
+        assert_eq!(svc.get("drops").and_then(Json::as_u64), Some(0));
+        let total = svc
+            .get("engine")
+            .and_then(|e| e.get("total"))
+            .expect("service node embeds its engine snapshot");
+        assert_eq!(
+            total
+                .get("counters")
+                .and_then(|c| c.get("frames"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        // Round-trips through the JSON writer/parser losslessly.
+        let echo = Json::parse(&t.pretty()).unwrap();
+        assert_eq!(echo, t);
     }
 
     #[test]

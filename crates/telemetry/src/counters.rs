@@ -1,0 +1,237 @@
+//! Frame/byte/drop accounting: one counter per outcome, per shard.
+//!
+//! The engine maintains one [`ShardStats`] per shard, updated on the
+//! thread that runs the shard's slice — sequential and parallel
+//! execution touch the same counters in the same per-shard order, so
+//! snapshots are byte-identical across execution modes (asserted by
+//! `tests/telemetry_equiv.rs` at the workspace root).
+
+use crate::hist::Histogram;
+use crate::json::Json;
+
+/// Why a frame was refused. Mirrors `emu_core::EngineError`'s per-frame
+/// variants, without depending on that crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// Input validation rejected the frame (too large for the shard's
+    /// frame buffer); the core never saw it.
+    Oversize,
+    /// The shard's core trapped while processing the frame.
+    Trap,
+    /// The frame was dispatched to an already-poisoned shard.
+    Poisoned,
+}
+
+/// Per-shard, per-outcome counters. All counts are frames except the
+/// `*_bytes` and `busy_cycles` fields.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    /// Frames processed successfully.
+    pub frames: u64,
+    /// Bytes received in successfully processed frames.
+    pub rx_bytes: u64,
+    /// Frames transmitted while processing.
+    pub tx_frames: u64,
+    /// Bytes across all transmitted frames.
+    pub tx_bytes: u64,
+    /// Core cycles consumed by successful frames.
+    pub busy_cycles: u64,
+    /// Frames refused by input validation (shard not poisoned).
+    pub drop_oversize: u64,
+    /// Frames on which the core trapped (each trap poisons the shard).
+    pub drop_trap: u64,
+    /// Frames refused because the shard was already poisoned.
+    pub drop_poisoned: u64,
+}
+
+impl Counters {
+    /// Total refused frames across all outcomes.
+    pub fn drops(&self) -> u64 {
+        self.drop_oversize + self.drop_trap + self.drop_poisoned
+    }
+
+    /// Total frames offered (processed + refused). Every offered frame
+    /// is accounted exactly once: `offered() == frames + drops()`.
+    pub fn offered(&self) -> u64 {
+        self.frames + self.drops()
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.frames += other.frames;
+        self.rx_bytes += other.rx_bytes;
+        self.tx_frames += other.tx_frames;
+        self.tx_bytes += other.tx_bytes;
+        self.busy_cycles += other.busy_cycles;
+        self.drop_oversize += other.drop_oversize;
+        self.drop_trap += other.drop_trap;
+        self.drop_poisoned += other.drop_poisoned;
+    }
+
+    /// JSON form (one key per counter, plus the derived totals).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("frames", Json::from(self.frames)),
+            ("rx_bytes", Json::from(self.rx_bytes)),
+            ("tx_frames", Json::from(self.tx_frames)),
+            ("tx_bytes", Json::from(self.tx_bytes)),
+            ("busy_cycles", Json::from(self.busy_cycles)),
+            ("drop_oversize", Json::from(self.drop_oversize)),
+            ("drop_trap", Json::from(self.drop_trap)),
+            ("drop_poisoned", Json::from(self.drop_poisoned)),
+            ("drops", Json::from(self.drops())),
+            ("offered", Json::from(self.offered())),
+        ])
+    }
+}
+
+/// One shard's telemetry: outcome counters plus the distribution of
+/// per-frame core cycles (model time — deterministic across backends
+/// and execution modes, unlike host wall time).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Outcome counters.
+    pub counters: Counters,
+    /// Per-frame cycle histogram over successful frames.
+    pub cycles: Histogram,
+}
+
+impl ShardStats {
+    /// Empty stats.
+    pub fn new() -> ShardStats {
+        ShardStats::default()
+    }
+
+    /// Records one successfully processed frame.
+    #[inline]
+    pub fn record_ok(&mut self, rx_bytes: u64, tx_frames: u64, tx_bytes: u64, cycles: u64) {
+        self.counters.frames += 1;
+        self.counters.rx_bytes += rx_bytes;
+        self.counters.tx_frames += tx_frames;
+        self.counters.tx_bytes += tx_bytes;
+        self.counters.busy_cycles += cycles;
+        self.cycles.record(cycles);
+    }
+
+    /// Records one refused frame.
+    #[inline]
+    pub fn record_drop(&mut self, kind: DropKind) {
+        match kind {
+            DropKind::Oversize => self.counters.drop_oversize += 1,
+            DropKind::Trap => self.counters.drop_trap += 1,
+            DropKind::Poisoned => self.counters.drop_poisoned += 1,
+        }
+    }
+
+    /// Folds `other` into `self` (losslessly — see [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.counters.merge(&other.counters);
+        self.cycles.merge(&other.cycles);
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&mut self) {
+        *self = ShardStats::default();
+    }
+
+    /// JSON form: the counters plus the cycle histogram summary.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("counters", self.counters.to_json()),
+            ("cycles", self.cycles.to_json()),
+        ])
+    }
+}
+
+/// A whole engine's telemetry at one instant: per-shard stats in shard
+/// order. Two engines that processed the same frames under the same
+/// configuration produce *equal* snapshots, regardless of execution
+/// mode (sequential vs parallel) or CPU backend (compiled vs
+/// tree-walk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Per-shard stats, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl EngineSnapshot {
+    /// All shards merged into one (the engine-wide totals).
+    pub fn total(&self) -> ShardStats {
+        let mut t = ShardStats::new();
+        for s in &self.shards {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// JSON form: `{"total": .., "shards": [..]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total", self.total().to_json()),
+            (
+                "shards",
+                Json::Arr(self.shards.iter().map(ShardStats::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_counts_every_outcome_once() {
+        let mut s = ShardStats::new();
+        s.record_ok(60, 2, 120, 40);
+        s.record_ok(80, 0, 0, 55);
+        s.record_drop(DropKind::Oversize);
+        s.record_drop(DropKind::Trap);
+        s.record_drop(DropKind::Poisoned);
+        s.record_drop(DropKind::Poisoned);
+        assert_eq!(s.counters.frames, 2);
+        assert_eq!(s.counters.drops(), 4);
+        assert_eq!(s.counters.offered(), 6);
+        assert_eq!(s.counters.rx_bytes, 140);
+        assert_eq!(s.counters.tx_frames, 2);
+        assert_eq!(s.counters.busy_cycles, 95);
+        assert_eq!(s.cycles.count(), 2, "only successes enter the histogram");
+    }
+
+    #[test]
+    fn snapshot_total_merges_shards() {
+        let mut a = ShardStats::new();
+        a.record_ok(60, 1, 60, 10);
+        let mut b = ShardStats::new();
+        b.record_ok(90, 1, 90, 30);
+        b.record_drop(DropKind::Oversize);
+        let snap = EngineSnapshot { shards: vec![a, b] };
+        let t = snap.total();
+        assert_eq!(t.counters.frames, 2);
+        assert_eq!(t.counters.offered(), 3);
+        assert_eq!(t.cycles.count(), 2);
+        assert_eq!(t.cycles.min(), Some(10));
+        assert_eq!(t.cycles.max(), Some(30));
+    }
+
+    #[test]
+    fn json_round_trips_the_counts() {
+        let mut s = ShardStats::new();
+        s.record_ok(64, 1, 64, 100);
+        s.record_drop(DropKind::Trap);
+        let j = s.to_json();
+        let c = j.get("counters").unwrap();
+        assert_eq!(c.get("frames").and_then(Json::as_u64), Some(1));
+        assert_eq!(c.get("drop_trap").and_then(Json::as_u64), Some(1));
+        assert_eq!(c.get("offered").and_then(Json::as_u64), Some(2));
+        // And it survives a print/parse cycle.
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(
+            parsed
+                .get("cycles")
+                .and_then(|h| h.get("p50"))
+                .and_then(Json::as_u64),
+            Some(100)
+        );
+    }
+}

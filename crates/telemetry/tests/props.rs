@@ -1,0 +1,136 @@
+//! Property tests for the telemetry primitives: histogram merge is
+//! associative/commutative and lossless, quantile bounds always contain
+//! the exact nearest-rank value, and counter merges are order-free.
+
+use emu_telemetry::{Counters, DropKind, Histogram, ShardStats};
+use proptest::prelude::*;
+
+fn hist_of(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in proptest::collection::vec(any::<u64>(), 0..200),
+                            b in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in proptest::collection::vec(any::<u64>(), 0..120),
+                            b in proptest::collection::vec(any::<u64>(), 0..120),
+                            c in proptest::collection::vec(any::<u64>(), 0..120)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊔ b) ⊔ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊔ (b ⊔ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_whole_stream(vals in proptest::collection::vec(any::<u64>(), 1..400),
+                                 split in any::<u16>()) {
+        // Recording a stream in two halves and merging must equal
+        // recording the whole stream — the lossless-merge contract.
+        let cut = usize::from(split) % vals.len();
+        let mut merged = hist_of(&vals[..cut]);
+        merged.merge(&hist_of(&vals[cut..]));
+        prop_assert_eq!(merged, hist_of(&vals));
+    }
+
+    #[test]
+    fn quantile_bounds_contain_nearest_rank(
+        vals in proptest::collection::vec(any::<u64>(), 1..300),
+        qs in proptest::collection::vec(0u32..=1000, 1..8)
+    ) {
+        let h = hist_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in qs.iter().map(|&q| f64::from(q) / 1000.0) {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let (low, high) = h.quantile_bounds(q).expect("non-empty");
+            prop_assert!(low <= exact && exact <= high,
+                "q={}: exact {} outside [{}, {}]", q, exact, low, high);
+        }
+        // The extremes are exact, not just bounded.
+        prop_assert_eq!(h.min(), sorted.first().copied());
+        prop_assert_eq!(h.max(), sorted.last().copied());
+        prop_assert_eq!(h.sum(), vals.iter().map(|&v| u128::from(v)).sum::<u128>());
+    }
+
+    #[test]
+    fn shard_stats_merge_matches_interleaved_recording(
+        events in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..200)
+    ) {
+        // Splitting an event stream across two ShardStats and merging
+        // equals recording everything into one — counters and histogram.
+        let mut whole = ShardStats::new();
+        let mut left = ShardStats::new();
+        let mut right = ShardStats::new();
+        for (i, &(len, kind)) in events.iter().enumerate() {
+            let target = if i % 2 == 0 { &mut left } else { &mut right };
+            match kind % 4 {
+                0 => {
+                    let (rx, cyc) = (u64::from(len), u64::from(len) % 97 + 30);
+                    whole.record_ok(rx, 1, rx, cyc);
+                    target.record_ok(rx, 1, rx, cyc);
+                }
+                1 => {
+                    whole.record_drop(DropKind::Oversize);
+                    target.record_drop(DropKind::Oversize);
+                }
+                2 => {
+                    whole.record_drop(DropKind::Trap);
+                    target.record_drop(DropKind::Trap);
+                }
+                _ => {
+                    whole.record_drop(DropKind::Poisoned);
+                    target.record_drop(DropKind::Poisoned);
+                }
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(left.counters.offered(), events.len() as u64);
+    }
+
+    #[test]
+    fn counters_merge_is_commutative(
+        a in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        b in (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+    ) {
+        let mk = |(f, rx, t, d): (u32, u32, u32, u32)| Counters {
+            frames: u64::from(f),
+            rx_bytes: u64::from(rx),
+            tx_frames: u64::from(t),
+            tx_bytes: u64::from(t) * 60,
+            busy_cycles: u64::from(f) * 40,
+            drop_oversize: u64::from(d) % 5,
+            drop_trap: u64::from(d) % 3,
+            drop_poisoned: u64::from(d) % 2,
+        };
+        let (ca, cb) = (mk(a), mk(b));
+        let mut ab = ca;
+        ab.merge(&cb);
+        let mut ba = cb;
+        ba.merge(&ca);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.offered(), ca.offered() + cb.offered());
+    }
+}

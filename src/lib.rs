@@ -22,6 +22,7 @@
 //! | [`host`] | `hoststack` | Linux-path baseline model |
 //! | [`simnet`] | `netsim` | Mininet-analogue network simulator |
 //! | [`traffic`] | `emu-traffic` | seeded workload generators, checkers, record/replay |
+//! | [`telemetry`] | `emu-telemetry` | counters, latency histograms, bench-report schema |
 //!
 //! ## Quickstart
 //!
@@ -151,11 +152,52 @@
 //! a byte-exact replay fixture (see `tests/fixtures/`). `netsim` links
 //! accept seeded impairments — loss, duplication, reorder jitter — via
 //! [`simnet::NetSim::impair`] (see `examples/traffic_soak.rs`).
+//!
+//! ## Observability
+//!
+//! Every engine keeps per-shard telemetry unless built with
+//! [`EngineBuilder::telemetry`](stdlib::EngineBuilder::telemetry)`(false)`:
+//! frame/byte counters per outcome (processed, oversize, trap,
+//! poisoned) and a log-bucketed histogram of per-frame **model cycles**
+//! with ≤ 1/32 relative quantile error
+//! ([`telemetry::Histogram`]). Because it counts model cycles rather
+//! than wall time, a snapshot is deterministic: sequential and parallel
+//! execution — and the compiled and tree-walk backends — produce
+//! *equal* [`EngineSnapshot`](telemetry::EngineSnapshot)s for the same
+//! frames (asserted in `tests/telemetry_equiv.rs` and by the
+//! `sustained` bench). [`simnet::NetSim::telemetry`] folds per-node
+//! drops, impairment stats, and embedded engine snapshots into one JSON
+//! document.
+//!
+//! ```
+//! use emu::prelude::*;
+//!
+//! let svc = emu::services::icmp_echo();
+//! let mut engine = svc.engine(Target::Cpu).shards(2).build().unwrap();
+//! let pings: Vec<Frame> =
+//!     (0..32).map(|i| emu::services::icmp::echo_request_frame(32, i)).collect();
+//! engine.process_batch(&pings);
+//! let total = engine.telemetry().unwrap().total();
+//! assert_eq!(total.counters.frames, 32);
+//! assert_eq!(total.counters.drops(), 0);
+//! // Exact quantile bounds from the cycle histogram:
+//! let (lo, hi) = total.cycles.quantile_bounds(0.99).unwrap();
+//! assert!(lo <= hi && hi <= total.cycles.max().unwrap());
+//! ```
+//!
+//! The bench bins all emit one versioned JSON envelope
+//! ([`telemetry::BenchReport`], schema `emu-bench-report/v1`), so any
+//! two runs diff mechanically. The canonical sustained-rate numbers
+//! live in `BENCH_6.json`, regenerated by
+//! `cargo run --release -p emu-bench --bin sustained -- --check --out BENCH_6.json`
+//! and regression-gated in CI (>10 % Mpps drop or >20 % p99 rise
+//! fails).
 
 pub use direction as debug;
 pub use emu_core as stdlib;
 pub use emu_rtl as rtl;
 pub use emu_services as services;
+pub use emu_telemetry as telemetry;
 pub use emu_traffic as traffic;
 pub use emu_types as types;
 pub use hoststack as host;

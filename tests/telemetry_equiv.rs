@@ -1,0 +1,107 @@
+//! Telemetry determinism across the execution matrix:
+//!
+//! * sequential and parallel batch execution produce **equal** engine
+//!   snapshots (counters and cycle histograms, shard by shard),
+//! * the compiled and tree-walk CPU backends produce **equal**
+//!   snapshots for the same frames,
+//! * drops are attributed to the right outcome counter in every mode,
+//! * a snapshot's JSON form survives a print/parse round trip.
+//!
+//! These are the contracts the `sustained` bench asserts at scale; here
+//! they run on every `cargo test` with seeded mixed traffic.
+
+use emu::prelude::*;
+use emu::telemetry::{EngineSnapshot, Json};
+use emu::traffic::{Background, Mix, TcpConversations, TrafficGen};
+
+fn mixed_frames(seed: u64, n: usize) -> Vec<Frame> {
+    let mut mix = Mix::new(seed)
+        .add(3, TcpConversations::new(seed ^ 1, 16, &[0, 1, 2, 3]))
+        .add(1, Background::new(seed ^ 2, &[0, 1, 2, 3]));
+    (0..n).map(|_| mix.next_frame()).collect()
+}
+
+fn snapshot(backend: Backend, shards: usize, parallel: bool, frames: &[Frame]) -> EngineSnapshot {
+    let svc = emu::services::switch_ip_cam();
+    let mut engine = svc
+        .engine(Target::Cpu)
+        .backend(backend)
+        .shards(shards)
+        .parallel(parallel)
+        .build()
+        .unwrap();
+    for chunk in frames.chunks(64) {
+        engine.process_batch(chunk);
+    }
+    engine.telemetry().unwrap()
+}
+
+#[test]
+fn sequential_equals_parallel_snapshots() {
+    let frames = mixed_frames(0x7e1e_0001, 512);
+    for shards in [1, 2, 4, 8] {
+        let seq = snapshot(Backend::Compiled, shards, false, &frames);
+        let par = snapshot(Backend::Compiled, shards, true, &frames);
+        assert_eq!(seq, par, "shards={shards}: snapshots diverged");
+        assert_eq!(seq.shards.len(), shards);
+        assert_eq!(seq.total().counters.offered(), frames.len() as u64);
+    }
+}
+
+#[test]
+fn compiled_equals_treewalk_snapshots() {
+    let frames = mixed_frames(0x7e1e, 384);
+    for shards in [1, 4] {
+        let compiled = snapshot(Backend::Compiled, shards, false, &frames);
+        let treewalk = snapshot(Backend::TreeWalk, shards, false, &frames);
+        assert_eq!(
+            compiled, treewalk,
+            "shards={shards}: cycle accounting must be backend-independent"
+        );
+    }
+}
+
+#[test]
+fn oversize_drops_attributed_identically_in_both_modes() {
+    let svc = emu::services::icmp_echo();
+    let run = |parallel: bool| {
+        let mut engine = svc
+            .engine(Target::Cpu)
+            .shards(2)
+            .parallel(parallel)
+            .build()
+            .unwrap();
+        let cap = engine.frame_capacity();
+        let mut frames: Vec<Frame> = (0..16)
+            .map(|i| emu::services::icmp::echo_request_frame(32, i))
+            .collect();
+        frames.push(Frame::new(vec![0; cap + 1]));
+        engine.process_batch(&frames);
+        engine.telemetry().unwrap()
+    };
+    let (seq, par) = (run(false), run(true));
+    assert_eq!(seq, par);
+    let total = seq.total();
+    assert_eq!(total.counters.frames, 16);
+    assert_eq!(total.counters.drop_oversize, 1);
+    assert_eq!(total.counters.drop_trap, 0);
+    assert_eq!(total.counters.drop_poisoned, 0);
+    assert_eq!(total.cycles.count(), 16, "drops stay out of the histogram");
+}
+
+#[test]
+fn snapshot_json_round_trips() {
+    let frames = mixed_frames(0xabc, 128);
+    let snap = snapshot(Backend::Compiled, 2, false, &frames);
+    let json = snap.to_json();
+    let parsed = Json::parse(&json.pretty()).unwrap();
+    assert_eq!(parsed, json);
+    let total = parsed.get("total").unwrap();
+    assert_eq!(
+        total
+            .get("counters")
+            .and_then(|c| c.get("offered"))
+            .and_then(Json::as_u64),
+        Some(frames.len() as u64)
+    );
+}
