@@ -1,0 +1,282 @@
+//! Per-frame cost vs **live flow count** — the scaling claim behind
+//! the hashed CAM index: table operations are O(1) in resident
+//! entries, so a million-flow table serves frames as fast as a
+//! thousand-flow one.
+//!
+//! For each stateful service the bench prefills a scaled-up
+//! (million-entry) Cpu table to N live flows — switch MACs, memcached
+//! keys, NAT translations — then measures a steady access stream over
+//! the resident set on a 1-shard compiled engine:
+//!
+//! - **Mpps** — host wall-clock rate (min of trials);
+//! - **p50/p99/p999 ns** — model-time latency quantiles from the
+//!   telemetry cycle histogram (deterministic per seed), telemetry
+//!   reset after prefill so warmup frames don't pollute the quantiles.
+//!
+//! Sweep: 10^3..10^6 live flows for switch and memcached; NAT stops at
+//! 10^4 because one shard's ephemeral-port space (~15 500 ports) caps
+//! its live mappings — the inherent NAT bound, not a table bound.
+//!
+//! **Flatness gate:** for each service, the per-frame cost of the
+//! largest sweep point must stay within 2× of the smallest — a linear
+//! scan (the pre-PR-7 CAM model) fails this by orders of magnitude.
+//!
+//! Run: `cargo run --release -p emu-bench --bin flow_scale
+//! [-- --frames N] [-- --smoke] [-- --out PATH] [-- --check]`
+//! Rows carry the `flow_scale:` service prefix so baseline gates keyed
+//! on `sustained` rows never cross-match.
+
+use emu_core::{Backend, Engine, Service, Target};
+use emu_telemetry::{BenchReport, Json};
+use emu_traffic::{FlowChurn, MacChurn, MemcachedZipf, TrafficGen};
+use emu_types::Frame;
+use netfpga_sim::timing::NS_PER_CYCLE;
+use std::time::Instant;
+
+const SEED: u64 = 0xf10a;
+const BATCH: usize = 1024;
+const TABLE_ENTRIES: usize = 1_000_000;
+const MPPS_TRIALS: usize = 3;
+/// Max allowed ratio of slowest to fastest per-frame cost per service.
+const FLATNESS_BUDGET: f64 = 2.0;
+
+/// One prefill + measure recipe at `live` flows.
+struct Point {
+    live: usize,
+    /// Frames that make all `live` flows resident.
+    warmup: Vec<Frame>,
+    /// The steady measurement stream over the resident set.
+    measure: Vec<Frame>,
+}
+
+fn build_service(service: &str) -> Service {
+    match service {
+        "switch" => emu_services::switch_ip_cam(),
+        "memcached" => emu_services::memcached(),
+        "nat" => emu_services::nat("203.0.113.1".parse().expect("valid")),
+        other => panic!("unknown service {other}"),
+    }
+}
+
+/// The measurement stream must never leave the resident set (a miss
+/// would mutate the table mid-measurement), so every recipe uses a
+/// zero-churn generator warmed by its own `warmup_frames`.
+fn point(service: &'static str, live: usize, frames: usize) -> Point {
+    match service {
+        "switch" => {
+            let mut gen = MacChurn::new(SEED, live, 0);
+            let warmup = gen.warmup_frames();
+            Point {
+                live,
+                warmup,
+                measure: gen.take(frames),
+            }
+        }
+        "nat" => {
+            let mut gen = FlowChurn::new(SEED, live, 0, &[1, 2, 3]);
+            let warmup = gen.warmup_frames();
+            Point {
+                live,
+                warmup,
+                measure: gen.take(frames),
+            }
+        }
+        "memcached" => {
+            // Prefill one SET per key, then measure a pure-GET uniform
+            // stream (uniform is the honest index test: every access
+            // is equally likely to touch a cold bucket).
+            let warmup = (0..live)
+                .map(|k| {
+                    let key = MemcachedZipf::key(k);
+                    emu_services::memcached::request_frame(
+                        &format!("set {key} 0 0 8\r\nV{k:07}\r\n"),
+                        k as u16,
+                    )
+                })
+                .collect();
+            let mut gen = MemcachedZipf::new(SEED, live, 0.0, 1.0);
+            Point {
+                live,
+                warmup,
+                measure: gen.take(frames),
+            }
+        }
+        other => panic!("unknown service {other}"),
+    }
+}
+
+fn drive(engine: &mut Engine, frames: &[Frame]) {
+    for chunk in frames.chunks(BATCH) {
+        for out in engine.process_batch(chunk).outputs {
+            out.expect("flow_scale traffic must never trap");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut frames: usize = if smoke { 8_000 } else { 40_000 };
+    if let Some(i) = args.iter().position(|a| a == "--frames") {
+        frames = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--frames N");
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone());
+    let self_check = args.iter().any(|a| a == "--check");
+
+    // NAT's sweep is port-space-bounded (see module docs); smoke trims
+    // the top decade so CI stays fast.
+    let full: &[usize] = if smoke {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let nat_sweep: &[usize] = &[1_000, 10_000];
+    let sweeps: Vec<(&'static str, &[usize])> =
+        vec![("switch", full), ("memcached", full), ("nat", nat_sweep)];
+
+    eprintln!(
+        "== flow_scale: {frames} measured frames/point, 1-shard compiled Cpu, \
+         {TABLE_ENTRIES}-entry tables =="
+    );
+    eprintln!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "service", "live", "warm (s)", "Mpps", "us/f", "p50 ns", "p99 ns", "p999 ns"
+    );
+
+    let mut report = BenchReport::new("flow_scale")
+        .param("frames_per_point", frames as u64)
+        .param("seed", SEED)
+        .param("smoke", smoke)
+        .param("table_entries", TABLE_ENTRIES as u64)
+        .param("flatness_budget", FLATNESS_BUDGET)
+        .param("ns_per_cycle", NS_PER_CYCLE);
+
+    let mut failed = false;
+    for (service, sweep) in &sweeps {
+        let mut us_per_frame: Vec<(usize, f64)> = Vec::new();
+        for &live in *sweep {
+            let p = point(service, live, frames);
+            let svc = build_service(service);
+            let mut engine = svc
+                .engine(Target::Cpu)
+                .backend(Backend::Compiled)
+                .table_entries(TABLE_ENTRIES)
+                .telemetry(true)
+                .build()
+                .expect("engine build");
+            let t0 = Instant::now();
+            drive(&mut engine, &p.warmup);
+            let warm_s = t0.elapsed().as_secs_f64();
+            // Quantiles must describe only the steady stream.
+            engine.reset_telemetry();
+            let mut wall_s = f64::INFINITY;
+            for _ in 0..MPPS_TRIALS {
+                let t0 = Instant::now();
+                drive(&mut engine, &p.measure);
+                wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+            }
+            let snap = engine.telemetry().expect("telemetry enabled");
+            let total = snap.total();
+            assert_eq!(
+                total.counters.drop_trap + total.counters.drop_poisoned,
+                0,
+                "{service} live={live}: steady traffic must never trap"
+            );
+            let q = |q: f64| {
+                total.cycles.quantile(q).expect("non-empty histogram") as f64 * NS_PER_CYCLE
+            };
+            let (p50, p99, p999) = (q(0.50), q(0.99), q(0.999));
+            let mpps = p.measure.len() as f64 / wall_s / 1e6;
+            let usf = wall_s / p.measure.len() as f64 * 1e6;
+            us_per_frame.push((live, usf));
+            eprintln!(
+                "{:<11} {:>9} {:>9.2} {:>9.3} {:>9.3} {:>9.0} {:>9.0} {:>9.0}",
+                service, p.live, warm_s, mpps, usf, p50, p99, p999
+            );
+            report.push_row(Json::obj(vec![
+                (
+                    "service",
+                    Json::from(format!("flow_scale:{service}").as_str()),
+                ),
+                ("backend", Json::from("compiled")),
+                ("shards", Json::from(1u64)),
+                ("mode", Json::from("sequential")),
+                ("live_flows", Json::from(live as u64)),
+                ("table_entries", Json::from(TABLE_ENTRIES as u64)),
+                ("frames", Json::from(p.measure.len() as u64)),
+                ("mpps", Json::from(mpps)),
+                ("us_per_frame", Json::from(usf)),
+                ("p50_ns", Json::from(p50)),
+                ("p99_ns", Json::from(p99)),
+                ("p999_ns", Json::from(p999)),
+            ]));
+        }
+        // The flatness gate: per-frame cost across the sweep.
+        let min = us_per_frame
+            .iter()
+            .map(|(_, u)| *u)
+            .fold(f64::INFINITY, f64::min);
+        let (worst_live, max) =
+            us_per_frame.iter().fold(
+                (0usize, 0.0f64),
+                |acc, &(l, u)| if u > acc.1 { (l, u) } else { acc },
+            );
+        let ratio = max / min;
+        eprintln!(
+            "{service}: per-frame cost spread {ratio:.2}x across {:?} live flows \
+             (budget {FLATNESS_BUDGET}x)",
+            sweep
+        );
+        if ratio > FLATNESS_BUDGET {
+            eprintln!(
+                "flow_scale FAILED: {service} at {worst_live} live flows costs \
+                 {max:.3} us/frame, {ratio:.2}x the sweep minimum {min:.3} \
+                 (per-frame cost must stay flat in live flows)"
+            );
+            failed = true;
+        }
+    }
+
+    let rendered = report.render();
+    let doc = Json::parse(&rendered).expect("self-parse");
+    if self_check {
+        BenchReport::validate(&doc).expect("schema");
+        BenchReport::require_row_keys(
+            &doc,
+            &[
+                "service",
+                "backend",
+                "shards",
+                "mode",
+                "frames",
+                "mpps",
+                "p50_ns",
+                "p99_ns",
+                "p999_ns",
+                "live_flows",
+                "table_entries",
+            ],
+        )
+        .expect("row keys");
+        eprintln!(
+            "self-check: report validates against {} ✓",
+            emu_telemetry::SCHEMA
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n").expect("write --out");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+}

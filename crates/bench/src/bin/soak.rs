@@ -27,8 +27,8 @@
 use emu_core::{Backend, Engine, NatSteering, Target};
 use emu_telemetry::{BenchReport, Json};
 use emu_traffic::{
-    Adversarial, Background, Checker, DnsWeighted, McModel, MemcachedZipf, Mix, NatChecker,
-    SwitchModel, TcpConversations, TrafficGen,
+    Adversarial, Background, Checker, DnsWeighted, FlowChurn, MacChurn, McModel, MemcachedZipf,
+    Mix, NatChecker, SwitchModel, TcpConversations, TrafficGen,
 };
 use emu_types::{Frame, Ipv4};
 use std::time::Instant;
@@ -36,6 +36,15 @@ use std::time::Instant;
 const SHARDS: usize = 4;
 const BATCH: usize = 1024;
 const SEED: u64 = 0x50a1c;
+
+/// Scaled-up Cpu table size (the million-flow regime; Fpga targets
+/// stay BRAM-bounded and reject this).
+const TABLE_ENTRIES: usize = 1_000_000;
+
+/// Mapping/MAC idle timeout in frames for the stateful services. Short
+/// enough that churned-away flows age out many times over a soak run,
+/// long enough that live Zipf-tail flows survive between sends.
+const TTL_FRAMES: u64 = 20_000;
 
 /// Verdict of one engine run — the quantities that must match between
 /// sequential and parallel execution.
@@ -63,10 +72,15 @@ fn public() -> Ipv4 {
 /// The per-service traffic recipe (fresh generator for every run, so
 /// sequential and parallel consume identical streams).
 fn nat_mix(seed: u64) -> Mix {
+    // The FlowChurn pool stays under the per-shard ephemeral-port
+    // budget (~3 900 ports per residue class); departed flows' mappings
+    // are reclaimed by TTL_FRAMES-idle expiry, which the churn weight
+    // exercises ~70k times over a million-frame run.
     Mix::new(seed)
-        .add(10, TcpConversations::new(seed ^ 1, 48, &[1, 2, 3]))
+        .add(10, FlowChurn::new(seed ^ 5, 4_000, 200, &[1, 2, 3]))
+        .add(8, TcpConversations::new(seed ^ 1, 48, &[1, 2, 3]))
         .add(
-            4,
+            3,
             DnsWeighted::new(seed ^ 2, &[("example.com", 3), ("emu.cam.ac.uk", 1)]),
         )
         .add(2, Background::new(seed ^ 3, &[1, 2, 3]))
@@ -74,16 +88,20 @@ fn nat_mix(seed: u64) -> Mix {
 }
 
 fn mc_mix(seed: u64) -> Mix {
+    // 200k-key Zipf working set against a million-entry store.
     Mix::new(seed)
-        .add(12, MemcachedZipf::new(seed ^ 1, 256, 1.1, 0.9))
+        .add(12, MemcachedZipf::new(seed ^ 1, 200_000, 1.1, 0.9))
         .add(2, Background::new(seed ^ 2, &[0, 1, 2, 3]))
         .add(1, Adversarial::new(seed ^ 3, &[0, 1, 2, 3]))
 }
 
 fn switch_mix(seed: u64) -> Mix {
+    // A 5 000-station sliding window: ~100k distinct MACs learned over
+    // a million-frame run, silent stations aging out along the way.
     Mix::new(seed)
-        .add(8, Background::new(seed ^ 1, &[0, 1, 2, 3]))
-        .add(4, TcpConversations::new(seed ^ 2, 32, &[0, 1, 2, 3]))
+        .add(8, MacChurn::new(seed ^ 4, 5_000, 300))
+        .add(6, Background::new(seed ^ 1, &[0, 1, 2, 3]))
+        .add(3, TcpConversations::new(seed ^ 2, 32, &[0, 1, 2, 3]))
         .add(1, Adversarial::new(seed ^ 3, &[0, 1, 2, 3]))
 }
 
@@ -175,16 +193,23 @@ fn main() {
         &'static str,
         fn() -> emu_core::Service,
         fn(u64) -> Mix,
-        fn(usize) -> Box<dyn Checker>,
-        bool, // bounce replies
-        bool, // NatSteering dispatch
+        fn(usize, Option<u64>) -> Box<dyn Checker>,
+        Option<u64>, // table TTL (idle timeout in frames)
+        bool,        // bounce replies
+        bool,        // NatSteering dispatch
     );
+    // Every stateful service runs at the scaled-up Cpu table size; the
+    // checkers' shadow tables are built with the *same* geometry, so
+    // expiry and eviction are predicted, not tolerated.
     let cases: Vec<ServiceCase> = vec![
         (
             "nat",
             || emu_services::nat(public()),
             nat_mix,
-            |shards| Box::new(NatChecker::new(public(), shards)),
+            |shards, ttl| {
+                Box::new(NatChecker::new(public(), shards).with_table(TABLE_ENTRIES, ttl))
+            },
+            Some(TTL_FRAMES),
             true,
             true,
         ),
@@ -192,7 +217,10 @@ fn main() {
             "memcached",
             emu_services::memcached,
             mc_mix,
-            |_| Box::new(McModel::new()),
+            // The store keeps keys until DELETE (GET-after-SET must
+            // always hit), so no TTL — the model needs no resizing.
+            |_, _| Box::new(McModel::new()),
+            None,
             false,
             false,
         ),
@@ -200,15 +228,16 @@ fn main() {
             "switch",
             emu_services::switch_ip_cam,
             switch_mix,
-            |shards| Box::new(SwitchModel::new(shards)),
+            |shards, ttl| Box::new(SwitchModel::new(shards).with_table(TABLE_ENTRIES, ttl)),
+            Some(TTL_FRAMES),
             false,
             false,
         ),
     ];
 
     eprintln!(
-        "== soak: {frames} frames/service through {SHARDS}-shard {} engines, \
-         parallel vs sequential ==",
+        "== soak: {frames} churn frames/service through {SHARDS}-shard {} engines \
+         ({TABLE_ENTRIES}-entry tables), parallel vs sequential ==",
         backend.label()
     );
     eprintln!(
@@ -218,7 +247,7 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut failed = false;
-    for (name, build, mix, checker, bounce, steer) in &cases {
+    for (name, build, mix, checker, ttl, bounce, steer) in &cases {
         let svc = build();
         let mut verdicts: Vec<Verdict> = Vec::new();
         for (mode, parallel) in [("parallel", true), ("sequential", false)] {
@@ -226,12 +255,16 @@ fn main() {
                 .engine(Target::Cpu)
                 .backend(backend)
                 .shards(SHARDS)
-                .parallel(parallel);
+                .parallel(parallel)
+                .table_entries(TABLE_ENTRIES);
+            if let Some(t) = ttl {
+                b = b.ttl_frames(*t);
+            }
             if *steer {
                 b = b.dispatch(NatSteering::default());
             }
             let mut engine = b.build().expect("engine build");
-            let mut chk = checker(SHARDS);
+            let mut chk = checker(SHARDS, *ttl);
             let t0 = Instant::now();
             let (verdict, offered) = run(&mut engine, chk.as_mut(), mix(SEED), frames, *bounce);
             let wall_s = t0.elapsed().as_secs_f64();
@@ -281,7 +314,9 @@ fn main() {
         .param("frames_per_service", frames)
         .param("shards", SHARDS as u64)
         .param("seed", SEED)
-        .param("backend", backend.label());
+        .param("backend", backend.label())
+        .param("table_entries", TABLE_ENTRIES as u64)
+        .param("ttl_frames", TTL_FRAMES);
     for r in &rows {
         report.push_row(Json::obj(vec![
             ("service", Json::from(r.service)),

@@ -82,7 +82,7 @@ fn main() {
                 Some(c) => {
                     let prog = extend_program(&base.program, c).expect("transform");
                     let inner = (art.build)();
-                    Service::with_env(prog, move || (inner.make_env)())
+                    Service::with_sized_env(prog, move |cfg| (inner.make_env)(cfg))
                 }
             };
             let design_name = format!("{}{}", art.name, label);

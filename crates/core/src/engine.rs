@@ -101,7 +101,7 @@
 //! [`EngineBuilder::telemetry`]`(false)` — the `sustained` bench bin
 //! uses that to prove the instrumentation costs < 5 % of the hot path.
 
-use crate::runner::{flow_hash, AnyDriver, Backend, Service, Target};
+use crate::runner::{flow_hash, AnyDriver, Backend, Service, TableConfig, Target};
 use emu_rtl::{IpEnv, RtlMachine};
 use emu_telemetry::{DropKind, EngineSnapshot, ShardStats};
 use emu_types::proto::{ether_type, ip_proto, offset};
@@ -393,10 +393,16 @@ pub struct Shard {
 }
 
 impl Shard {
-    fn new(service: &Service, target: Target, backend: Backend, telemetry: bool) -> IrResult<Self> {
+    fn new(
+        service: &Service,
+        target: Target,
+        backend: Backend,
+        telemetry: bool,
+        tables: &TableConfig,
+    ) -> IrResult<Self> {
         Ok(Shard {
             driver: AnyDriver::new(service, target, backend)?,
-            env: (service.make_env)(),
+            env: (service.make_env)(tables),
             stats: telemetry.then(|| Box::new(ShardStats::new())),
         })
     }
@@ -493,6 +499,7 @@ impl Service {
             parallel: false,
             max_cycles_per_frame: None,
             telemetry: true,
+            tables: TableConfig::default(),
         }
     }
 }
@@ -508,6 +515,7 @@ pub struct EngineBuilder<'a> {
     parallel: bool,
     max_cycles_per_frame: Option<u64>,
     telemetry: bool,
+    tables: TableConfig,
 }
 
 impl EngineBuilder<'_> {
@@ -557,6 +565,25 @@ impl EngineBuilder<'_> {
         self
     }
 
+    /// Overrides each stateful table's capacity (per shard, in
+    /// entries). Cpu engines accept up to millions of entries; the
+    /// Fpga target rejects anything beyond
+    /// [`crate::FPGA_MAX_TABLE_ENTRIES`] at build time, so the
+    /// cycle-accurate reference stays within the paper's BRAM budget.
+    /// Services built with a fixed-size environment recipe ignore this.
+    pub fn table_entries(mut self, n: usize) -> Self {
+        self.tables.entries = Some(n);
+        self
+    }
+
+    /// Sets the idle timeout, in frame epochs, after which TTL-aware
+    /// tables expire an untouched entry (NAT mapping timeout, switch
+    /// MAC aging). Default: no expiry.
+    pub fn ttl_frames(mut self, frames: u64) -> Self {
+        self.tables.ttl_frames = Some(frames);
+        self
+    }
+
     /// Instantiates the engine: `shards` copies of the service on the
     /// target, each configured by the dispatch policy.
     pub fn build(self) -> EngineResult<Engine> {
@@ -565,10 +592,27 @@ impl EngineBuilder<'_> {
                 "an engine needs at least one shard".into(),
             ));
         }
+        if self.target == Target::Fpga {
+            if let Some(n) = self.tables.entries {
+                if n > crate::runner::FPGA_MAX_TABLE_ENTRIES {
+                    return Err(EngineError::Build(format!(
+                        "Fpga tables are BRAM-bounded: {n} entries exceeds the \
+                         {max}-entry budget (use Target::Cpu for scaled-up tables)",
+                        max = crate::runner::FPGA_MAX_TABLE_ENTRIES
+                    )));
+                }
+            }
+        }
         let backend = self.backend.unwrap_or_else(Backend::env_default);
         let mut shards = Vec::with_capacity(self.shards);
         for k in 0..self.shards {
-            let mut shard = Shard::new(self.service, self.target, backend, self.telemetry)?;
+            let mut shard = Shard::new(
+                self.service,
+                self.target,
+                backend,
+                self.telemetry,
+                &self.tables,
+            )?;
             if let Some(n) = self.max_cycles_per_frame {
                 shard.driver.set_max_cycles_per_frame(n);
             }
@@ -969,18 +1013,44 @@ impl Engine {
     /// produce byte-identical snapshots regardless of execution mode
     /// (sequential vs parallel) or backend (compiled vs tree-walk).
     pub fn telemetry(&self) -> Option<EngineSnapshot> {
-        let shards: Option<Vec<ShardStats>> =
-            self.shards.iter().map(|s| s.stats().cloned()).collect();
+        let shards: Option<Vec<ShardStats>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.stats().cloned().map(|mut stats| {
+                    // CAM lifecycle counters live in the shard's
+                    // environment; fold them in at snapshot time.
+                    stats.cams = s
+                        .env
+                        .cam_snapshots()
+                        .into_iter()
+                        .map(|c| emu_telemetry::CamCounters {
+                            prefix: c.prefix,
+                            capacity: c.capacity as u64,
+                            occupancy: c.occupancy as u64,
+                            lookups: c.stats.lookups,
+                            hits: c.stats.hits,
+                            writes: c.stats.writes,
+                            evictions: c.stats.evictions,
+                            expiries: c.stats.expiries,
+                        })
+                        .collect();
+                    stats
+                })
+            })
+            .collect();
         shards.map(|shards| EngineSnapshot { shards })
     }
 
     /// Zeroes every shard's telemetry (a bench's warm-up frames should
-    /// not pollute its measured histogram). No-op when disabled.
+    /// not pollute its measured histogram). No-op when disabled. CAM
+    /// *statistics* reset too; table contents are untouched.
     pub fn reset_telemetry(&mut self) {
         for s in &mut self.shards {
             if let Some(stats) = s.stats.as_deref_mut() {
                 stats.reset();
             }
+            s.env.reset_cam_stats();
         }
     }
 

@@ -40,5 +40,6 @@ pub use proto::{
     ArpWrapper, DnsWrapper, EthernetWrapper, IcmpWrapper, Ipv4Wrapper, TcpWrapper, UdpWrapper,
 };
 pub use runner::{
-    assert_targets_agree, flow_hash, flow_key, service_builder, Backend, Service, Target,
+    assert_targets_agree, flow_hash, flow_key, service_builder, Backend, Service, TableConfig,
+    Target, FPGA_MAX_TABLE_ENTRIES,
 };

@@ -88,6 +88,32 @@ impl Backend {
     }
 }
 
+/// Table sizing/lifecycle configuration handed to a service's
+/// environment recipe at engine-build time.
+///
+/// The defaults (`None` everywhere) reproduce the paper's Table-3
+/// geometry: BRAM-sized tables, no expiry. A Cpu deployment may raise
+/// `entries` to millions; the Fpga target refuses anything beyond
+/// [`FPGA_MAX_TABLE_ENTRIES`] so the hardware reference stays
+/// BRAM-honest (see `EngineBuilder::table_entries`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableConfig {
+    /// Override for each stateful table's capacity in entries. `None`
+    /// keeps the service's paper-sized default.
+    pub entries: Option<usize>,
+    /// Idle timeout in frame epochs for TTL-aware tables (NAT mapping
+    /// timeout, switch MAC aging). `None` disables expiry. Services
+    /// whose tables are key-value stores with explicit deletes (e.g.
+    /// memcached) ignore this.
+    pub ttl_frames: Option<u64>,
+}
+
+/// Largest per-table capacity the Fpga target accepts: the BRAM budget
+/// of the paper's NetFPGA SUME reference. Cpu deployments may exceed
+/// it; the cycle-accurate target must not pretend to hardware that
+/// doesn't exist.
+pub const FPGA_MAX_TABLE_ENTRIES: usize = 4096;
+
 /// A deployable service: program + IP-block environment recipe.
 ///
 /// A `Service` is a *description*; to run it, build an engine:
@@ -98,8 +124,10 @@ impl Backend {
 pub struct Service {
     /// The service program (must declare the dataplane contract).
     pub program: Program,
-    /// Builds the IP-block environment the program expects.
-    pub make_env: Box<dyn Fn() -> IpEnv>,
+    /// Builds the IP-block environment the program expects, sized per
+    /// the engine's [`TableConfig`]. Recipes that predate configurable
+    /// tables (built via [`Service::with_env`]) ignore the config.
+    pub make_env: Box<dyn Fn(&TableConfig) -> IpEnv>,
     /// Compiler cost model for the FPGA target.
     pub cost_model: CostModel,
 }
@@ -109,13 +137,28 @@ impl Service {
     pub fn new(program: Program) -> Self {
         Service {
             program,
-            make_env: Box::new(IpEnv::new),
+            make_env: Box::new(|_| IpEnv::new()),
             cost_model: CostModel::default(),
         }
     }
 
-    /// Wraps a program with an IP-block environment recipe.
+    /// Wraps a program with a fixed-size IP-block environment recipe
+    /// (the recipe ignores the engine's table configuration).
     pub fn with_env(program: Program, make_env: impl Fn() -> IpEnv + 'static) -> Self {
+        Service {
+            program,
+            make_env: Box::new(move |_| make_env()),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Wraps a program with a table-size-aware environment recipe: the
+    /// engine's [`TableConfig`] (capacity override, TTL) is passed
+    /// through at build time.
+    pub fn with_sized_env(
+        program: Program,
+        make_env: impl Fn(&TableConfig) -> IpEnv + 'static,
+    ) -> Self {
         Service {
             program,
             make_env: Box::new(make_env),

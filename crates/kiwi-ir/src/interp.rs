@@ -103,6 +103,12 @@ pub trait Env {
     /// environment samples output signals and arrays, steps its models,
     /// and drives input signals for the next cycle.
     fn tick(&mut self, cycle: u64, prog: &Program, state: &mut MachineState);
+
+    /// Called once per delivered frame, before the frame is loaded into
+    /// the core's buffer. Environments that model time in frame epochs
+    /// (e.g. TTL-expiring tables) advance their clock here; idle cycles
+    /// between frames never advance it. Defaults to a no-op.
+    fn frame_start(&mut self) {}
 }
 
 /// An environment with no attached hardware: inputs stay zero.

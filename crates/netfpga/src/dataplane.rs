@@ -228,6 +228,10 @@ impl<B: ExecBackend> DataplaneDriver<B> {
             )));
         }
 
+        // One frame epoch: TTL-driven table models age by frames, not
+        // cycles, so idle time between frames never expires anything.
+        env.frame_start();
+
         // DMA the frame into the buffer and raise rx_valid.
         self.load_frame(frame, cap);
 

@@ -1,0 +1,643 @@
+//! Hashed CAM state with TTL expiry and atomic pairing.
+//!
+//! [`CamTable`] is the storage engine behind the behavioural CAM models
+//! in [`crate::ipblocks`]: a slot store plus a hashed key index, so
+//! lookup/write/delete are O(1) regardless of capacity — the paper's
+//! Table-3 BRAM geometries and a million-entry software deployment run
+//! the same code. The port protocol the programs speak is unchanged;
+//! only the model behind it scales.
+//!
+//! # Capacity / expiry / eviction contract
+//!
+//! * Slots grow on demand up to `capacity`; memory tracks resident
+//!   entries, not the configured ceiling.
+//! * With a TTL (in *frame epochs* — see [`CamTable::tick_frame`]), an
+//!   entry whose last touch is more than `ttl` frames old is dead: a
+//!   lookup of it misses (and reclaims it, counted in
+//!   [`CamStats::expiries`]); a bounded sweep also reclaims a few
+//!   oldest expired entries per frame.
+//! * A write into a full table reclaims an expired entry first and only
+//!   round-robin-evicts live entries ([`CamStats::evictions`]) when
+//!   none has expired.
+//! * Lookups and writes *touch* (re-stamp) their entry; expiry is
+//!   therefore an idle timeout, like a NAT mapping timeout or MAC
+//!   aging.
+//!
+//! [`CamPair`] binds two tables whose entries exist in 1:1
+//! correspondence (NAT's `fwd`/`rev`): any eviction or expiry on one
+//! side atomically removes the partner entry from the other (counted
+//! under the same cause in the sibling's stats), and touches propagate,
+//! so the pair ages in lockstep and half-dead mappings cannot exist.
+
+use emu_types::Bits;
+use std::collections::{HashMap, VecDeque};
+
+/// Expired entries reclaimed per frame by the background sweep.
+const TICK_RECLAIM: usize = 4;
+
+/// CAM lifetime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CamStats {
+    /// Lookup strobes observed.
+    pub lookups: u64,
+    /// Lookups that matched a live entry.
+    pub hits: u64,
+    /// Write strobes observed.
+    pub writes: u64,
+    /// Entries displaced live (round-robin overwrite at capacity, or a
+    /// partner removed because its pair twin was evicted).
+    pub evictions: u64,
+    /// Entries reclaimed after their TTL lapsed (on lookup, on the
+    /// per-frame sweep, on a write into a full table, or as a pair
+    /// twin).
+    pub expiries: u64,
+}
+
+/// Why an entry left a [`CamTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveCause {
+    /// TTL lapsed.
+    Expired,
+    /// Displaced live to make room.
+    Evicted,
+}
+
+/// An involuntarily removed entry, reported so callers (pair twins,
+/// checker shadows) can react.
+#[derive(Debug, Clone)]
+pub struct Removed {
+    /// The removed entry's key.
+    pub key: Bits,
+    /// The removed entry's value.
+    pub value: Bits,
+    /// Why it was removed.
+    pub cause: RemoveCause,
+}
+
+/// Effect of a [`CamTable::write`] on the written key itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteEffect {
+    /// The key was not resident; a new entry was created.
+    Fresh,
+    /// The key was resident; its value was replaced (old value inside).
+    Replaced(Bits),
+}
+
+/// One point-in-time view of a CAM model's table, exported through
+/// engine telemetry snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CamSnapshot {
+    /// The model's signal prefix (`"fwd"`, `"cam"`, ...).
+    pub prefix: String,
+    /// Configured capacity in entries.
+    pub capacity: usize,
+    /// Resident entries (live + expired-but-not-yet-reclaimed).
+    pub occupancy: usize,
+    /// Lifetime counters.
+    pub stats: CamStats,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: Bits,
+    value: Bits,
+    /// Frame epoch of the last touch.
+    stamp: u64,
+}
+
+/// Hashed, TTL-aware CAM storage (see the module docs for the
+/// capacity/expiry/eviction contract).
+#[derive(Debug)]
+pub struct CamTable {
+    capacity: usize,
+    key_bits: u16,
+    value_bits: u16,
+    ttl: Option<u64>,
+    now: u64,
+    slots: Vec<Option<Entry>>,
+    index: HashMap<Bits, u32>,
+    free: Vec<u32>,
+    rr: usize,
+    /// (slot, stamp) records in stamp order; a record is valid iff the
+    /// slot still holds an entry with that exact stamp, so the
+    /// front-most valid record always names the oldest-stamped resident
+    /// entry — amortized-O(1) oldest-first reclaim.
+    exp_q: VecDeque<(u32, u64)>,
+    removed: Vec<Removed>,
+    /// Lifetime statistics.
+    pub stats: CamStats,
+}
+
+impl CamTable {
+    /// Creates an empty table with the given geometry and no TTL.
+    pub fn new(capacity: usize, key_bits: u16, value_bits: u16) -> Self {
+        assert!(capacity > 0, "a CAM needs at least one entry");
+        CamTable {
+            capacity,
+            key_bits,
+            value_bits,
+            ttl: None,
+            now: 0,
+            slots: Vec::new(),
+            index: HashMap::new(),
+            free: Vec::new(),
+            rr: 0,
+            exp_q: VecDeque::new(),
+            removed: Vec::new(),
+            stats: CamStats::default(),
+        }
+    }
+
+    /// Sets the idle timeout in frame epochs (`None` disables expiry).
+    pub fn with_ttl(mut self, ttl: Option<u64>) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Configured capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Key width in bits.
+    pub fn key_bits(&self) -> u16 {
+        self.key_bits
+    }
+
+    /// Value width in bits.
+    pub fn value_bits(&self) -> u16 {
+        self.value_bits
+    }
+
+    /// Resident entries (live + expired-but-not-yet-reclaimed).
+    pub fn occupancy(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The current frame epoch.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Zeroes the lifetime counters (table contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CamStats::default();
+    }
+
+    /// Drains the involuntary removals since the last drain.
+    pub fn take_removed(&mut self) -> Vec<Removed> {
+        std::mem::take(&mut self.removed)
+    }
+
+    /// Discards pending removal reports (callers that don't track
+    /// pairs or shadows).
+    pub fn clear_removed(&mut self) {
+        self.removed.clear();
+    }
+
+    fn is_expired(&self, stamp: u64) -> bool {
+        self.ttl.is_some_and(|t| self.now.saturating_sub(stamp) > t)
+    }
+
+    /// Re-stamps `slot` to the current epoch (at most one queue record
+    /// per slot per frame, so held strobes stay idempotent).
+    fn restamp(&mut self, slot: u32) {
+        let now = self.now;
+        let e = self.slots[slot as usize].as_mut().expect("occupied slot");
+        if e.stamp != now {
+            e.stamp = now;
+            if self.ttl.is_some() {
+                self.exp_q.push_back((slot, now));
+            }
+        }
+    }
+
+    fn remove_slot(&mut self, slot: u32, cause: Option<RemoveCause>) -> (Bits, Bits) {
+        let e = self.slots[slot as usize].take().expect("occupied slot");
+        self.index.remove(&e.key);
+        self.free.push(slot);
+        match cause {
+            Some(RemoveCause::Expired) => self.stats.expiries += 1,
+            Some(RemoveCause::Evicted) => self.stats.evictions += 1,
+            None => {}
+        }
+        (e.key, e.value)
+    }
+
+    fn report(&mut self, key: Bits, value: Bits, cause: RemoveCause) {
+        self.removed.push(Removed { key, value, cause });
+    }
+
+    /// Pops stale queue records; if the front-most valid record names an
+    /// expired entry, reclaims it and returns its freed slot.
+    fn reclaim_oldest_expired(&mut self) -> Option<u32> {
+        while let Some(&(slot, stamp)) = self.exp_q.front() {
+            let valid = self.slots[slot as usize]
+                .as_ref()
+                .is_some_and(|e| e.stamp == stamp);
+            if !valid {
+                self.exp_q.pop_front();
+                continue;
+            }
+            if !self.is_expired(stamp) {
+                return None;
+            }
+            self.exp_q.pop_front();
+            let (k, v) = self.remove_slot(slot, Some(RemoveCause::Expired));
+            self.report(k, v, RemoveCause::Expired);
+            return Some(slot);
+        }
+        None
+    }
+
+    /// Advances the frame epoch and reclaims up to `TICK_RECLAIM`
+    /// expired entries. Call once per delivered frame.
+    pub fn tick_frame(&mut self) {
+        self.now += 1;
+        if self.ttl.is_some() {
+            for _ in 0..TICK_RECLAIM {
+                if self.reclaim_oldest_expired().is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Looks `key` up; a live hit is touched (re-stamped), an expired
+    /// resident entry is reclaimed and reported as a miss.
+    pub fn lookup(&mut self, key: &Bits) -> Option<Bits> {
+        self.stats.lookups += 1;
+        let slot = *self.index.get(key)?;
+        let stamp = self.slots[slot as usize].as_ref().expect("indexed").stamp;
+        if self.is_expired(stamp) {
+            let (k, v) = self.remove_slot(slot, Some(RemoveCause::Expired));
+            self.report(k, v, RemoveCause::Expired);
+            return None;
+        }
+        self.stats.hits += 1;
+        self.restamp(slot);
+        Some(
+            self.slots[slot as usize]
+                .as_ref()
+                .expect("live")
+                .value
+                .clone(),
+        )
+    }
+
+    /// Is `key` resident and live? No touch, no stats, no reclaim.
+    pub fn peek(&self, key: &Bits) -> Option<&Bits> {
+        let slot = *self.index.get(key)?;
+        let e = self.slots[slot as usize].as_ref().expect("indexed");
+        (!self.is_expired(e.stamp)).then_some(&e.value)
+    }
+
+    /// Re-stamps `key` if resident (pair-twin touch propagation).
+    pub fn touch(&mut self, key: &Bits) {
+        if let Some(&slot) = self.index.get(key) {
+            self.restamp(slot);
+        }
+    }
+
+    /// Writes `key → value`: replaces in place on key match, else fills
+    /// a free slot, else (at capacity) reclaims the oldest expired
+    /// entry, else evicts round-robin.
+    pub fn write(&mut self, key: Bits, value: Bits) -> WriteEffect {
+        self.stats.writes += 1;
+        let key = key.resize(self.key_bits);
+        let value = value.resize(self.value_bits);
+        if let Some(&slot) = self.index.get(&key) {
+            let e = self.slots[slot as usize].as_mut().expect("indexed");
+            let old = std::mem::replace(&mut e.value, value);
+            self.restamp(slot);
+            return WriteEffect::Replaced(old);
+        }
+        let slot = if let Some(s) = self.free.pop() {
+            s
+        } else if self.slots.len() < self.capacity {
+            self.slots.push(None);
+            (self.slots.len() - 1) as u32
+        } else if let Some(s) = self.reclaim_oldest_expired() {
+            self.free.pop();
+            s
+        } else {
+            // All resident and live: round-robin overwrite, like the
+            // NetFPGA reference switch on MAC-table overflow.
+            let victim = (self.rr % self.slots.len()) as u32;
+            self.rr = (self.rr + 1) % self.slots.len();
+            let (k, v) = self.remove_slot(victim, Some(RemoveCause::Evicted));
+            self.report(k, v, RemoveCause::Evicted);
+            self.free.pop();
+            victim
+        };
+        let stamp = self.now;
+        self.slots[slot as usize] = Some(Entry {
+            key: key.clone(),
+            value,
+            stamp,
+        });
+        self.index.insert(key, slot);
+        if self.ttl.is_some() {
+            self.exp_q.push_back((slot, stamp));
+        }
+        WriteEffect::Fresh
+    }
+
+    /// Removes `key` if resident (live or expired); returns the entry.
+    /// Explicit deletes count in no statistic.
+    pub fn delete(&mut self, key: &Bits) -> Option<(Bits, Bits)> {
+        let slot = *self.index.get(key)?;
+        Some(self.remove_slot(slot, None))
+    }
+
+    /// Removes `key` on behalf of a pair twin, charging `cause` to this
+    /// table's stats. Does not report (no propagation loops).
+    fn remove_for_pair(&mut self, key: &Bits, cause: RemoveCause) {
+        if let Some(&slot) = self.index.get(key) {
+            self.remove_slot(slot, Some(cause));
+        }
+    }
+}
+
+/// Derives the partner table's key from one side's `(key, value)`.
+pub type PartnerKeyFn = fn(&Bits, &Bits) -> Bits;
+
+/// Two [`CamTable`]s whose entries exist in 1:1 correspondence; every
+/// involuntary removal on one side atomically removes the partner, and
+/// touches propagate (see the module docs).
+#[derive(Debug)]
+pub struct CamPair {
+    /// Side A (NAT: the forward table).
+    pub a: CamTable,
+    /// Side B (NAT: the reverse table).
+    pub b: CamTable,
+    a_to_b: PartnerKeyFn,
+    b_to_a: PartnerKeyFn,
+}
+
+impl CamPair {
+    /// Binds two tables with their partner-key derivations.
+    pub fn new(a: CamTable, b: CamTable, a_to_b: PartnerKeyFn, b_to_a: PartnerKeyFn) -> Self {
+        CamPair {
+            a,
+            b,
+            a_to_b,
+            b_to_a,
+        }
+    }
+
+    fn propagate_a(&mut self) {
+        for r in self.a.take_removed() {
+            let pk = (self.a_to_b)(&r.key, &r.value);
+            self.b.remove_for_pair(&pk, r.cause);
+        }
+    }
+
+    fn propagate_b(&mut self) {
+        for r in self.b.take_removed() {
+            let pk = (self.b_to_a)(&r.key, &r.value);
+            self.a.remove_for_pair(&pk, r.cause);
+        }
+    }
+
+    /// Advances both sides' frame epochs; expired entries take their
+    /// partners with them.
+    pub fn tick_frame(&mut self) {
+        self.a.tick_frame();
+        self.propagate_a();
+        self.b.tick_frame();
+        self.propagate_b();
+    }
+
+    /// Looks up side A; a hit touches the B partner too.
+    pub fn lookup_a(&mut self, key: &Bits) -> Option<Bits> {
+        let r = self.a.lookup(key);
+        if let Some(v) = &r {
+            let pk = (self.a_to_b)(key, v);
+            self.b.touch(&pk);
+        }
+        self.propagate_a();
+        r
+    }
+
+    /// Looks up side B; a hit touches the A partner too.
+    pub fn lookup_b(&mut self, key: &Bits) -> Option<Bits> {
+        let r = self.b.lookup(key);
+        if let Some(v) = &r {
+            let pk = (self.b_to_a)(key, v);
+            self.a.touch(&pk);
+        }
+        self.propagate_b();
+        r
+    }
+
+    /// Writes into side A; an eviction takes the B partner with it.
+    pub fn write_a(&mut self, key: Bits, value: Bits) {
+        let effect = self.a.write(key.clone(), value.clone());
+        match effect {
+            WriteEffect::Replaced(old) if old != value => {
+                // The mapping changed: the old value's partner is now
+                // orphaned — drop it as displaced.
+                let pk = (self.a_to_b)(&key, &old);
+                self.b.remove_for_pair(&pk, RemoveCause::Evicted);
+            }
+            WriteEffect::Replaced(_) => {
+                let pk = (self.a_to_b)(&key, &value);
+                self.b.touch(&pk);
+            }
+            WriteEffect::Fresh => {}
+        }
+        self.propagate_a();
+    }
+
+    /// Writes into side B; an eviction takes the A partner with it.
+    pub fn write_b(&mut self, key: Bits, value: Bits) {
+        let effect = self.b.write(key.clone(), value.clone());
+        match effect {
+            WriteEffect::Replaced(old) if old != value => {
+                let pk = (self.b_to_a)(&key, &old);
+                self.a.remove_for_pair(&pk, RemoveCause::Evicted);
+            }
+            WriteEffect::Replaced(_) => {
+                let pk = (self.b_to_a)(&key, &value);
+                self.a.touch(&pk);
+            }
+            WriteEffect::Fresh => {}
+        }
+        self.propagate_b();
+    }
+
+    /// Deletes from side A, taking the B partner with it.
+    pub fn delete_a(&mut self, key: &Bits) {
+        if let Some((k, v)) = self.a.delete(key) {
+            let pk = (self.a_to_b)(&k, &v);
+            self.b.delete(&pk);
+        }
+    }
+
+    /// Deletes from side B, taking the A partner with it.
+    pub fn delete_b(&mut self, key: &Bits) {
+        if let Some((k, v)) = self.b.delete(key) {
+            let pk = (self.b_to_a)(&k, &v);
+            self.a.delete(&pk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u64, w: u16) -> Bits {
+        Bits::from_u64(v, w)
+    }
+
+    #[test]
+    fn write_lookup_delete_round_trip() {
+        let mut t = CamTable::new(4, 16, 8);
+        assert_eq!(t.write(b(10, 16), b(1, 8)), WriteEffect::Fresh);
+        assert_eq!(t.lookup(&b(10, 16)), Some(b(1, 8)));
+        assert_eq!(t.lookup(&b(11, 16)), None);
+        assert_eq!(t.write(b(10, 16), b(2, 8)), WriteEffect::Replaced(b(1, 8)));
+        assert_eq!(t.delete(&b(10, 16)), Some((b(10, 16), b(2, 8))));
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.stats.lookups, 2);
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.writes, 2);
+        assert_eq!(t.stats.evictions, 0);
+    }
+
+    #[test]
+    fn full_table_evicts_round_robin_oldest_slot_first() {
+        let mut t = CamTable::new(2, 8, 8);
+        t.write(b(1, 8), b(0x11, 8));
+        t.write(b(2, 8), b(0x22, 8));
+        t.write(b(3, 8), b(0x33, 8)); // evicts slot 0 (key 1)
+        assert_eq!(t.occupancy(), 2);
+        assert_eq!(t.stats.evictions, 1);
+        assert!(t.peek(&b(1, 8)).is_none());
+        assert_eq!(t.peek(&b(2, 8)), Some(&b(0x22, 8)));
+        assert_eq!(t.peek(&b(3, 8)), Some(&b(0x33, 8)));
+        let removed = t.take_removed();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].key, b(1, 8));
+        assert_eq!(removed[0].cause, RemoveCause::Evicted);
+    }
+
+    #[test]
+    fn ttl_expires_idle_entries_and_touches_keep_them_alive() {
+        let mut t = CamTable::new(8, 8, 8).with_ttl(Some(2));
+        t.write(b(1, 8), b(0xAA, 8));
+        t.write(b(2, 8), b(0xBB, 8));
+        for _ in 0..2 {
+            t.tick_frame();
+            // Touch key 1 every frame; key 2 idles.
+            assert!(t.lookup(&b(1, 8)).is_some());
+        }
+        t.tick_frame(); // key 2's stamp is now 3 epochs old: dead.
+        assert_eq!(t.lookup(&b(2, 8)), None, "expired entry must miss");
+        assert_eq!(t.stats.expiries, 1);
+        assert!(t.lookup(&b(1, 8)).is_some(), "touched entry stays live");
+    }
+
+    #[test]
+    fn sweep_reclaims_expired_entries_without_lookups() {
+        let mut t = CamTable::new(64, 8, 8).with_ttl(Some(1));
+        for k in 0..8 {
+            t.write(b(k, 8), b(k, 8));
+        }
+        assert_eq!(t.occupancy(), 8);
+        t.tick_frame();
+        t.tick_frame();
+        // All 8 are now expired; the bounded sweep drains them over the
+        // next frames.
+        t.tick_frame();
+        assert!(t.occupancy() <= 8 - 4);
+        t.tick_frame();
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.stats.expiries, 8);
+    }
+
+    #[test]
+    fn full_table_reclaims_expired_before_evicting_live() {
+        let mut t = CamTable::new(2, 8, 8).with_ttl(Some(1));
+        t.write(b(1, 8), b(0x11, 8));
+        t.tick_frame();
+        t.tick_frame(); // key 1 expired (sweep budget may reclaim it)
+        t.write(b(2, 8), b(0x22, 8));
+        t.write(b(3, 8), b(0x33, 8)); // full: must reclaim 1, not evict 2
+        assert_eq!(t.stats.evictions, 0, "live entry must survive");
+        assert!(t.peek(&b(2, 8)).is_some());
+        assert!(t.peek(&b(3, 8)).is_some());
+        assert!(t.stats.expiries >= 1);
+    }
+
+    #[test]
+    fn pair_removals_and_touches_propagate() {
+        // a: key k → value v; partner key in b is v; b: value is k.
+        fn a2b(_k: &Bits, v: &Bits) -> Bits {
+            v.clone().resize(8)
+        }
+        fn b2a(_k: &Bits, v: &Bits) -> Bits {
+            v.clone().resize(8)
+        }
+        let mk = || {
+            CamPair::new(
+                CamTable::new(2, 8, 8).with_ttl(Some(10)),
+                CamTable::new(2, 8, 8).with_ttl(Some(10)),
+                a2b,
+                b2a,
+            )
+        };
+
+        // Eviction in a removes the partner in b.
+        let mut p = mk();
+        for k in 1..=3u64 {
+            p.write_a(b(k, 8), b(0x10 + k, 8));
+            p.write_b(b(0x10 + k, 8), b(k, 8));
+        }
+        // k=3's write_a evicted a's k=1 → b's 0x11 partner must be gone.
+        assert_eq!(p.a.occupancy(), 2);
+        assert_eq!(p.b.occupancy(), 2);
+        assert!(p.a.peek(&b(1, 8)).is_none());
+        assert!(p.b.peek(&b(0x11, 8)).is_none(), "partner must die too");
+        assert_eq!(p.b.stats.evictions, 1, "same-cause stat in sibling");
+
+        // Touch on one side keeps the partner alive past its TTL.
+        let mut p = mk();
+        p.write_a(b(1, 8), b(0x11, 8));
+        p.write_b(b(0x11, 8), b(1, 8));
+        for _ in 0..20 {
+            p.tick_frame();
+            assert!(p.lookup_a(&b(1, 8)).is_some());
+        }
+        assert!(p.b.peek(&b(0x11, 8)).is_some(), "touch must propagate");
+
+        // Expiry removes both sides.
+        let mut p = mk();
+        p.write_a(b(1, 8), b(0x11, 8));
+        p.write_b(b(0x11, 8), b(1, 8));
+        for _ in 0..12 {
+            p.tick_frame();
+        }
+        assert_eq!(p.a.occupancy(), 0);
+        assert_eq!(p.b.occupancy(), 0);
+        assert_eq!(p.a.stats.expiries + p.b.stats.expiries, 2);
+    }
+
+    #[test]
+    fn held_strobe_replay_is_idempotent() {
+        // Re-running a write/lookup with identical operands (an FSM
+        // holding a strobe across a budget cut) must not change state.
+        let mut t = CamTable::new(2, 8, 8).with_ttl(Some(5));
+        t.write(b(1, 8), b(7, 8));
+        let occ = t.occupancy();
+        let q_len = t.exp_q.len();
+        t.write(b(1, 8), b(7, 8));
+        t.lookup(&b(1, 8));
+        t.lookup(&b(1, 8));
+        assert_eq!(t.occupancy(), occ);
+        assert_eq!(t.exp_q.len(), q_len, "no duplicate queue records");
+        assert_eq!(t.peek(&b(1, 8)), Some(&b(7, 8)));
+    }
+}

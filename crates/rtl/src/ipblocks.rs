@@ -16,11 +16,13 @@
 //! All protocols are level-based (request/ready), so they tolerate the
 //! extra states inserted by the scheduler's budget cuts.
 
+use crate::cam::{CamPair, CamTable};
+pub use crate::cam::{CamSnapshot, CamStats};
 use emu_types::checksum::PEARSON_TABLE;
 use emu_types::Bits;
 use kiwi::resources::IpBlock;
 use kiwi_ir::interp::{Env, MachineState};
-use kiwi_ir::program::Program;
+use kiwi_ir::program::{Program, SigDir};
 use std::collections::VecDeque;
 
 /// A steppable IP block bound to a signal prefix.
@@ -33,6 +35,22 @@ pub trait IpBlockModel: Send {
     fn step(&mut self, prog: &Program, st: &mut MachineState);
     /// Resource accounting entry for `kiwi::resources::estimate`.
     fn resources(&self) -> IpBlock;
+    /// All resource entries; blocks that model several hardware tables
+    /// (e.g. [`PairedCamModel`]) override this. Defaults to
+    /// `vec![self.resources()]`.
+    fn resources_all(&self) -> Vec<IpBlock> {
+        vec![self.resources()]
+    }
+    /// One frame epoch: called once per delivered frame, before the
+    /// frame enters the pipeline. TTL-expiring tables age here; idle
+    /// cycles between frames never age anything.
+    fn frame_start(&mut self) {}
+    /// Telemetry snapshots of any CAM tables this block hosts.
+    fn cam_snapshots(&self) -> Vec<CamSnapshot> {
+        Vec::new()
+    }
+    /// Zeroes any CAM statistics (table contents untouched).
+    fn reset_cam_stats(&mut self) {}
 }
 
 fn out_val(prog: &Program, st: &MachineState, name: &str) -> Bits {
@@ -61,7 +79,19 @@ impl IpEnv {
 
     /// Resource entries for all attached blocks.
     pub fn resources(&self) -> Vec<IpBlock> {
-        self.blocks.iter().map(|b| b.resources()).collect()
+        self.blocks.iter().flat_map(|b| b.resources_all()).collect()
+    }
+
+    /// Telemetry snapshots of every CAM table hosted by any block.
+    pub fn cam_snapshots(&self) -> Vec<CamSnapshot> {
+        self.blocks.iter().flat_map(|b| b.cam_snapshots()).collect()
+    }
+
+    /// Zeroes every block's CAM statistics (table contents untouched).
+    pub fn reset_cam_stats(&mut self) {
+        for b in &mut self.blocks {
+            b.reset_cam_stats();
+        }
     }
 }
 
@@ -69,6 +99,12 @@ impl Env for IpEnv {
     fn tick(&mut self, _cycle: u64, prog: &Program, st: &mut MachineState) {
         for b in &mut self.blocks {
             b.step(prog, st);
+        }
+    }
+
+    fn frame_start(&mut self) {
+        for b in &mut self.blocks {
+            b.frame_start();
         }
     }
 }
@@ -86,58 +122,114 @@ impl Env for ChainEnv<'_> {
         self.first.tick(cycle, prog, st);
         self.second.tick(cycle, prog, st);
     }
+
+    fn frame_start(&mut self) {
+        self.first.frame_start();
+        self.second.frame_start();
+    }
 }
 
 // ---------------------------------------------------------------------
 // CAM
 // ---------------------------------------------------------------------
 
-/// Content-addressable memory with single-cycle lookup.
-///
-/// Ports (program side): out `{p}_lookup_en`, `{p}_lookup_key`,
-/// `{p}_write_en`, `{p}_write_key`, `{p}_write_value`; in `{p}_match`,
-/// `{p}_value`.
-///
-/// A lookup launched in cycle *n* presents `match`/`value` during cycle
-/// *n + 1*. Writes replace an existing key in place, otherwise fill a free
-/// slot, otherwise overwrite round-robin (how the NetFPGA reference switch
-/// handles MAC-table overflow).
-pub struct CamModel {
-    prefix: String,
-    key_bits: u16,
-    value_bits: u16,
-    entries: Vec<Option<(Bits, Bits)>>,
-    rr: usize,
-    native: bool,
-    /// Lifetime statistics: (lookups, hits, writes, evictions).
-    pub stats: CamStats,
+/// Resolved signal indices for one CAM port set. Signal lookup by name
+/// is a linear scan over the program's declarations, so the models
+/// resolve each port once on first `step` and index the state arrays
+/// directly afterwards — the table operations themselves are O(1), and
+/// port binding must not reintroduce a per-cycle scan.
+#[derive(Clone, Copy, Default)]
+struct CamPorts {
+    lookup_en: Option<usize>,
+    lookup_key: Option<usize>,
+    write_en: Option<usize>,
+    write_key: Option<usize>,
+    write_value: Option<usize>,
+    delete_en: Option<usize>,
+    delete_key: Option<usize>,
+    matched: Option<(usize, u16)>,
+    value: Option<(usize, u16)>,
 }
 
-/// CAM lifetime statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CamStats {
-    /// Lookup strobes observed.
-    pub lookups: u64,
-    /// Lookups that matched.
-    pub hits: u64,
-    /// Write strobes observed.
-    pub writes: u64,
-    /// Writes that displaced a live entry.
-    pub evictions: u64,
+impl CamPorts {
+    fn resolve(prog: &Program, prefix: &str) -> Self {
+        let out = |suffix: &str| {
+            let id = prog.signal_by_name(&format!("{prefix}_{suffix}"))?;
+            let d = prog.signal(id)?;
+            (d.dir == SigDir::Out).then_some(id.0 as usize)
+        };
+        let inp = |suffix: &str| {
+            let id = prog.signal_by_name(&format!("{prefix}_{suffix}"))?;
+            let d = prog.signal(id)?;
+            (d.dir == SigDir::In).then_some((id.0 as usize, d.width))
+        };
+        CamPorts {
+            lookup_en: out("lookup_en"),
+            lookup_key: out("lookup_key"),
+            write_en: out("write_en"),
+            write_key: out("write_key"),
+            write_value: out("write_value"),
+            delete_en: out("delete_en"),
+            delete_key: out("delete_key"),
+            matched: inp("match"),
+            value: inp("value"),
+        }
+    }
+
+    fn strobe(&self, st: &MachineState, port: Option<usize>) -> bool {
+        port.is_some_and(|i| st.sigs_out[i].to_bool())
+    }
+
+    fn sample(&self, st: &MachineState, port: Option<usize>, width: u16) -> Bits {
+        match port {
+            Some(i) => st.sigs_out[i].clone().resize(width),
+            None => Bits::zero(width),
+        }
+    }
+
+    fn drive(&self, st: &mut MachineState, port: Option<(usize, u16)>, v: Bits) {
+        if let Some((i, w)) = port {
+            st.sigs_in[i] = v.resize(w);
+        }
+    }
+}
+
+/// Content-addressable memory with single-cycle lookup, backed by a
+/// hashed [`CamTable`] (see [`crate::cam`] for the
+/// capacity/expiry/eviction contract).
+///
+/// Ports (program side): out `{p}_lookup_en`, `{p}_lookup_key`,
+/// `{p}_write_en`, `{p}_write_key`, `{p}_write_value`, optional
+/// `{p}_delete_en`/`{p}_delete_key`; in `{p}_match`, `{p}_value`.
+///
+/// A lookup launched in cycle *n* presents `match`/`value` during cycle
+/// *n + 1*. Writes replace an existing key in place, otherwise fill a
+/// free slot, otherwise reclaim an expired entry, otherwise overwrite
+/// round-robin (how the NetFPGA reference switch handles MAC-table
+/// overflow).
+pub struct CamModel {
+    prefix: String,
+    native: bool,
+    table: CamTable,
+    ports: Option<CamPorts>,
 }
 
 impl CamModel {
-    /// Creates a CAM bound to `prefix` with the given geometry.
+    /// Creates a CAM bound to `prefix` with the given geometry and no
+    /// expiry.
     pub fn new(prefix: &str, entries: usize, key_bits: u16, value_bits: u16, native: bool) -> Self {
         CamModel {
             prefix: prefix.to_string(),
-            key_bits,
-            value_bits,
-            entries: vec![None; entries],
-            rr: 0,
             native,
-            stats: CamStats::default(),
+            table: CamTable::new(entries, key_bits, value_bits),
+            ports: None,
         }
+    }
+
+    /// Sets the idle timeout in frame epochs (`None` disables expiry).
+    pub fn with_ttl(mut self, ttl: Option<u64>) -> Self {
+        self.table = self.table.with_ttl(ttl);
+        self
     }
 
     /// Declares the CAM's ports on a program builder; returns nothing, the
@@ -157,90 +249,215 @@ impl CamModel {
         pb.sig_in(&format!("{prefix}_value"), value_bits);
     }
 
-    /// Number of live entries.
+    /// Resident entries (live + expired-but-not-yet-reclaimed).
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.table.occupancy()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &CamStats {
+        &self.table.stats
     }
 
     /// Preloads an entry (control-plane table population, e.g. a DNS
-    /// resolution table or static NAT mappings).
+    /// resolution table or static NAT mappings). Accounts writes and
+    /// evictions exactly like the dataplane write strobe.
     pub fn insert(&mut self, key: Bits, value: Bits) {
-        let key = key.resize(self.key_bits);
-        let value = value.resize(self.value_bits);
-        if let Some(slot) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.as_ref().is_some_and(|(k, _)| *k == key))
-        {
-            *slot = Some((key, value));
-        } else if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
-            *slot = Some((key, value));
-        } else {
-            let n = self.entries.len();
-            self.entries[self.rr % n] = Some((key, value));
-            self.rr = (self.rr + 1) % n;
+        self.table.write(key, value);
+        self.table.clear_removed();
+    }
+
+    /// Telemetry snapshot of the backing table.
+    pub fn snapshot(&self) -> CamSnapshot {
+        CamSnapshot {
+            prefix: self.prefix.clone(),
+            capacity: self.table.capacity(),
+            occupancy: self.table.occupancy(),
+            stats: self.table.stats,
         }
     }
 }
 
 impl IpBlockModel for CamModel {
     fn step(&mut self, prog: &Program, st: &mut MachineState) {
-        let p = &self.prefix;
+        let ports = *self
+            .ports
+            .get_or_insert_with(|| CamPorts::resolve(prog, &self.prefix));
         // Optional delete strobe (programs that never declare the signal
-        // read back zero, so legacy CAM users are unaffected).
-        if out_val(prog, st, &format!("{p}_delete_en")).to_bool() {
-            let key = out_val(prog, st, &format!("{p}_delete_key")).resize(self.key_bits);
-            for slot in self.entries.iter_mut() {
-                if slot.as_ref().is_some_and(|(k, _)| *k == key) {
-                    *slot = None;
-                }
-            }
+        // have no port here, so legacy CAM users are unaffected).
+        if ports.strobe(st, ports.delete_en) {
+            let key = ports.sample(st, ports.delete_key, self.table.key_bits());
+            self.table.delete(&key);
         }
-        if out_val(prog, st, &format!("{p}_write_en")).to_bool() {
-            self.stats.writes += 1;
-            let key = out_val(prog, st, &format!("{p}_write_key")).resize(self.key_bits);
-            let val = out_val(prog, st, &format!("{p}_write_value")).resize(self.value_bits);
-            if let Some(slot) = self
-                .entries
-                .iter_mut()
-                .find(|e| e.as_ref().is_some_and(|(k, _)| *k == key))
-            {
-                *slot = Some((key, val));
-            } else if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
-                *slot = Some((key, val));
-            } else {
-                self.stats.evictions += 1;
-                let n = self.entries.len();
-                self.entries[self.rr % n] = Some((key, val));
-                self.rr = (self.rr + 1) % n;
-            }
+        if ports.strobe(st, ports.write_en) {
+            let key = ports.sample(st, ports.write_key, self.table.key_bits());
+            let val = ports.sample(st, ports.write_value, self.table.value_bits());
+            self.table.write(key, val);
         }
-        if out_val(prog, st, &format!("{p}_lookup_en")).to_bool() {
-            self.stats.lookups += 1;
-            let key = out_val(prog, st, &format!("{p}_lookup_key")).resize(self.key_bits);
-            let hit = self
-                .entries
-                .iter()
-                .flatten()
-                .find(|(k, _)| *k == key)
-                .map(|(_, v)| v.clone());
-            self.stats.hits += u64::from(hit.is_some());
-            st.drive(prog, &format!("{p}_match"), Bits::from_bool(hit.is_some()));
-            st.drive(
-                prog,
-                &format!("{p}_value"),
-                hit.unwrap_or_else(|| Bits::zero(self.value_bits)),
-            );
+        if ports.strobe(st, ports.lookup_en) {
+            let key = ports.sample(st, ports.lookup_key, self.table.key_bits());
+            let hit = self.table.lookup(&key);
+            ports.drive(st, ports.matched, Bits::from_bool(hit.is_some()));
+            let vw = self.table.value_bits();
+            ports.drive(st, ports.value, hit.unwrap_or_else(|| Bits::zero(vw)));
+        }
+        // Unpaired CAM: nobody consumes removal reports.
+        self.table.clear_removed();
+    }
+
+    fn resources(&self) -> IpBlock {
+        IpBlock::Cam {
+            entries: self.table.capacity(),
+            key_bits: self.table.key_bits(),
+            value_bits: self.table.value_bits(),
+            native: self.native,
+        }
+    }
+
+    fn frame_start(&mut self) {
+        self.table.tick_frame();
+        self.table.clear_removed();
+    }
+
+    fn cam_snapshots(&self) -> Vec<CamSnapshot> {
+        vec![self.snapshot()]
+    }
+
+    fn reset_cam_stats(&mut self) {
+        self.table.reset_stats();
+    }
+}
+
+/// Two CAM port sets bound to one [`CamPair`]: entries on the two sides
+/// exist in 1:1 correspondence, and any eviction or expiry on one side
+/// atomically removes the partner entry from the other — the fix for
+/// the paired-table desync where a round-robin overwrite in one table
+/// left a half-dead mapping in its twin.
+///
+/// Each side speaks the same port protocol as [`CamModel`] under its
+/// own prefix, so programs are unchanged.
+pub struct PairedCamModel {
+    prefix_a: String,
+    prefix_b: String,
+    native: bool,
+    pair: CamPair,
+    ports: Option<(CamPorts, CamPorts)>,
+}
+
+impl PairedCamModel {
+    /// Binds `pair` to two port prefixes (side A, side B).
+    pub fn new(prefix_a: &str, prefix_b: &str, pair: CamPair, native: bool) -> Self {
+        PairedCamModel {
+            prefix_a: prefix_a.to_string(),
+            prefix_b: prefix_b.to_string(),
+            native,
+            pair,
+            ports: None,
+        }
+    }
+
+    /// The paired tables.
+    pub fn pair(&self) -> &CamPair {
+        &self.pair
+    }
+
+    /// Mutable access (preloads, tests).
+    pub fn pair_mut(&mut self) -> &mut CamPair {
+        &mut self.pair
+    }
+
+    fn snapshot_of(&self, prefix: &str, t: &CamTable) -> CamSnapshot {
+        CamSnapshot {
+            prefix: prefix.to_string(),
+            capacity: t.capacity(),
+            occupancy: t.occupancy(),
+            stats: t.stats,
+        }
+    }
+}
+
+impl IpBlockModel for PairedCamModel {
+    fn step(&mut self, prog: &Program, st: &mut MachineState) {
+        let (pa, pb) = *self.ports.get_or_insert_with(|| {
+            (
+                CamPorts::resolve(prog, &self.prefix_a),
+                CamPorts::resolve(prog, &self.prefix_b),
+            )
+        });
+        if pa.strobe(st, pa.delete_en) {
+            let key = pa.sample(st, pa.delete_key, self.pair.a.key_bits());
+            self.pair.delete_a(&key);
+        }
+        if pa.strobe(st, pa.write_en) {
+            let key = pa.sample(st, pa.write_key, self.pair.a.key_bits());
+            let val = pa.sample(st, pa.write_value, self.pair.a.value_bits());
+            self.pair.write_a(key, val);
+        }
+        if pa.strobe(st, pa.lookup_en) {
+            let key = pa.sample(st, pa.lookup_key, self.pair.a.key_bits());
+            let hit = self.pair.lookup_a(&key);
+            pa.drive(st, pa.matched, Bits::from_bool(hit.is_some()));
+            let vw = self.pair.a.value_bits();
+            pa.drive(st, pa.value, hit.unwrap_or_else(|| Bits::zero(vw)));
+        }
+        if pb.strobe(st, pb.delete_en) {
+            let key = pb.sample(st, pb.delete_key, self.pair.b.key_bits());
+            self.pair.delete_b(&key);
+        }
+        if pb.strobe(st, pb.write_en) {
+            let key = pb.sample(st, pb.write_key, self.pair.b.key_bits());
+            let val = pb.sample(st, pb.write_value, self.pair.b.value_bits());
+            self.pair.write_b(key, val);
+        }
+        if pb.strobe(st, pb.lookup_en) {
+            let key = pb.sample(st, pb.lookup_key, self.pair.b.key_bits());
+            let hit = self.pair.lookup_b(&key);
+            pb.drive(st, pb.matched, Bits::from_bool(hit.is_some()));
+            let vw = self.pair.b.value_bits();
+            pb.drive(st, pb.value, hit.unwrap_or_else(|| Bits::zero(vw)));
         }
     }
 
     fn resources(&self) -> IpBlock {
         IpBlock::Cam {
-            entries: self.entries.len(),
-            key_bits: self.key_bits,
-            value_bits: self.value_bits,
+            entries: self.pair.a.capacity(),
+            key_bits: self.pair.a.key_bits(),
+            value_bits: self.pair.a.value_bits(),
             native: self.native,
         }
+    }
+
+    fn resources_all(&self) -> Vec<IpBlock> {
+        vec![
+            IpBlock::Cam {
+                entries: self.pair.a.capacity(),
+                key_bits: self.pair.a.key_bits(),
+                value_bits: self.pair.a.value_bits(),
+                native: self.native,
+            },
+            IpBlock::Cam {
+                entries: self.pair.b.capacity(),
+                key_bits: self.pair.b.key_bits(),
+                value_bits: self.pair.b.value_bits(),
+                native: self.native,
+            },
+        ]
+    }
+
+    fn frame_start(&mut self) {
+        self.pair.tick_frame();
+    }
+
+    fn cam_snapshots(&self) -> Vec<CamSnapshot> {
+        vec![
+            self.snapshot_of(&self.prefix_a, &self.pair.a),
+            self.snapshot_of(&self.prefix_b, &self.pair.b),
+        ]
+    }
+
+    fn reset_cam_stats(&mut self) {
+        self.pair.a.reset_stats();
+        self.pair.b.reset_stats();
     }
 }
 
@@ -689,8 +906,25 @@ mod tests {
             cam.step(&prog, &mut st);
         }
         assert_eq!(cam.occupancy(), 2);
-        assert_eq!(cam.stats.writes, 3);
-        assert_eq!(cam.stats.evictions, 1);
+        assert_eq!(cam.stats().writes, 3);
+        assert_eq!(cam.stats().evictions, 1);
+    }
+
+    #[test]
+    fn cam_insert_accounts_stats_like_the_dataplane_path() {
+        // The control-plane preload path must not be invisible to the
+        // write/eviction counters.
+        let mut cam = CamModel::new("c", 2, 8, 8, true);
+        for i in 0..3u64 {
+            cam.insert(Bits::from_u64(i, 8), Bits::from_u64(i * 10, 8));
+        }
+        assert_eq!(cam.occupancy(), 2);
+        assert_eq!(cam.stats().writes, 3);
+        assert_eq!(cam.stats().evictions, 1, "rr overwrite must count");
+        // Replacing in place is a write, not an eviction.
+        cam.insert(Bits::from_u64(2, 8), Bits::from_u64(99, 8));
+        assert_eq!(cam.stats().writes, 4);
+        assert_eq!(cam.stats().evictions, 1);
     }
 
     #[test]

@@ -14,14 +14,18 @@
 //!   simulator.
 
 pub mod axis;
+pub mod cam;
 pub mod exec;
 pub mod ipblocks;
 pub mod vcd;
 
 pub use axis::{beats_for_len, beats_to_frame, frame_to_beats, Beat, BEAT_BYTES};
+pub use cam::{
+    CamPair, CamSnapshot, CamStats, CamTable, PartnerKeyFn, RemoveCause, Removed, WriteEffect,
+};
 pub use exec::{ExecBackend, RtlMachine};
 pub use ipblocks::{
-    BramModel, CamModel, CamStats, ChainEnv, FifoModel, IpBlockModel, IpEnv, NaughtyQModel,
+    BramModel, CamModel, ChainEnv, FifoModel, IpBlockModel, IpEnv, NaughtyQModel, PairedCamModel,
     PearsonHashModel,
 };
 pub use vcd::VcdTrace;

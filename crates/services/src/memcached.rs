@@ -309,11 +309,17 @@ pub fn memcached() -> Service {
 
     pb.thread("main", vec![forever(body)]);
     let prog = pb.build().expect("memcached program is well-formed");
-    Service::with_env(prog, || {
+    // Only the capacity comes from the engine's TableConfig. The TTL is
+    // deliberately ignored: the store is a key-value cache with
+    // explicit `delete` semantics, not a flow table — silently expiring
+    // a stored key would violate the memcached contract the checker
+    // models (a GET after SET must hit until DELETE or eviction).
+    Service::with_sized_env(prog, move |cfg| {
+        let entries = cfg.entries.unwrap_or(STORE_ENTRIES);
         let mut env = IpEnv::new();
         env.attach(Box::new(CamModel::new(
             "store",
-            STORE_ENTRIES,
+            entries,
             CAM_KEY_BITS,
             (VALUE_BYTES as u16) * 8,
             false,

@@ -54,18 +54,50 @@ use emu_core::csum::{csum_update_u32, csum_update_word};
 use emu_core::ipblock::CamIf;
 use emu_core::proto::Ipv4Wrapper;
 use emu_core::{service_builder, Service};
-use emu_rtl::{CamModel, IpEnv};
+use emu_rtl::{CamPair, CamTable, IpEnv, PairedCamModel};
 use emu_types::proto::{ether_type, ip_proto, offset};
-use emu_types::Ipv4;
+use emu_types::{Bits, Ipv4};
 use kiwi_ir::dsl::*;
 
-/// Translation table capacity (flows).
+/// Translation table capacity (flows) — the paper-sized default; Cpu
+/// engines may raise it via `EngineBuilder::table_entries`.
 pub const NAT_ENTRIES: usize = 1024;
 
 /// First ephemeral port handed out.
 pub const FIRST_EPHEMERAL: u16 = 50000;
 
+/// Upper bound on ports probed per allocation before the service gives
+/// up and drops the frame (port-range exhaustion). The ephemeral space
+/// above [`FIRST_EPHEMERAL`] is 15536 ports, so one full sweep always
+/// fits; the cap exists to bound the cycle cost of a hopeless scan.
+pub const PORT_SCAN_CAP: u16 = 16384;
+
 const FRAME_CAP: usize = 1536;
+
+/// Builds the paired forward/reverse translation tables of one NAT
+/// shard: fwd `{int_ip, int_port, proto} → ext_port` and rev
+/// `{ext_port, proto} → {int_ip, int_port, phys_port}` are two views
+/// of the same mapping, so the pair evicts, expires, and touches them
+/// atomically (`ttl` is the mapping's idle timeout in frames). The
+/// engine's environment and the traffic checkers' shadow models share
+/// this constructor so they age identically.
+pub fn nat_cam_pair(entries: usize, ttl: Option<u64>) -> CamPair {
+    fn fwd_to_rev(key: &Bits, value: &Bits) -> Bits {
+        // rev key = {ext_port (the fwd value), proto (fwd key [7:0])}.
+        Bits::from_u64((value.to_u64() << 8) | (key.to_u64() & 0xff), 24)
+    }
+    fn rev_to_fwd(key: &Bits, value: &Bits) -> Bits {
+        // fwd key = {int_ip, int_port (rev value [55:8]), proto (rev
+        // key [7:0])}; the rev value's low byte is the phys port.
+        Bits::from_u64(((value.to_u64() >> 8) << 8) | (key.to_u64() & 0xff), 56)
+    }
+    CamPair::new(
+        CamTable::new(entries, 56, 16).with_ttl(ttl),
+        CamTable::new(entries, 24, 56).with_ttl(ttl),
+        fwd_to_rev,
+        rev_to_fwd,
+    )
+}
 
 /// Builds the NAT service with the given public address.
 pub fn nat(public_ip: Ipv4) -> Service {
@@ -91,6 +123,9 @@ pub fn nat(public_ip: Ipv4) -> Service {
         emu_types::Bits::from_u64(u64::from(FIRST_EPHEMERAL), 16),
     );
     let port_stride = pb.reg_init("port_stride", 16, emu_types::Bits::from_u64(1, 16));
+    let alloc_ok = pb.reg("alloc_ok", 1);
+    let scan_left = pb.reg("scan_left", 16);
+    let alloc_fail = pb.reg("alloc_fail", 32);
     let proto = pb.reg("proto", 8);
     let l4_sport = pb.reg("l4_sport", 16);
     let l4_dport = pb.reg("l4_dport", 16);
@@ -160,9 +195,17 @@ pub fn nat(public_ip: Ipv4) -> Service {
     outbound.extend(fwd.lookup(fwd_key.clone()));
     outbound.push(assign(hit, fwd.matched()));
     outbound.push(assign(ext_port, fwd.value()));
-    // Allocate a mapping on first sight of the flow.
-    let mut allocate = vec![assign(ext_port, var(next_port))];
-    allocate.push(assign(
+    // A fwd hit means the flow already owns its port.
+    outbound.push(assign(alloc_ok, var(hit)));
+    // Allocate a mapping on first sight of the flow: walk the cursor
+    // until it lands on a port with no live reverse mapping. The naive
+    // cursor re-issued a live flow's port after one wrap of the range
+    // (~15k allocations per shard residue); probing the reverse table
+    // both skips live ports and — via the table's TTL — reclaims
+    // expired ones before they are reused.
+    let mut allocate = vec![assign(scan_left, lit(u64::from(PORT_SCAN_CAP), 16))];
+    let mut probe = vec![assign(ext_port, var(next_port))];
+    probe.push(assign(
         next_port,
         mux(
             // Wrap before the step would overflow 16 bits: restart at
@@ -173,29 +216,45 @@ pub fn nat(public_ip: Ipv4) -> Service {
             add(var(next_port), var(port_stride)),
         ),
     ));
-    allocate.extend(fwd.write(fwd_key, var(ext_port)));
-    allocate.extend(rev.write(
+    probe.extend(rev.lookup(concat(var(ext_port), var(proto))));
+    probe.push(assign(alloc_ok, lnot(rev.matched())));
+    probe.push(assign(scan_left, sub(var(scan_left), lit(1, 16))));
+    allocate.push(while_loop(
+        band(lnot(var(alloc_ok)), ne(var(scan_left), lit(0, 16))),
+        probe,
+    ));
+    let mut commit = fwd.write(fwd_key, var(ext_port));
+    commit.extend(rev.write(
         concat(var(ext_port), var(proto)),
         concat_all([ip.src(), var(l4_sport), resize(dp.input_port(), 8)]),
     ));
+    allocate.push(if_else(
+        var(alloc_ok),
+        commit,
+        // Every probed port is live: the range is exhausted — count it
+        // and drop the frame (no rewrite, no transmit).
+        vec![assign(alloc_fail, add(var(alloc_fail), lit(1, 32)))],
+    ));
     outbound.push(if_then(lnot(var(hit)), allocate));
     // Rewrite source: csum fixes first (they need the old values).
-    outbound.extend(fix_l4_csum(
+    let mut rewrite = Vec::new();
+    rewrite.extend(fix_l4_csum(
         ip.src(),
         pub_ip.clone(),
         var(l4_sport),
         var(ext_port),
     ));
-    outbound.extend(dp.set16_via(
+    rewrite.extend(dp.set16_via(
         ip_csum_reg,
         offset::IPV4_CSUM,
         csum_update_u32(ip.header_checksum(), ip.src(), pub_ip.clone()),
     ));
-    outbound.extend(ip.set_src(pub_ip.clone()));
-    outbound.extend(dp.set16(offset::L4, var(ext_port)));
-    outbound.extend(ttl_dec.clone());
-    outbound.push(dp.set_output_port(lit(0, 8)));
-    outbound.extend(dp.transmit(dp.rx_len()));
+    rewrite.extend(ip.set_src(pub_ip.clone()));
+    rewrite.extend(dp.set16(offset::L4, var(ext_port)));
+    rewrite.extend(ttl_dec.clone());
+    rewrite.push(dp.set_output_port(lit(0, 8)));
+    rewrite.extend(dp.transmit(dp.rx_len()));
+    outbound.push(if_then(var(alloc_ok), rewrite));
 
     // --- inbound path (external → internal) ------------------------------
     let mut inbound = Vec::new();
@@ -245,10 +304,19 @@ pub fn nat(public_ip: Ipv4) -> Service {
 
     pb.thread("main", vec![forever(body)]);
     let prog = pb.build().expect("nat program is well-formed");
-    Service::with_env(prog, || {
+    // The fwd/rev tables are one mapping viewed from two directions, so
+    // they live in a CamPair: an eviction or expiry on either side
+    // atomically removes its partner (no half-dead mappings), and the
+    // engine's TableConfig scales/ages both together.
+    Service::with_sized_env(prog, move |cfg| {
+        let entries = cfg.entries.unwrap_or(NAT_ENTRIES);
         let mut env = IpEnv::new();
-        env.attach(Box::new(CamModel::new("fwd", NAT_ENTRIES, 56, 16, false)));
-        env.attach(Box::new(CamModel::new("rev", NAT_ENTRIES, 24, 56, false)));
+        env.attach(Box::new(PairedCamModel::new(
+            "fwd",
+            "rev",
+            nat_cam_pair(entries, cfg.ttl_frames),
+            false,
+        )));
         env
     })
 }
@@ -456,5 +524,165 @@ mod tests {
             udp_frame(internal(), 4444, remote(), 123, 1),
         ];
         assert_targets_agree(&nat(public()), &frames).unwrap();
+    }
+
+    #[test]
+    fn port_wrap_skips_live_mappings() {
+        // Regression: the allocation cursor used to wrap to `port_base`
+        // unconditionally and re-issue a port still owned by a live
+        // flow. Simulate the wrap by resetting the cursor, then check
+        // the next allocation probes past the live port.
+        let svc = nat(public());
+        let mut inst = svc.engine(Target::Fpga).build().unwrap();
+        let a = inst
+            .process(&udp_frame(internal(), 3333, remote(), 53, 2))
+            .unwrap();
+        assert_eq!(bitutil::get16(a.tx[0].frame.bytes(), 34), FIRST_EPHEMERAL);
+        // The cursor has advanced; wrap it back onto the live port.
+        inst.shard_mut(0)
+            .write_reg("next_port", u64::from(FIRST_EPHEMERAL));
+        let b = inst
+            .process(&udp_frame(internal(), 4444, remote(), 53, 2))
+            .unwrap();
+        assert_eq!(b.tx.len(), 1, "a free port exists, so no drop");
+        assert_eq!(
+            bitutil::get16(b.tx[0].frame.bytes(), 34),
+            FIRST_EPHEMERAL + 1,
+            "the live port must be skipped, not re-issued"
+        );
+        // And the original flow still owns its mapping.
+        let reply = udp_frame(remote(), 53, public(), FIRST_EPHEMERAL, 0);
+        let out = inst.process(&reply).unwrap();
+        assert_eq!(out.tx.len(), 1);
+        assert_eq!(bitutil::get16(out.tx[0].frame.bytes(), 36), 3333);
+    }
+
+    #[test]
+    fn expired_port_is_reclaimed_on_wrap() {
+        // With a TTL, a wrapped cursor may reuse a port whose mapping
+        // has gone idle: the probe lookup reclaims the expired pair.
+        let svc = nat(public());
+        let mut inst = svc.engine(Target::Cpu).ttl_frames(2).build().unwrap();
+        let a = inst
+            .process(&udp_frame(internal(), 3333, remote(), 53, 2))
+            .unwrap();
+        assert_eq!(bitutil::get16(a.tx[0].frame.bytes(), 34), FIRST_EPHEMERAL);
+        // Age the mapping out: frames from another flow advance the
+        // epoch while 3333 idles.
+        for i in 0..4u16 {
+            inst.process(&udp_frame(internal(), 5000 + i, remote(), 53, 2))
+                .unwrap();
+        }
+        inst.shard_mut(0)
+            .write_reg("next_port", u64::from(FIRST_EPHEMERAL));
+        let b = inst
+            .process(&udp_frame(internal(), 4444, remote(), 53, 2))
+            .unwrap();
+        assert_eq!(
+            bitutil::get16(b.tx[0].frame.bytes(), 34),
+            FIRST_EPHEMERAL,
+            "an expired mapping's port is free for reuse"
+        );
+        // The expired flow's pinhole is gone on both sides.
+        let stale = udp_frame(remote(), 53, public(), FIRST_EPHEMERAL, 0);
+        let out = inst.process(&stale).unwrap();
+        assert_eq!(out.tx.len(), 1, "the port now belongs to flow 4444");
+        assert_eq!(bitutil::get16(out.tx[0].frame.bytes(), 36), 4444);
+    }
+
+    #[test]
+    fn fill_past_capacity_keeps_pair_consistent_on_all_backends() {
+        // Regression for the paired-CAM desync: overflowing the
+        // translation tables must evict fwd/rev entries as a unit, so
+        // every surviving mapping works in both directions and every
+        // evicted mapping is dead in both.
+        use emu_core::Backend;
+        let entries = 4usize;
+        let flows: Vec<u16> = (0..6).map(|i| 3000 + i * 11).collect();
+        let run = |build: &dyn Fn(&Service) -> emu_core::Engine| {
+            let svc = nat(public());
+            let mut inst = build(&svc);
+            let mut alloc = Vec::new();
+            for &sport in &flows {
+                let out = inst
+                    .process(&udp_frame(internal(), sport, remote(), 53, 2))
+                    .unwrap();
+                assert_eq!(out.tx.len(), 1);
+                alloc.push(bitutil::get16(out.tx[0].frame.bytes(), 34));
+            }
+            // Both tables sit exactly at capacity with equal eviction
+            // counts (pair eviction charges both sides).
+            let snap = inst.telemetry().unwrap();
+            let cams = &snap.shards[0].cams;
+            let fwd = cams.iter().find(|c| c.prefix == "fwd").unwrap();
+            let rev = cams.iter().find(|c| c.prefix == "rev").unwrap();
+            assert_eq!(fwd.occupancy, entries as u64);
+            assert_eq!(rev.occupancy, entries as u64);
+            // Each evicted mapping is charged on both sides: the side
+            // that overflowed and its partner.
+            assert_eq!(fwd.evictions, (flows.len() - entries) as u64);
+            assert_eq!(rev.evictions, (flows.len() - entries) as u64);
+            // Probe inbound: survivors translate back to exactly their
+            // owner; evicted ports are dead.
+            let mut survivors = Vec::new();
+            for (i, &port) in alloc.iter().enumerate() {
+                let out = inst
+                    .process(&udp_frame(remote(), 53, public(), port, 0))
+                    .unwrap();
+                if out.tx.is_empty() {
+                    continue;
+                }
+                let b = out.tx[0].frame.bytes();
+                assert_eq!(&b[30..34], &internal().octets());
+                assert_eq!(bitutil::get16(b, 36), flows[i], "wrong owner");
+                survivors.push(i);
+            }
+            assert_eq!(survivors.len(), entries, "exactly capacity survive");
+            // Each surviving flow still owns its port outbound (a fwd
+            // hit — no mutation), closing the bidirectional check.
+            for &i in &survivors {
+                let out = inst
+                    .process(&udp_frame(internal(), flows[i], remote(), 53, 2))
+                    .unwrap();
+                assert_eq!(bitutil::get16(out.tx[0].frame.bytes(), 34), alloc[i]);
+            }
+        };
+        run(&|svc| {
+            svc.engine(Target::Fpga)
+                .table_entries(entries)
+                .build()
+                .unwrap()
+        });
+        run(&|svc| {
+            svc.engine(Target::Cpu)
+                .backend(Backend::Compiled)
+                .table_entries(entries)
+                .build()
+                .unwrap()
+        });
+        run(&|svc| {
+            svc.engine(Target::Cpu)
+                .backend(Backend::TreeWalk)
+                .table_entries(entries)
+                .build()
+                .unwrap()
+        });
+    }
+
+    #[test]
+    fn fpga_rejects_scaled_up_tables() {
+        let svc = nat(public());
+        let err = svc
+            .engine(Target::Fpga)
+            .table_entries(1_000_000)
+            .build()
+            .unwrap_err();
+        assert!(format!("{err}").contains("BRAM"), "got: {err}");
+        // The same size builds fine on Cpu.
+        assert!(svc
+            .engine(Target::Cpu)
+            .table_entries(1_000_000)
+            .build()
+            .is_ok());
     }
 }

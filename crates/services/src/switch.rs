@@ -66,9 +66,16 @@ pub fn switch_ip_cam() -> Service {
 
     pb.thread("main", vec![forever(body)]);
     let prog = pb.build().expect("switch program is well-formed");
-    Service::with_env(prog, || {
+    // Table sizing/aging comes from the engine's TableConfig: a Cpu
+    // deployment can hold millions of MACs, and a TTL gives the learned
+    // entries IEEE-style aging (an idle station's entry expires and its
+    // traffic floods again until re-learned).
+    Service::with_sized_env(prog, move |cfg| {
+        let entries = cfg.entries.unwrap_or(TABLE_ENTRIES);
         let mut env = IpEnv::new();
-        env.attach(Box::new(CamModel::new("cam", TABLE_ENTRIES, 48, 8, false)));
+        env.attach(Box::new(
+            CamModel::new("cam", entries, 48, 8, false).with_ttl(cfg.ttl_frames),
+        ));
         env
     })
 }

@@ -85,6 +85,59 @@ impl Counters {
     }
 }
 
+/// One CAM table's lifecycle counters, as exported by the shard's
+/// environment at snapshot time: occupancy plus lookup/write/eviction/
+/// expiry totals. `prefix` is the table's signal prefix (`"fwd"`,
+/// `"cam"`, ...), unique within a shard.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CamCounters {
+    /// The table's signal prefix.
+    pub prefix: String,
+    /// Configured capacity in entries.
+    pub capacity: u64,
+    /// Resident entries (live + expired-but-not-yet-reclaimed).
+    pub occupancy: u64,
+    /// Lookup strobes observed.
+    pub lookups: u64,
+    /// Lookups that matched a live entry.
+    pub hits: u64,
+    /// Write strobes observed.
+    pub writes: u64,
+    /// Entries displaced live to make room.
+    pub evictions: u64,
+    /// Entries reclaimed after their TTL lapsed.
+    pub expiries: u64,
+}
+
+impl CamCounters {
+    /// Adds `other`'s flow counts into `self` (capacity/occupancy sum
+    /// too: a merged view of same-prefix tables across shards describes
+    /// the aggregate table).
+    pub fn merge(&mut self, other: &CamCounters) {
+        self.capacity += other.capacity;
+        self.occupancy += other.occupancy;
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.writes += other.writes;
+        self.evictions += other.evictions;
+        self.expiries += other.expiries;
+    }
+
+    /// JSON form (one key per counter).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("prefix", Json::Str(self.prefix.clone())),
+            ("capacity", Json::from(self.capacity)),
+            ("occupancy", Json::from(self.occupancy)),
+            ("lookups", Json::from(self.lookups)),
+            ("hits", Json::from(self.hits)),
+            ("writes", Json::from(self.writes)),
+            ("evictions", Json::from(self.evictions)),
+            ("expiries", Json::from(self.expiries)),
+        ])
+    }
+}
+
 /// One shard's telemetry: outcome counters plus the distribution of
 /// per-frame core cycles (model time — deterministic across backends
 /// and execution modes, unlike host wall time).
@@ -94,6 +147,9 @@ pub struct ShardStats {
     pub counters: Counters,
     /// Per-frame cycle histogram over successful frames.
     pub cycles: Histogram,
+    /// Per-CAM lifecycle counters, in the environment's attach order.
+    /// Filled at snapshot time from the shard's IP-block environment.
+    pub cams: Vec<CamCounters>,
 }
 
 impl ShardStats {
@@ -124,9 +180,17 @@ impl ShardStats {
     }
 
     /// Folds `other` into `self` (losslessly — see [`Histogram::merge`]).
+    /// CAM counters merge by prefix, so the engine-wide total describes
+    /// each logical table aggregated across shards.
     pub fn merge(&mut self, other: &ShardStats) {
         self.counters.merge(&other.counters);
         self.cycles.merge(&other.cycles);
+        for c in &other.cams {
+            match self.cams.iter_mut().find(|m| m.prefix == c.prefix) {
+                Some(m) => m.merge(c),
+                None => self.cams.push(c.clone()),
+            }
+        }
     }
 
     /// Resets everything to zero.
@@ -134,11 +198,16 @@ impl ShardStats {
         *self = ShardStats::default();
     }
 
-    /// JSON form: the counters plus the cycle histogram summary.
+    /// JSON form: the counters plus the cycle histogram summary and any
+    /// CAM lifecycle counters.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("counters", self.counters.to_json()),
             ("cycles", self.cycles.to_json()),
+            (
+                "cams",
+                Json::Arr(self.cams.iter().map(CamCounters::to_json).collect()),
+            ),
         ])
     }
 }

@@ -41,7 +41,7 @@ pub mod hist;
 pub mod json;
 pub mod report;
 
-pub use counters::{Counters, DropKind, EngineSnapshot, ShardStats};
+pub use counters::{CamCounters, Counters, DropKind, EngineSnapshot, ShardStats};
 pub use hist::Histogram;
 pub use json::Json;
 pub use report::{host_info, BenchReport, SCHEMA};

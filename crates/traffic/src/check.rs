@@ -15,10 +15,12 @@
 //! legitimate — the core never saw the frame.
 
 use crate::build::{byte_at, ipv4_csum_ok, l4_csum_ok};
-use emu_core::{BatchReport, Dispatch, EngineError, EngineResult, RssHash};
-use emu_services::nat::FIRST_EPHEMERAL;
+use emu_core::{BatchReport, Dispatch, EngineError, EngineResult, NatSteering, RssHash};
+use emu_rtl::{CamPair, CamTable};
+use emu_services::nat::{nat_cam_pair, FIRST_EPHEMERAL, NAT_ENTRIES, PORT_SCAN_CAP};
+use emu_services::switch::TABLE_ENTRIES;
 use emu_types::proto::{ether_type, ip_proto, offset};
-use emu_types::{bitutil, Frame, Ipv4};
+use emu_types::{bitutil, Bits, Frame, Ipv4};
 use netfpga_sim::dataplane::CoreOutput;
 use std::collections::HashMap;
 
@@ -93,41 +95,113 @@ fn l4_proto(f: &Frame) -> u8 {
 // NAT
 // ---------------------------------------------------------------------
 
+/// One shard's shadow of the NAT state: the *same* paired fwd/rev
+/// tables the service deploys (via [`nat_cam_pair`]) plus the shard's
+/// ephemeral-port cursor, replayed op for op. Because the shadow ages,
+/// evicts, and reclaims exactly like the engine, the checker predicts
+/// the *exact* external port of every allocation — including ports
+/// re-issued after TTL expiry or capacity eviction.
+struct NatShadow {
+    pair: CamPair,
+    next_port: u16,
+    base: u16,
+    stride: u16,
+}
+
+/// The fwd-table key `{int_ip, int_port, proto}` (56 bits).
+fn nat_fwd_key(src: u32, sport: u16, proto: u8) -> Bits {
+    Bits::from_u64(
+        (u64::from(src) << 24) | (u64::from(sport) << 8) | u64::from(proto),
+        56,
+    )
+}
+
+/// The rev-table key `{ext_port, proto}` (24 bits).
+fn nat_rev_key(ext: u16, proto: u8) -> Bits {
+    Bits::from_u64((u64::from(ext) << 8) | u64::from(proto), 24)
+}
+
+impl NatShadow {
+    /// Replays the service's allocation probe loop: walk the cursor,
+    /// probing the reverse table until a port with no live mapping
+    /// turns up (each probe touches live entries and reclaims expired
+    /// ones, exactly as the hardware lookup does). Returns the free
+    /// port, or `None` after `PORT_SCAN_CAP` probes (range exhausted —
+    /// the service drops the frame).
+    fn allocate(&mut self, proto: u8) -> Option<u16> {
+        for _ in 0..PORT_SCAN_CAP {
+            let ext = self.next_port;
+            self.next_port = if self.next_port > 0xffff - self.stride {
+                self.base
+            } else {
+                self.next_port + self.stride
+            };
+            if self.pair.lookup_b(&nat_rev_key(ext, proto)).is_none() {
+                return Some(ext);
+            }
+        }
+        None
+    }
+}
+
 /// Reference checker for `emu_services::nat`: translation consistency
-/// (one flow ↔ one stable external port), global external-port
-/// uniqueness, per-shard ephemeral-range discipline under
-/// `NatSteering`, header-rewrite exactness, TTL decrement, and
-/// checksum-validity preservation (RFC 1624 incremental updates keep a
-/// valid checksum valid).
+/// (one flow ↔ one stable external port), exact ephemeral-port
+/// allocation (per-shard cursor discipline under `NatSteering`,
+/// including TTL reclaim and eviction), header-rewrite exactness, TTL
+/// decrement, and checksum-validity preservation (RFC 1624 incremental
+/// updates keep a valid checksum valid).
+///
+/// The checker is a full shadow dataplane: it instantiates the same
+/// [`CamPair`] the service does and mirrors every table operation, so
+/// it stays exact across mapping expiry (idle flows age out), capacity
+/// eviction (tables overflow round-robin), and port reuse after wrap —
+/// regimes where a grow-only map would drift from the engine.
 pub struct NatChecker {
     public: Ipv4,
-    shards: usize,
-    /// {int_src, int_sport, proto} → allocated external port.
-    fwd: HashMap<(u32, u16, u8), u16>,
-    /// {ext_port, proto} → (int_src, int_sport, physical port).
-    owner: HashMap<(u16, u8), (u32, u16, u8)>,
+    shards: Vec<NatShadow>,
     tally: Tally,
 }
 
 impl NatChecker {
     /// Creates the checker for an engine of `shards` shards behind the
-    /// given public address. `shards > 1` assumes the `NatSteering`
-    /// allocation contract (shard *k* allocates `FIRST_EPHEMERAL + k`,
-    /// stepping by the shard count) and checks the residue discipline.
+    /// given public address, with the paper-default table geometry
+    /// (`NAT_ENTRIES`, no TTL). `shards > 1` assumes the `NatSteering`
+    /// dispatch and allocation contract (shard *k* allocates
+    /// `FIRST_EPHEMERAL + k`, stepping by the shard count).
     pub fn new(public: Ipv4, shards: usize) -> Self {
         assert!(shards >= 1);
         NatChecker {
             public,
-            shards,
-            fwd: HashMap::new(),
-            owner: HashMap::new(),
+            shards: Self::shadows(shards, NAT_ENTRIES, None),
             tally: Tally::default(),
         }
     }
 
-    /// Live translation entries in the model.
+    /// Re-sizes the shadow tables to match an engine built with
+    /// `EngineBuilder::table_entries` / `ttl_frames`. Call before any
+    /// traffic is observed (the shadows restart empty).
+    pub fn with_table(mut self, entries: usize, ttl: Option<u64>) -> Self {
+        let n = self.shards.len();
+        self.shards = Self::shadows(n, entries, ttl);
+        self
+    }
+
+    fn shadows(shards: usize, entries: usize, ttl: Option<u64>) -> Vec<NatShadow> {
+        (0..shards)
+            .map(|k| NatShadow {
+                pair: nat_cam_pair(entries, ttl),
+                next_port: FIRST_EPHEMERAL + k as u16,
+                base: FIRST_EPHEMERAL + k as u16,
+                stride: shards as u16,
+            })
+            .collect()
+    }
+
+    /// Translation entries resident in the shadow tables (live plus
+    /// expired-but-not-yet-reclaimed, exactly as the engine counts
+    /// occupancy).
     pub fn mappings(&self) -> usize {
-        self.owner.len()
+        self.shards.iter().map(|s| s.pair.a.occupancy()).sum()
     }
 
     fn translatable(f: &Frame) -> bool {
@@ -189,6 +263,11 @@ impl Checker for NatChecker {
             return;
         }
         let out = result.as_ref().expect("admitted");
+        // Every admitted frame advances its owning shard's epoch — the
+        // engine ticks the shard's tables once per processed frame,
+        // translatable or not — so the shadow ages in lockstep.
+        let shard = NatSteering::default().shard_of(input, self.shards.len());
+        self.shards[shard].pair.tick_frame();
         if !Self::translatable(input) {
             if !out.tx.is_empty() {
                 self.tally
@@ -199,9 +278,41 @@ impl Checker for NatChecker {
         let b = input.bytes();
         let proto = l4_proto(input);
         if input.in_port != 0 {
-            // Outbound: must translate out of the external port.
+            // Outbound: replay the service's table ops in program
+            // order — fwd lookup, then (on miss) the probe/commit
+            // allocation — so the shadow predicts the exact port.
             let src = bitutil::get32(b, offset::IPV4_SRC);
             let sport = bitutil::get16(b, offset::L4);
+            let key = nat_fwd_key(src, sport, proto);
+            let shadow = &mut self.shards[shard];
+            let (want, fresh) = match shadow.pair.lookup_a(&key) {
+                Some(v) => (Some(v.to_u64() as u16), false),
+                None => {
+                    let ext = shadow.allocate(proto);
+                    if let Some(p) = ext {
+                        shadow.pair.write_a(key, Bits::from_u64(u64::from(p), 16));
+                        shadow.pair.write_b(
+                            nat_rev_key(p, proto),
+                            Bits::from_u64(
+                                (u64::from(src) << 24)
+                                    | (u64::from(sport) << 8)
+                                    | u64::from(input.in_port),
+                                56,
+                            ),
+                        );
+                    }
+                    (ext, true)
+                }
+            };
+            let Some(ext) = want else {
+                // Port-range exhaustion: the service must drop.
+                if !out.tx.is_empty() {
+                    self.tally.violate(format!(
+                        "frame {i}: ephemeral range exhausted but frame transmitted"
+                    ));
+                }
+                return;
+            };
             let [tx] = &out.tx[..] else {
                 self.tally
                     .violate(format!("frame {i}: outbound produced {} tx", out.tx.len()));
@@ -214,55 +325,40 @@ impl Checker for NatChecker {
                 ));
             }
             let got_ext = bitutil::get16(tx.frame.bytes(), offset::L4);
-            let ext = match self.fwd.get(&(src, sport, proto)) {
-                Some(&e) => {
-                    if got_ext != e {
-                        self.tally.violate(format!(
-                            "frame {i}: flow remapped {e} → {got_ext} (translation \
-                             consistency broken)"
-                        ));
-                    }
-                    e
+            if got_ext < FIRST_EPHEMERAL {
+                self.tally.violate(format!(
+                    "frame {i}: allocated port {got_ext} below the ephemeral range"
+                ));
+            }
+            if got_ext != ext {
+                if fresh {
+                    self.tally.violate(format!(
+                        "frame {i}: allocated port {got_ext}, shadow allocator says {ext} \
+                         (cursor/probe divergence)"
+                    ));
+                } else {
+                    self.tally.violate(format!(
+                        "frame {i}: flow remapped {ext} → {got_ext} (translation \
+                         consistency broken)"
+                    ));
                 }
-                None => {
-                    // Fresh allocation: range, uniqueness, residue.
-                    if got_ext < FIRST_EPHEMERAL {
-                        self.tally.violate(format!(
-                            "frame {i}: allocated port {got_ext} below the ephemeral range"
-                        ));
-                    }
-                    if self.owner.contains_key(&(got_ext, proto)) {
-                        self.tally.violate(format!(
-                            "frame {i}: external port {got_ext} allocated twice"
-                        ));
-                    }
-                    if self.shards > 1 {
-                        let home = RssHash.shard_of(input, self.shards);
-                        let residue =
-                            usize::from(got_ext.wrapping_sub(FIRST_EPHEMERAL)) % self.shards;
-                        if residue != home {
-                            self.tally.violate(format!(
-                                "frame {i}: port {got_ext} outside shard {home}'s residue \
-                                 class (ephemeral-range discipline)"
-                            ));
-                        }
-                    }
-                    self.fwd.insert((src, sport, proto), got_ext);
-                    self.owner
-                        .insert((got_ext, proto), (src, sport, input.in_port));
-                    got_ext
-                }
-            };
+            }
             let public = self.public;
             self.expect_rewritten(i, input, &tx.frame, |w| {
                 w[offset::IPV4_SRC..offset::IPV4_SRC + 4].copy_from_slice(&public.octets());
                 bitutil::set16(w, offset::L4, ext);
             });
         } else {
-            // Inbound: translate back iff the mapping exists.
+            // Inbound: translate back iff the mapping is live in the
+            // shadow (the lookup itself refreshes the mapping's idle
+            // timer, as the hardware lookup does).
             let dport = bitutil::get16(b, offset::L4 + 2);
-            match self.owner.get(&(dport, proto)).copied() {
-                Some((int_ip, int_port, phys)) => {
+            match self.shards[shard].pair.lookup_b(&nat_rev_key(dport, proto)) {
+                Some(v) => {
+                    let v = v.to_u64();
+                    let int_ip = (v >> 24) as u32;
+                    let int_port = (v >> 8) as u16;
+                    let phys = v as u8;
                     let [tx] = &out.tx[..] else {
                         self.tally.violate(format!(
                             "frame {i}: inbound to a live mapping produced {} tx",
@@ -285,7 +381,7 @@ impl Checker for NatChecker {
                 None => {
                     if !out.tx.is_empty() {
                         self.tally.violate(format!(
-                            "frame {i}: unsolicited inbound to port {dport} was not dropped"
+                            "frame {i}: inbound to dead port {dport} was not dropped"
                         ));
                     }
                 }
@@ -489,34 +585,45 @@ impl Checker for McModel {
 /// exact forward/flood prediction, and frame-transparency (a switch
 /// must never modify bytes).
 ///
-/// The model mirrors `emu_services::switch_ip_cam` exactly — it learns
-/// any source on lookup miss — and assumes fewer than 256 distinct
-/// source MACs per shard (the CAM capacity; beyond that the hardware
-/// evicts and the model declares itself out of its domain).
+/// Each shard's shadow is the same [`CamTable`] the service deploys,
+/// replayed in program order (destination lookup, then source
+/// learn-on-miss), so the model stays exact through capacity eviction
+/// and — when the engine is built with a TTL — MAC aging: an idle
+/// station's entry expires in the shadow exactly when it expires in
+/// the engine, and its traffic floods again until re-learned.
 pub struct SwitchModel {
-    tables: Vec<HashMap<u64, u8>>,
+    tables: Vec<CamTable>,
     tally: Tally,
-    capacity_blown: bool,
 }
 
 impl SwitchModel {
-    /// CAM capacity per shard (`emu_services::switch::TABLE_ENTRIES`).
-    pub const CAPACITY: usize = 256;
-
     /// Creates the model for an engine of `shards` shards under RSS
-    /// dispatch.
+    /// dispatch, with the paper-default table geometry
+    /// (`TABLE_ENTRIES`, no aging).
     pub fn new(shards: usize) -> Self {
         assert!(shards >= 1);
         SwitchModel {
-            tables: vec![HashMap::new(); shards],
+            tables: (0..shards)
+                .map(|_| CamTable::new(TABLE_ENTRIES, 48, 8))
+                .collect(),
             tally: Tally::default(),
-            capacity_blown: false,
         }
     }
 
-    /// Total learned entries across shard models.
+    /// Re-sizes the shadow tables to match an engine built with
+    /// `EngineBuilder::table_entries` / `ttl_frames`. Call before any
+    /// traffic is observed (the shadows restart empty).
+    pub fn with_table(mut self, entries: usize, ttl: Option<u64>) -> Self {
+        self.tables = (0..self.tables.len())
+            .map(|_| CamTable::new(entries, 48, 8).with_ttl(ttl))
+            .collect();
+        self
+    }
+
+    /// MAC entries resident across shard shadows (live plus
+    /// expired-but-not-yet-reclaimed, matching engine occupancy).
     pub fn learned(&self) -> usize {
-        self.tables.iter().map(HashMap::len).sum()
+        self.tables.iter().map(CamTable::occupancy).sum()
     }
 }
 
@@ -537,22 +644,18 @@ impl Checker for SwitchModel {
             RssHash.shard_of(input, self.tables.len())
         };
         let table = &mut self.tables[shard];
-        let dst = input.dst_mac().to_u64();
-        let src = input.src_mac().to_u64();
-        let want_ports = match table.get(&dst) {
-            Some(&p) => 1u8.checked_shl(p.into()).unwrap_or(0),
+        // The shard ticks its table once per processed frame; then the
+        // program looks up the destination (deciding the ports),
+        // transmits, and finally learns the source on a lookup miss.
+        table.tick_frame();
+        let dst = Bits::from_u64(input.dst_mac().to_u64(), 48);
+        let src = Bits::from_u64(input.src_mac().to_u64(), 48);
+        let want_ports = match table.lookup(&dst) {
+            Some(p) => 1u8.checked_shl(p.to_u64() as u32).unwrap_or(0),
             None => 0b1111 & !1u8.checked_shl(input.in_port.into()).unwrap_or(0),
         };
-        if !table.contains_key(&src) {
-            if table.len() >= Self::CAPACITY && !self.capacity_blown {
-                self.capacity_blown = true;
-                self.tally.violate(format!(
-                    "frame {i}: model capacity exceeded ({} MACs on shard {shard}) — \
-                     bound the generator's MAC pool",
-                    table.len()
-                ));
-            }
-            table.insert(src, input.in_port);
+        if table.lookup(&src).is_none() {
+            table.write(src, Bits::from_u64(u64::from(input.in_port), 8));
         }
         let [tx] = &out.tx[..] else {
             self.tally
@@ -624,6 +727,59 @@ mod tests {
         checker.check_batch(&replies, &reply_report);
         assert_eq!(checker.violations(), 0, "notes: {:?}", checker.notes());
         assert!(checker.mappings() > 0);
+    }
+
+    #[test]
+    fn nat_checker_stays_exact_under_flow_churn_and_ttl() {
+        // Churning flows against a TTL'd, scaled-down table: the
+        // checker's shadow pair must track expiry and reclaim exactly
+        // (ports re-issued after idle timeout are predicted, not
+        // flagged).
+        let svc = emu_services::nat(public());
+        let mut engine = svc
+            .engine(Target::Cpu)
+            .shards(2)
+            .dispatch(NatSteering::default())
+            .table_entries(512)
+            .ttl_frames(300)
+            .build()
+            .unwrap();
+        let mut checker = NatChecker::new(public(), 2).with_table(512, Some(300));
+        let mut gen = crate::FlowChurn::new(11, 64, 150, &[1, 2, 3]);
+        for _ in 0..5 {
+            let frames = gen.take(400);
+            let report = engine.process_batch(&frames);
+            checker.check_batch(&frames, &report);
+        }
+        assert_eq!(checker.violations(), 0, "notes: {:?}", checker.notes());
+        assert!(checker.mappings() > 0);
+        // Churn outran the idle timeout: departed flows' mappings were
+        // reclaimed, so residency sits below the flows-ever-started.
+        assert!(gen.flows_started() as usize > checker.mappings());
+    }
+
+    #[test]
+    fn switch_model_tracks_mac_aging_under_churn() {
+        // A 64-entry table under a 48-station sliding window: aging
+        // (TTL) and round-robin eviction both fire, and the shadow
+        // table must predict every flood-after-expiry exactly.
+        let svc = emu_services::switch_ip_cam();
+        let mut engine = svc
+            .engine(Target::Cpu)
+            .table_entries(64)
+            .ttl_frames(200)
+            .build()
+            .unwrap();
+        let mut model = SwitchModel::new(1).with_table(64, Some(200));
+        let mut gen = crate::MacChurn::new(13, 48, 120);
+        for _ in 0..5 {
+            let frames = gen.take(400);
+            let report = engine.process_batch(&frames);
+            model.check_batch(&frames, &report);
+        }
+        assert_eq!(model.violations(), 0, "notes: {:?}", model.notes());
+        assert!(model.learned() > 0);
+        assert!(gen.stations_seen() as usize > model.learned());
     }
 
     #[test]

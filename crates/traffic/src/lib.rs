@@ -18,6 +18,8 @@
 //! | [`DnsWeighted`] | weighted name distributions of well-formed DNS queries |
 //! | [`Background`] | ARP requests and ICMP echoes — the chatter every real segment carries |
 //! | [`Adversarial`] | truncated headers, bad checksums, wrong EtherTypes, oversize frames — streams that must never trap an engine |
+//! | [`FlowChurn`] | a bounded pool of live UDP flows with Zipf send rates and flow arrival/departure — departed flows' NAT state must age out |
+//! | [`MacChurn`] | a sliding window of active stations — silent MACs age out of the switch and flood until re-learned |
 //! | [`Mix`] | weighted composition of any of the above |
 //!
 //! All of them implement [`TrafficGen`]; [`Mix`] composes boxed
@@ -59,6 +61,7 @@ pub mod adversarial;
 pub mod background;
 pub mod build;
 pub mod check;
+pub mod churn;
 pub mod dns;
 pub mod mc;
 pub mod mix;
@@ -69,6 +72,7 @@ pub mod tcp;
 pub use adversarial::Adversarial;
 pub use background::Background;
 pub use check::{Checker, McModel, NatChecker, SwitchModel};
+pub use churn::{FlowChurn, MacChurn};
 pub use dns::DnsWeighted;
 pub use mc::MemcachedZipf;
 pub use mix::Mix;
@@ -114,6 +118,10 @@ mod tests {
             }),
             ("bg", || Box::new(Background::new(5, &[0, 1, 2, 3]))),
             ("adv", || Box::new(Adversarial::new(5, &[0, 1]))),
+            ("flow-churn", || {
+                Box::new(FlowChurn::new(5, 40, 150, &[1, 2, 3]))
+            }),
+            ("mac-churn", || Box::new(MacChurn::new(5, 24, 120))),
             ("mix", || {
                 Box::new(
                     Mix::new(5)

@@ -56,12 +56,12 @@ pub struct MemcachedZipf {
 }
 
 impl MemcachedZipf {
-    /// `keys` distinct keys (≤ 9 999 so every key stays within the
+    /// `keys` distinct keys (≤ 1 000 000 so every key stays within the
     /// service's 8-byte limit), Zipf exponent `alpha`, and a GET
     /// fraction `get_ratio` (the remainder splits 4:1 into SETs and
     /// DELETEs).
     pub fn new(seed: u64, keys: usize, alpha: f64, get_ratio: f64) -> Self {
-        assert!(keys > 0 && keys <= 9_999);
+        assert!(keys > 0 && keys <= 1_000_000);
         assert!((0.0..=1.0).contains(&get_ratio));
         MemcachedZipf {
             rng: StdRng::seed_from_u64(seed ^ 0x5a1f_0cde),

@@ -17,7 +17,7 @@ fn main() {
     let base = memcached();
     let cfg = ControllerConfig::full(&["n_get", "n_set", "n_hit"], 32);
     let directed = extend_program(&base.program, &cfg).expect("transform");
-    let svc = Service::with_env(directed, move || (base.make_env)());
+    let svc = Service::with_sized_env(directed, move |cfg| (base.make_env)(cfg));
 
     let mut inst = svc.engine(Target::Fpga).build().expect("instantiate");
     let director = Director::new(vec!["n_get".into(), "n_set".into(), "n_hit".into()]);

@@ -119,12 +119,52 @@
 //! buffer re-initialization, so a backend that under-reports it corrupts
 //! frame data and one that never resets it forfeits the batch fast path.
 //!
+//! ## Stateful tables at scale
+//!
+//! Every stateful service keeps its per-flow state in
+//! [`rtl::CamTable`] — a hashed, cache-conscious index behind the same
+//! CAM port protocol the RTL IP blocks speak — so lookups and writes
+//! are O(1) in resident entries whether a table holds 10^3 or 10^6
+//! flows. The capacity/expiry/eviction contract:
+//!
+//! * **Capacity** is configured per engine with
+//!   [`EngineBuilder::table_entries`](stdlib::EngineBuilder::table_entries).
+//!   Cpu deployments may request millions of entries (slots allocate
+//!   lazily, so a sparsely-used million-entry table is cheap); the
+//!   Fpga target refuses anything past the BRAM-sized
+//!   [`FPGA_MAX_TABLE_ENTRIES`](stdlib::FPGA_MAX_TABLE_ENTRIES) — the
+//!   paper's hardware resource wall, surfaced at build time instead of
+//!   synthesis time. The same service code runs at either size.
+//! * **Expiry** —
+//!   [`EngineBuilder::ttl_frames`](stdlib::EngineBuilder::ttl_frames)
+//!   arms TTL aging on a frame-count epoch: every admitted frame ticks
+//!   the owning shard's tables, and an entry untouched for more than
+//!   `ttl` ticks is expired — reclaimed lazily when its key or slot is
+//!   next needed, plus a bounded background sweep per tick. NAT mapping
+//!   timeout and switch MAC aging are this one mechanism.
+//! * **Eviction** — a full table first reclaims its oldest expired
+//!   entry; only when nothing has expired does round-robin eviction
+//!   claim a live slot. Paired tables (NAT's forward/reverse maps,
+//!   [`rtl::CamPair`]) stay in lockstep: evicting or expiring one side
+//!   always removes its partner, and an expired mapping's external
+//!   port becomes honestly re-allocatable.
+//!
+//! Per-table occupancy/hit/eviction/expiry counters ride the normal
+//! telemetry snapshot ([`telemetry::CamCounters`]). The `flow_scale`
+//! bench bin gates the O(1) claim — per-frame cost flat within 2x from
+//! 10^3 to 10^6 live flows — and `soak` churns ≥1M frames per service
+//! against million-entry TTL'd tables under shadow checkers that replay
+//! the very same `CamTable`s, so expiry and eviction are *predicted*,
+//! not tolerated.
+//!
 //! ## Generating traffic
 //!
 //! Hand-rolled frames stop scaling long before an engine does. The
 //! [`traffic`] crate manufactures deterministic, seeded workloads —
 //! stateful TCP conversations, Zipf-keyed memcached mixes, weighted DNS
-//! queries, ARP/ICMP chatter, and adversarial malformations — that
+//! queries, ARP/ICMP chatter, churn pools whose working set turns over
+//! ([`traffic::FlowChurn`], [`traffic::MacChurn`]), and adversarial
+//! malformations — that
 //! compose by weight into a [`Mix`](traffic::Mix) and feed
 //! [`Engine::process_batch`](stdlib::Engine::process_batch) directly:
 //!

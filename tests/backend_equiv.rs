@@ -22,7 +22,8 @@
 use emu::prelude::*;
 use emu::services as s;
 use emu_traffic::{
-    Adversarial, Background, DnsWeighted, MemcachedZipf, Mix, TcpConversations, TrafficGen,
+    Adversarial, Background, DnsWeighted, FlowChurn, MacChurn, MemcachedZipf, Mix,
+    TcpConversations, TrafficGen,
 };
 use emu_types::Bits;
 use kiwi_ir::dsl::*;
@@ -433,8 +434,112 @@ fn soak_pairings(seed: u64) -> Vec<(&'static str, emu::stdlib::Service, Box<dyn 
     ]
 }
 
+/// The churn pairings: stateful services whose small, TTL'd tables see
+/// entries inserted, aged out, and re-learned mid-stream. The `bool`
+/// requests [`NatSteering`] dispatch (NAT's port-allocation
+/// correctness depends on its per-shard ephemeral partition).
+fn churn_pairings(
+    seed: u64,
+) -> Vec<(
+    &'static str,
+    emu::stdlib::Service,
+    Box<dyn TrafficGen>,
+    bool,
+)> {
+    vec![
+        (
+            "nat",
+            s::nat("203.0.113.1".parse().unwrap()),
+            Box::new(FlowChurn::new(seed, 24, 200, &[1, 2, 3])),
+            true,
+        ),
+        (
+            "switch",
+            s::switch_ip_cam(),
+            Box::new(MacChurn::new(seed, 16, 250)),
+            false,
+        ),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Insert/expire/re-insert churn through small TTL'd tables must
+    /// stay byte-identical across the CPU backends at any shard count:
+    /// every per-frame outcome (including translations minted after an
+    /// expired mapping's port was reclaimed) and the per-shard cycle
+    /// accounting.
+    #[test]
+    fn churn_batch_reports_agree_across_cpu_backends(
+        seed in any::<u64>(),
+        shards in 1usize..5
+    ) {
+        for (label, svc, mut gen, steer) in churn_pairings(seed) {
+            let frames: Vec<Frame> = (0..240).map(|_| gen.next_frame()).collect();
+            let build = |backend| {
+                let mut b = svc
+                    .engine(Target::Cpu)
+                    .backend(backend)
+                    .shards(shards)
+                    .table_entries(64)
+                    .ttl_frames(48);
+                if steer {
+                    b = b.dispatch(NatSteering::default());
+                }
+                b.build().unwrap()
+            };
+            let a = build(Backend::Compiled).process_batch(&frames);
+            let b = build(Backend::TreeWalk).process_batch(&frames);
+            prop_assert_eq!(
+                &a.shard_cycles, &b.shard_cycles,
+                "{}: shard cycle accounting diverged under churn at {} shards", label, shards
+            );
+            for (i, (x, y)) in a.outputs.iter().zip(&b.outputs).enumerate() {
+                prop_assert_eq!(
+                    x, y,
+                    "{}: churn frame {} diverged across CPU backends at {} shards",
+                    label, i, shards
+                );
+            }
+        }
+    }
+
+    /// Parallel execution must be telemetry-invisible under churn: the
+    /// full [`EngineSnapshot`] — per-shard counters, cycle histograms,
+    /// and per-CAM occupancy/eviction/expiry tallies — equals the
+    /// sequential run's exactly, and the stream genuinely ages entries
+    /// out (total expiries > 0), so the equality covers the TTL path.
+    #[test]
+    fn churn_telemetry_snapshots_agree_sequential_vs_parallel(seed in any::<u64>()) {
+        for (label, svc, mut gen, steer) in churn_pairings(seed) {
+            let frames: Vec<Frame> = (0..600).map(|_| gen.next_frame()).collect();
+            let mut snaps = Vec::new();
+            for parallel in [false, true] {
+                let mut b = svc
+                    .engine(Target::Cpu)
+                    .backend(Backend::Compiled)
+                    .shards(4)
+                    .parallel(parallel)
+                    .telemetry(true)
+                    .table_entries(64)
+                    .ttl_frames(48);
+                if steer {
+                    b = b.dispatch(NatSteering::default());
+                }
+                let mut engine = b.build().unwrap();
+                engine.process_batch(&frames);
+                snaps.push(engine.telemetry().expect("telemetry enabled"));
+            }
+            prop_assert_eq!(
+                &snaps[0], &snaps[1],
+                "{}: sequential and parallel telemetry snapshots diverged", label
+            );
+            let total = snaps[0].total();
+            let expiries: u64 = total.cams.iter().map(|c| c.expiries).sum();
+            prop_assert!(expiries > 0, "{}: churn stream aged nothing out", label);
+        }
+    }
 
     /// Compiled-vs-tree-walk `BatchReport` agreement for all five soak
     /// services under their `emu-traffic` mixes: every per-frame outcome

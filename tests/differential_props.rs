@@ -5,7 +5,8 @@
 use emu::prelude::*;
 use emu::services as s;
 use emu_traffic::{
-    Adversarial, Background, DnsWeighted, MemcachedZipf, Mix, TcpConversations, TrafficGen,
+    Adversarial, Background, DnsWeighted, FlowChurn, MacChurn, MemcachedZipf, Mix,
+    TcpConversations, TrafficGen,
 };
 use kiwi_ir::dsl::*;
 use kiwi_ir::interp::{NullEnv, NullObserver};
@@ -361,6 +362,51 @@ mod traffic_props {
                             label, i, a.map(|o| o.tx), b.map(|o| o.tx)
                         ),
                     }
+                }
+            }
+        }
+
+        #[test]
+        fn churn_streams_agree_across_targets_with_ttl_tables(seed in any::<u64>()) {
+            // Insert/expire/re-insert churn against small TTL'd tables:
+            // the interpreter (Cpu) and the cycle-accurate RTL (Fpga)
+            // must make identical aging decisions — a mapping that
+            // expires on one target but lingers on the other changes
+            // visible outputs (floods vs unicasts, fresh ports vs
+            // reused ones) on the very next frame of that flow.
+            let cases: Vec<(&str, emu::stdlib::Service, Box<dyn TrafficGen>)> = vec![
+                (
+                    "nat",
+                    s::nat("203.0.113.1".parse().unwrap()),
+                    Box::new(FlowChurn::new(seed, 12, 200, &[1, 2, 3])),
+                ),
+                (
+                    "switch",
+                    s::switch_ip_cam(),
+                    Box::new(MacChurn::new(seed, 8, 250)),
+                ),
+            ];
+            for (label, svc, mut gen) in cases {
+                let mut cpu = svc
+                    .engine(Target::Cpu)
+                    .table_entries(32)
+                    .ttl_frames(24)
+                    .build()
+                    .unwrap();
+                let mut fpga = svc
+                    .engine(Target::Fpga)
+                    .table_entries(32)
+                    .ttl_frames(24)
+                    .build()
+                    .unwrap();
+                for i in 0..120 {
+                    let f = gen.next_frame();
+                    let a = cpu.process(&f).unwrap();
+                    let b = fpga.process(&f).unwrap();
+                    prop_assert_eq!(
+                        &a.tx, &b.tx,
+                        "{}: churn frame {} diverged across targets", label, i
+                    );
                 }
             }
         }

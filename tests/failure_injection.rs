@@ -280,7 +280,7 @@ fn malformed_direction_packets_rejected() {
     let base = s::memcached::memcached();
     let cfg = ControllerConfig::read_only(&["n_get"]);
     let prog = extend_program(&base.program, &cfg).unwrap();
-    let svc = Service::with_env(prog, move || (base.make_env)());
+    let svc = Service::with_sized_env(prog, move |cfg| (base.make_env)(cfg));
     let mut inst = svc.engine(Target::Fpga).build().unwrap();
 
     // Unknown opcode byte: the controller answers BAD_OP (the opcode
