@@ -1,0 +1,272 @@
+//! Closed-loop goodput and RTT over a generated fat-tree — the
+//! topology-scale complement to the per-engine `sustained` bench.
+//!
+//! One seeded `emu::hosts` fat-tree (core + 2 aggregation + 4 edge
+//! learning switches, every engine 2-shard parallel compiled Cpu, plus
+//! the memcached/DNS/TCP-ping service leaves: 10 engines) carries nine
+//! closed-loop clients through an impairment sweep:
+//!
+//! * `topo:clean`        — unimpaired fabric,
+//! * `topo:loss`         — 2% per-link loss, full retry budget,
+//! * `topo:loss-noretry` — the same loss with the budget zeroed,
+//! * `topo:chaos`        — loss + duplication + reorder + jitter.
+//!
+//! Per point the report rows carry sim-time RTT quantiles (p50/p99/p999
+//! ns over clean first-try samples — deterministic per seed), the
+//! completed-request rate in both sim time (`goodput_rps`) and host
+//! wall clock (`mpps`, millions of completed requests per wall second —
+//! the row key the schema requires; topology rows are prefixed `topo:`
+//! so sustained baseline gates never cross-match them).
+//!
+//! **Gates (exit non-zero):** every sweep point must finish with zero
+//! end-to-end checker violations, and the lossy point with retries must
+//! complete strictly more requests than the same fabric without them —
+//! the closed-loop claim that retransmission recovers goodput.
+//!
+//! The full run issues >100k closed-loop requests across the sweep;
+//! `--smoke` trims per-client request counts for CI.
+//!
+//! Run: `cargo run --release -p emu-bench --bin topo
+//! [-- --requests N] [-- --smoke] [-- --out PATH] [-- --check]`
+
+use emu_hosts::{fat_tree, ClientConfig, TopoSpec, TopoSummary};
+use emu_telemetry::{BenchReport, Json};
+use emu_traffic::ClientCheck;
+use netsim::Impairments;
+use std::time::Instant;
+
+const SEED: u64 = 0x70b0;
+
+struct Point {
+    label: &'static str,
+    impair: Option<Impairments>,
+    retries: u32,
+}
+
+fn sweep() -> Vec<Point> {
+    let loss = Impairments {
+        loss: 0.02,
+        seed: SEED ^ 1,
+        ..Impairments::default()
+    };
+    vec![
+        Point {
+            label: "clean",
+            impair: None,
+            retries: 4,
+        },
+        Point {
+            label: "loss",
+            impair: Some(loss),
+            retries: 4,
+        },
+        Point {
+            label: "loss-noretry",
+            impair: Some(loss),
+            retries: 0,
+        },
+        Point {
+            label: "chaos",
+            impair: Some(Impairments {
+                loss: 0.02,
+                duplicate: 0.02,
+                reorder: 0.05,
+                jitter_ns: 2_000.0,
+                seed: SEED ^ 2,
+            }),
+            retries: 4,
+        },
+    ]
+}
+
+struct Run {
+    sum: TopoSummary,
+    violations: u64,
+    notes: Vec<String>,
+    wall_s: f64,
+    engines: usize,
+    clients: usize,
+}
+
+fn run_point(point: &Point, requests: u64) -> Run {
+    let spec = TopoSpec {
+        seed: SEED,
+        impair: point.impair,
+        client: ClientConfig {
+            requests,
+            retries: point.retries,
+            ..ClientConfig::default()
+        },
+        ..TopoSpec::default()
+    };
+    let mut topo = fat_tree(spec).expect("engines build");
+    topo.start();
+    let t0 = Instant::now();
+    topo.run().expect("run to quiescence");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut check = ClientCheck::new(spec.client.retries).rtt_floor_ns(topo.rtt_floor_ns());
+    let sum = topo.harvest(&mut check);
+    Run {
+        violations: check.violations(),
+        notes: check.notes().to_vec(),
+        wall_s,
+        engines: topo.engines(),
+        clients: topo.clients.len(),
+        sum,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut requests: u64 = if smoke { 150 } else { 3_000 };
+    if let Some(i) = args.iter().position(|a| a == "--requests") {
+        requests = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--requests N");
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone());
+    let self_check = args.iter().any(|a| a == "--check");
+
+    let mut report = BenchReport::new("topo")
+        .param("seed", SEED)
+        .param("requests_per_client", requests)
+        .param("smoke", smoke);
+
+    eprintln!("== topo: closed-loop fat-tree, {requests} requests/client ==");
+    eprintln!(
+        "{:<13} {:>8} {:>9} {:>9} {:>9} {:>6} {:>9} {:>9} {:>9} {:>11}",
+        "point",
+        "issued",
+        "done",
+        "retx",
+        "dups",
+        "t/o",
+        "p50 ns",
+        "p99 ns",
+        "p999 ns",
+        "goodput r/s"
+    );
+
+    let mut failed = false;
+    let mut total_requests = 0u64;
+    let mut by_label: Vec<(&'static str, u64)> = Vec::new();
+    for point in sweep() {
+        let run = run_point(&point, requests);
+        let s = &run.sum;
+        total_requests += s.issued;
+        by_label.push((point.label, s.completed));
+        let q = |q: f64| s.rtt.quantile(q).unwrap_or(0);
+        let (p50, p99, p999) = (q(0.50), q(0.99), q(0.999));
+        eprintln!(
+            "{:<13} {:>8} {:>9} {:>9} {:>9} {:>6} {:>9} {:>9} {:>9} {:>11.0}",
+            point.label,
+            s.issued,
+            s.completed,
+            s.retransmits,
+            s.duplicates,
+            s.timeouts,
+            p50,
+            p99,
+            p999,
+            s.goodput_rps()
+        );
+        if run.violations > 0 {
+            eprintln!(
+                "topo FAILED: {} end-to-end violations at {}: {:?}",
+                run.violations,
+                point.label,
+                &run.notes[..run.notes.len().min(5)]
+            );
+            failed = true;
+        }
+        report.push_row(Json::obj(vec![
+            (
+                "service",
+                Json::from(format!("topo:{}", point.label).as_str()),
+            ),
+            ("backend", Json::from("compiled")),
+            ("shards", Json::from(2u64)),
+            ("mode", Json::from("parallel")),
+            ("engines", Json::from(run.engines as u64)),
+            ("clients", Json::from(run.clients as u64)),
+            ("frames", Json::from(s.issued)),
+            ("completed", Json::from(s.completed)),
+            ("retransmits", Json::from(s.retransmits)),
+            ("timeouts", Json::from(s.timeouts)),
+            ("duplicates", Json::from(s.duplicates)),
+            ("retries", Json::from(point.retries as u64)),
+            ("mpps", Json::from(s.completed as f64 / run.wall_s / 1e6)),
+            ("goodput_rps", Json::from(s.goodput_rps())),
+            ("p50_ns", Json::from(p50 as f64)),
+            ("p99_ns", Json::from(p99 as f64)),
+            ("p999_ns", Json::from(p999 as f64)),
+        ]));
+    }
+
+    // The recovery gate: retries must buy goodput back under loss.
+    let completed = |label: &str| {
+        by_label
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, c)| *c)
+            .expect("sweep point ran")
+    };
+    let (with, without) = (completed("loss"), completed("loss-noretry"));
+    if with <= without {
+        eprintln!(
+            "topo FAILED: retries did not recover goodput under loss \
+             ({with} completed with retries vs {without} without)"
+        );
+        failed = true;
+    } else {
+        eprintln!("recovery: {with} completed with retries vs {without} without ✓");
+    }
+    if !smoke && total_requests < 100_000 {
+        eprintln!("topo FAILED: full sweep issued only {total_requests} requests (<100k)");
+        failed = true;
+    }
+    eprintln!("total closed-loop requests across sweep: {total_requests}");
+
+    let rendered = report.render();
+    let doc = Json::parse(&rendered).expect("self-parse");
+    if self_check {
+        BenchReport::validate(&doc).expect("schema");
+        BenchReport::require_row_keys(
+            &doc,
+            &[
+                "service",
+                "backend",
+                "shards",
+                "mode",
+                "frames",
+                "mpps",
+                "p50_ns",
+                "p99_ns",
+                "p999_ns",
+                "engines",
+                "clients",
+                "completed",
+            ],
+        )
+        .expect("row keys");
+        eprintln!(
+            "self-check: report validates against {} ✓",
+            emu_telemetry::SCHEMA
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n").expect("write --out");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+}

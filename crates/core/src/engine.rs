@@ -584,6 +584,39 @@ impl EngineBuilder<'_> {
         self
     }
 
+    /// Sets the idle timeout in **wall-clock paper units** — seconds of
+    /// simulated time expressed as nanoseconds — bridged onto the frame
+    /// epoch [`EngineBuilder::ttl_frames`] counts in.
+    ///
+    /// The engine's tables age by *frames processed*, not by a clock:
+    /// every frame offered to a shard advances its epoch by one. At a
+    /// sustained offered rate the two are equivalent — a flow idle for
+    /// `ttl_ns` of simulated time is idle for `ttl_ns / ns_per_frame`
+    /// epochs, where `ns_per_frame` is the mean inter-frame gap the
+    /// deployment expects (e.g. `1e9 / rate_fps`, or in a NetSim run
+    /// the scenario's send interval). The bridge rounds **up**, so a
+    /// mapping never expires *before* its wall-clock TTL at the stated
+    /// rate; under burstier-than-stated traffic entries age faster in
+    /// wall time (frames arrive sooner), exactly as a frame-count epoch
+    /// implies. This is how NAT's mapping timeout and the switch's MAC
+    /// aging — specified in seconds in the paper — are configured
+    /// inside NetSim scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are finite and positive.
+    pub fn ttl_ns(self, ttl_ns: f64, ns_per_frame: f64) -> Self {
+        assert!(
+            ttl_ns > 0.0 && ttl_ns.is_finite(),
+            "ttl_ns must be finite and positive"
+        );
+        assert!(
+            ns_per_frame > 0.0 && ns_per_frame.is_finite(),
+            "ns_per_frame must be finite and positive"
+        );
+        self.ttl_frames((ttl_ns / ns_per_frame).ceil() as u64)
+    }
+
     /// Instantiates the engine: `shards` copies of the service on the
     /// target, each configured by the dispatch policy.
     pub fn build(self) -> EngineResult<Engine> {

@@ -1,0 +1,73 @@
+//! The external-side responder: a native peer for NAT return traffic.
+//!
+//! Before this crate, soak harnesses closed the NAT loop by hand —
+//! drain the engine's translated outputs, synthesize peer answers with
+//! `emu_traffic::build::reply_to`, push them back in. [`Responder`] is
+//! that peer as a real endpoint: attach it across the NAT's external
+//! port and every translated frame that reaches it is answered *inside*
+//! the event loop (TCP SYNs get a SYN-ACK acknowledging the translated
+//! sequence number, UDP datagrams get an echo), so inbound-translation
+//! paths exercise themselves under impairments and timing like
+//! everything else in the topology.
+
+use emu_telemetry::Json;
+use emu_traffic::build::reply_to;
+use emu_types::proto::{ether_type, ip_proto, offset};
+use emu_types::Frame;
+use netsim::{AgentOutput, HostAgent};
+use std::any::Any;
+
+/// A host that answers everything routable sent at it.
+#[derive(Debug, Default)]
+pub struct Responder {
+    /// Payload carried by UDP echoes.
+    pub payload: Vec<u8>,
+    /// Frames received.
+    pub received: u64,
+    /// Replies sent (IPv4 TCP/UDP frames only).
+    pub replied: u64,
+}
+
+impl Responder {
+    /// A responder echoing `payload` in UDP answers.
+    pub fn new(payload: &[u8]) -> Self {
+        Responder {
+            payload: payload.to_vec(),
+            ..Self::default()
+        }
+    }
+}
+
+impl HostAgent for Responder {
+    fn on_frame(&mut self, _now: f64, port: usize, frame: &Frame) -> AgentOutput {
+        self.received += 1;
+        let b = frame.bytes();
+        let answerable = frame.ethertype() == ether_type::IPV4
+            && b.len() >= offset::L4 + 20
+            && matches!(b[offset::IPV4_PROTO], ip_proto::TCP | ip_proto::UDP);
+        if !answerable {
+            return AgentOutput::none();
+        }
+        self.replied += 1;
+        AgentOutput::none().send(port, reply_to(frame, &self.payload))
+    }
+
+    fn on_timer(&mut self, _now: f64, _token: u64) -> AgentOutput {
+        AgentOutput::none()
+    }
+
+    fn telemetry(&self) -> Option<Json> {
+        Some(Json::obj(vec![
+            ("received", Json::Num(self.received as f64)),
+            ("replied", Json::Num(self.replied as f64)),
+        ]))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

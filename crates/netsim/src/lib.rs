@@ -25,6 +25,19 @@
 //! simulation, so adversarial traffic mixes can soak whole topologies.
 //! Only simulation-fatal engine errors (`Build`, `Poisoned`) abort
 //! [`NetSim::run_until`].
+//!
+//! Endpoints come in two shapes. A **host** is a passive inbox the
+//! harness inspects after the run. An **agent** ([`HostAgent`],
+//! [`NetSim::add_agent`]) is a closed-loop endpoint that reacts *inside*
+//! the event loop: the simulator delivers frames and one-shot **timer**
+//! events to it, and it answers with frames-to-send and timers-to-arm —
+//! enough to express retransmission timeouts, exponential backoff, and
+//! request/response dialogues (the `emu-hosts` crate builds TCP,
+//! memcached, and DNS clients on this). Optionally,
+//! [`NetSim::set_ns_per_cycle`] converts each service engine's model
+//! cycle count into simulated processing latency, so closed-loop
+//! round-trip times include service time and stay deterministic per
+//! seed.
 
 use emu_core::{Engine, EngineError};
 use emu_telemetry::Json;
@@ -32,8 +45,80 @@ use emu_types::Frame;
 use kiwi_ir::IrResult;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Frames to send and timers to arm, returned by a [`HostAgent`]
+/// callback. Sends leave the agent's interfaces at the callback's
+/// `now_ns`; timers fire as [`HostAgent::on_timer`] events at their
+/// absolute times (clamped to never fire in the past).
+#[derive(Debug, Default)]
+pub struct AgentOutput {
+    /// `(port, frame)` transmissions, in order.
+    pub tx: Vec<(usize, Frame)>,
+    /// `(at_ns, token)` one-shot timers to arm.
+    pub timers: Vec<(f64, u64)>,
+}
+
+impl AgentOutput {
+    /// No sends, no timers.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a transmission out of `port`.
+    pub fn send(mut self, port: usize, frame: Frame) -> Self {
+        self.tx.push((port, frame));
+        self
+    }
+
+    /// Arms a one-shot timer for absolute time `at_ns` carrying `token`.
+    pub fn arm(mut self, at_ns: f64, token: u64) -> Self {
+        self.timers.push((at_ns, token));
+        self
+    }
+}
+
+/// A closed-loop endpoint living *inside* the event loop: where a
+/// plain host node's inbox only accumulates deliveries for the harness
+/// to inspect afterwards, an agent reacts to frames and to its own
+/// timers **at simulation time** — it can retransmit on timeout, back
+/// off, suppress duplicates, and issue its next request the moment a
+/// response lands. This is the fidelity gap named by the emulation
+/// literature (temporal behaviour, not just functional correctness) and
+/// the ROADMAP's closed-loop-hosts item.
+///
+/// Timers are one-shot and carry an opaque `token`; there is no cancel —
+/// agents implement cancellation by ignoring stale tokens (the idiomatic
+/// discrete-event pattern: a retransmission timer that fires after the
+/// response already arrived simply matches no outstanding request).
+///
+/// `emu-hosts` provides the standard implementations (TCP handshake
+/// client, memcached/DNS request clients, NAT-side responder); anything
+/// implementing this trait can be attached with [`NetSim::add_agent`].
+pub trait HostAgent {
+    /// A frame arrived on `port` at `now_ns`.
+    fn on_frame(&mut self, now_ns: f64, port: usize, frame: &Frame) -> AgentOutput;
+
+    /// A timer armed with `token` fired at `now_ns`.
+    fn on_timer(&mut self, now_ns: f64, token: u64) -> AgentOutput;
+
+    /// Optional telemetry snapshot, folded into [`NetSim::telemetry`]
+    /// under the node's `agent` key. Implementations should emit only
+    /// simulation-time quantities so snapshots stay deterministic per
+    /// seed.
+    fn telemetry(&self) -> Option<Json> {
+        None
+    }
+
+    /// Concrete-type access for harvesting typed stats in tests and
+    /// benches (see [`NetSim::agent_as`]).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable concrete-type access.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
 
 /// Node handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,6 +175,9 @@ enum NodeKind {
     /// caller — the same engine (and dispatch policy) every other target
     /// uses, so the Mininet-analogue exercises identical behaviour.
     Service(Box<Engine>),
+    /// A closed-loop endpoint agent reacting to frames and timers
+    /// inside `run_until` (see [`HostAgent`]).
+    Agent(Box<dyn HostAgent>),
 }
 
 struct Node {
@@ -119,12 +207,18 @@ struct Link {
     impair: Option<(Impairments, StdRng)>,
 }
 
+enum Payload {
+    /// A frame arriving on `dst_port`.
+    Deliver { dst_port: usize, frame: Frame },
+    /// An agent's one-shot timer carrying its token.
+    Timer { token: u64 },
+}
+
 struct Event {
     t_ns: f64,
     seq: u64,
     dst_node: usize,
-    dst_port: usize,
-    frame: Frame,
+    payload: Payload,
 }
 
 impl PartialEq for Event {
@@ -155,6 +249,10 @@ pub struct NetSim {
     events: BinaryHeap<Event>,
     time_ns: f64,
     seq: u64,
+    /// Service processing latency: ns of simulated time per model cycle
+    /// consumed by a service node's engine (default 0.0 — transmissions
+    /// leave "immediately", the pre-timer behaviour).
+    ns_per_cycle: f64,
     /// Frames delivered to a port with no link attached.
     pub dropped_no_link: u64,
     /// Aggregate impairment accounting across every impaired link.
@@ -176,9 +274,24 @@ impl NetSim {
             events: BinaryHeap::new(),
             time_ns: 0.0,
             seq: 0,
+            ns_per_cycle: 0.0,
             dropped_no_link: 0,
             impair_stats: ImpairStats::default(),
         }
+    }
+
+    /// Models service processing latency: every frame a service node
+    /// handles delays its transmissions by `cycles × ns`, where
+    /// `cycles` is the engine's model-cycle count for that frame (the
+    /// same quantity the telemetry histograms record). The `sustained`
+    /// bench's convention is 5 ns/cycle (`netfpga_sim::timing`'s 200 MHz
+    /// core clock); the default `0.0` preserves the historical
+    /// "transmit immediately" behaviour. With a non-zero value,
+    /// closed-loop round-trip times become meaningful — and stay
+    /// deterministic per seed, because model cycles are deterministic.
+    pub fn set_ns_per_cycle(&mut self, ns: f64) {
+        assert!(ns >= 0.0 && ns.is_finite(), "ns_per_cycle must be finite");
+        self.ns_per_cycle = ns;
     }
 
     /// Adds an end host with `ports` interfaces.
@@ -214,6 +327,49 @@ impl NetSim {
             last_drop: None,
         });
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a closed-loop endpoint agent with `ports` interfaces. The
+    /// agent's [`HostAgent::on_frame`]/[`HostAgent::on_timer`] callbacks
+    /// run inside [`NetSim::run_until`]; kick it off by arming its first
+    /// timer with [`NetSim::arm_timer`] (or by sending it a frame).
+    pub fn add_agent(&mut self, name: &str, agent: Box<dyn HostAgent>, ports: usize) -> NodeId {
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind: NodeKind::Agent(agent),
+            ifaces: vec![None; ports],
+            drops: 0,
+            last_drop: None,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Arms a one-shot timer on an agent node: at `at_ns` (or the
+    /// current simulation time, whichever is later) the agent's
+    /// [`HostAgent::on_timer`] runs with `token`. This is how a harness
+    /// starts agents before the first `run_until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an agent node.
+    pub fn arm_timer(&mut self, node: NodeId, at_ns: f64, token: u64) {
+        assert!(
+            matches!(self.nodes[node.0].kind, NodeKind::Agent(_)),
+            "arm_timer: node {} ({:?}) is not an agent",
+            self.nodes[node.0].name,
+            node,
+        );
+        self.push_timer(node.0, at_ns.max(self.time_ns), token);
+    }
+
+    fn push_timer(&mut self, node: usize, at_ns: f64, token: u64) {
+        self.seq += 1;
+        self.events.push(Event {
+            t_ns: at_ns,
+            seq: self.seq,
+            dst_node: node,
+            payload: Payload::Timer { token },
+        });
     }
 
     /// Connects `a.port_a ↔ b.port_b` with the given delay and rate,
@@ -314,8 +470,10 @@ impl NetSim {
                 t_ns: t,
                 seq: self.seq,
                 dst_node,
-                dst_port,
-                frame: frame.clone(),
+                payload: Payload::Deliver {
+                    dst_port,
+                    frame: frame.clone(),
+                },
             });
         }
         if let Some(t) = last {
@@ -324,8 +482,7 @@ impl NetSim {
                 t_ns: t,
                 seq: self.seq,
                 dst_node,
-                dst_port,
-                frame,
+                payload: Payload::Deliver { dst_port, frame },
             });
         }
     }
@@ -350,8 +507,21 @@ impl NetSim {
             let ev = self.events.pop().expect("peeked");
             self.time_ns = ev.t_ns;
             processed += 1;
-            let mut frame = ev.frame;
-            frame.in_port = ev.dst_port as u8;
+            let (mut frame, dst_port) = match ev.payload {
+                Payload::Timer { token } => {
+                    // Timers only target agent nodes (`arm_timer`
+                    // asserts at arm time; agents arm only themselves).
+                    let NodeKind::Agent(agent) = &mut self.nodes[ev.dst_node].kind else {
+                        debug_assert!(false, "timer fired on a non-agent node");
+                        continue;
+                    };
+                    let out = agent.on_timer(ev.t_ns, token);
+                    self.apply_agent_output(ev.dst_node, ev.t_ns, out);
+                    continue;
+                }
+                Payload::Deliver { dst_port, frame } => (frame, dst_port),
+            };
+            frame.in_port = dst_port as u8;
             let node = &mut self.nodes[ev.dst_node];
             let out = match &mut node.kind {
                 NodeKind::Host { inbox } => {
@@ -359,6 +529,11 @@ impl NetSim {
                         t_ns: ev.t_ns,
                         frame,
                     });
+                    continue;
+                }
+                NodeKind::Agent(agent) => {
+                    let out = agent.on_frame(ev.t_ns, dst_port, &frame);
+                    self.apply_agent_output(ev.dst_node, ev.t_ns, out);
                     continue;
                 }
                 NodeKind::Service(engine) => match engine.process(&frame) {
@@ -371,10 +546,12 @@ impl NetSim {
                     Err(e) => return Err(e.into()),
                 },
             };
-            // Service processing time on the CPU target is not modelled
-            // (Mininet gives functional, not temporal, fidelity);
-            // transmissions leave "immediately".
-            let t = ev.t_ns;
+            // Service processing time: by default transmissions leave
+            // "immediately" (Mininet gives functional, not temporal,
+            // fidelity); with `set_ns_per_cycle` the engine's model
+            // cycle count for this frame delays its transmissions, so
+            // closed-loop RTTs are meaningful and deterministic.
+            let t = ev.t_ns + out.cycles as f64 * self.ns_per_cycle;
             let n_ports = self.nodes[ev.dst_node].ifaces.len();
             for tx in out.tx {
                 for p in 0..n_ports {
@@ -387,11 +564,44 @@ impl NetSim {
         Ok(processed)
     }
 
+    /// Applies one agent callback's output: transmissions leave now,
+    /// timers are armed no earlier than now.
+    fn apply_agent_output(&mut self, node: usize, now_ns: f64, out: AgentOutput) {
+        for (port, frame) in out.tx {
+            self.transmit(node, port, frame, now_ns);
+        }
+        for (at_ns, token) in out.timers {
+            self.push_timer(node, at_ns.max(now_ns), token);
+        }
+    }
+
     /// Drains a host's inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is a service or agent node — those have no
+    /// inbox, and the old behaviour of silently returning an empty
+    /// `Vec` was indistinguishable from "no traffic arrived" (a real
+    /// bug class: asserting on the inbox of the wrong node always
+    /// passed vacuously). Use [`NetSim::try_inbox`] to probe.
+    #[track_caller]
     pub fn inbox(&mut self, host: NodeId) -> Vec<Delivery> {
-        match &mut self.nodes[host.0].kind {
-            NodeKind::Host { inbox } => std::mem::take(inbox),
-            NodeKind::Service(_) => Vec::new(),
+        match self.try_inbox(host) {
+            Some(v) => v,
+            None => panic!(
+                "inbox: node {} ({host:?}) is not a host (services and \
+                 agents have no inbox; did you assert on the wrong node?)",
+                self.nodes[host.0].name,
+            ),
+        }
+    }
+
+    /// Drains a host's inbox, or `None` when `node` is a service or
+    /// agent node (which have no inbox).
+    pub fn try_inbox(&mut self, node: NodeId) -> Option<Vec<Delivery>> {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Host { inbox } => Some(std::mem::take(inbox)),
+            NodeKind::Service(_) | NodeKind::Agent(_) => None,
         }
     }
 
@@ -405,8 +615,27 @@ impl NetSim {
     pub fn engine_mut(&mut self, n: NodeId) -> Option<&mut Engine> {
         match &mut self.nodes[n.0].kind {
             NodeKind::Service(engine) => Some(engine),
-            NodeKind::Host { .. } => None,
+            NodeKind::Host { .. } | NodeKind::Agent(_) => None,
         }
+    }
+
+    /// Access an agent node's [`HostAgent`] (`None` for other node
+    /// kinds).
+    pub fn agent_mut(&mut self, n: NodeId) -> Option<&mut dyn HostAgent> {
+        match &mut self.nodes[n.0].kind {
+            NodeKind::Agent(agent) => Some(agent.as_mut()),
+            _ => None,
+        }
+    }
+
+    /// Typed access to an agent node's concrete implementation —
+    /// harvesting client stats in tests and benches:
+    ///
+    /// ```ignore
+    /// let stats = net.agent_as::<McClient>(c).unwrap().stats();
+    /// ```
+    pub fn agent_as<T: HostAgent + 'static>(&mut self, n: NodeId) -> Option<&mut T> {
+        self.agent_mut(n)?.as_any_mut().downcast_mut::<T>()
     }
 
     /// Frames node `n`'s engine refused per-frame (oversize or trap) —
@@ -440,6 +669,7 @@ impl NetSim {
                         Json::from(match node.kind {
                             NodeKind::Host { .. } => "host",
                             NodeKind::Service(_) => "service",
+                            NodeKind::Agent(_) => "agent",
                         }),
                     ),
                     ("drops", Json::from(node.drops)),
@@ -450,6 +680,11 @@ impl NetSim {
                 if let NodeKind::Service(engine) = &node.kind {
                     if let Some(snap) = engine.telemetry() {
                         fields.push(("engine", snap.to_json()));
+                    }
+                }
+                if let NodeKind::Agent(agent) = &node.kind {
+                    if let Some(snap) = agent.telemetry() {
+                        fields.push(("agent", snap));
                     }
                 }
                 Json::obj(fields)
@@ -850,6 +1085,115 @@ mod tests {
             4,
             "adversarial traffic must not poison shards"
         );
+    }
+
+    /// A minimal agent: sends a tagged frame every time its timer
+    /// fires, re-arming `period_ns` later until `left` hits zero, and
+    /// records each arrival time it sees.
+    struct Ticker {
+        period_ns: f64,
+        left: u32,
+        seen: Vec<f64>,
+    }
+
+    impl HostAgent for Ticker {
+        fn on_frame(&mut self, now_ns: f64, _port: usize, _frame: &Frame) -> AgentOutput {
+            self.seen.push(now_ns);
+            AgentOutput::none()
+        }
+        fn on_timer(&mut self, now_ns: f64, token: u64) -> AgentOutput {
+            if self.left == 0 {
+                return AgentOutput::none();
+            }
+            self.left -= 1;
+            AgentOutput::none()
+                .send(0, Frame::new(vec![token as u8; 60]))
+                .arm(now_ns + self.period_ns, token)
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn agent_timers_drive_sends_and_reflections_close_the_loop() {
+        let mut net = NetSim::new();
+        let a = net.add_agent(
+            "ticker",
+            Box::new(Ticker {
+                period_ns: 10_000.0,
+                left: 5,
+                seen: Vec::new(),
+            }),
+            1,
+        );
+        let m = net.add_service("mirror", cpu_engine(&mirror_service(), 1), 1);
+        net.link(a, 0, m, 0, 500.0, 10.0);
+        net.arm_timer(a, 0.0, 7);
+        net.run_until(1e9).unwrap();
+        let t = net.agent_as::<Ticker>(a).unwrap();
+        assert_eq!(t.left, 0, "every timer must have fired");
+        assert_eq!(t.seen.len(), 5, "every send must reflect back");
+        // Arrivals are one period apart and after one round trip.
+        assert!(t.seen[0] > 1000.0);
+        for w in t.seen.windows(2) {
+            assert!((w[1] - w[0] - 10_000.0).abs() < 1e-6, "{:?}", t.seen);
+        }
+        // Agents appear in telemetry as their own node kind.
+        let nodes = net.telemetry();
+        let kinds: Vec<&str> = nodes
+            .get("nodes")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|n| n.get("kind").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(kinds, ["agent", "service"]);
+    }
+
+    #[test]
+    fn service_latency_delays_transmissions_by_model_cycles() {
+        let run = |ns_per_cycle: f64| {
+            let mut net = NetSim::new();
+            net.set_ns_per_cycle(ns_per_cycle);
+            let h = net.add_host("h", 1);
+            let m = net.add_service("mirror", cpu_engine(&mirror_service(), 1), 1);
+            net.link(h, 0, m, 0, 500.0, 10.0);
+            net.send(h, 0, Frame::new(vec![1; 60]), 0.0);
+            net.run_until(1e9).unwrap();
+            net.inbox(h)[0].t_ns
+        };
+        let immediate = run(0.0);
+        let modelled = run(5.0);
+        assert!(
+            modelled > immediate,
+            "service cycles must delay the echo: {modelled} <= {immediate}"
+        );
+        // The delta is exactly cycles × 5 ns — deterministic, so two
+        // modelled runs agree to the bit.
+        assert_eq!(run(5.0).to_bits(), modelled.to_bits());
+    }
+
+    #[test]
+    fn try_inbox_distinguishes_node_kinds() {
+        let mut net = NetSim::new();
+        let h = net.add_host("h", 1);
+        let m = net.add_service("mirror", cpu_engine(&mirror_service(), 1), 1);
+        assert!(net.try_inbox(h).is_some());
+        assert!(net.try_inbox(m).is_none(), "services have no inbox");
+        assert!(net.agent_mut(h).is_none());
+        assert!(net.engine_mut(m).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a host")]
+    fn inbox_on_a_service_node_panics() {
+        let mut net = NetSim::new();
+        let m = net.add_service("mirror", cpu_engine(&mirror_service(), 1), 1);
+        let _ = net.inbox(m);
     }
 
     #[test]

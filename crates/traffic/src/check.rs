@@ -686,6 +686,151 @@ impl Checker for SwitchModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// Closed-loop client outcomes
+// ---------------------------------------------------------------------
+
+/// One closed-loop request's end-to-end outcome, as observed **at the
+/// client**: did a verified response come back, how long did it take,
+/// how many retransmissions did it cost. The frame-level checkers above
+/// judge a service's per-frame contract; this record judges the whole
+/// impaired path — client, fabric, impairments, service, and back. The
+/// `emu-hosts` agents produce these; [`ClientCheck`] consumes them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutcome {
+    /// Client node name.
+    pub client: String,
+    /// Workload kind (`"tcp"`, `"memcached"`, `"dns"`).
+    pub proto: &'static str,
+    /// Per-client request serial (0, 1, 2, …).
+    pub serial: u64,
+    /// A response arrived and matched the client's model of what the
+    /// service must answer. `false` + `timed_out == false` means a
+    /// *wrong* response — always a violation.
+    pub verified: bool,
+    /// The request exhausted its retry budget without a response.
+    pub timed_out: bool,
+    /// Round-trip time (simulation ns) for responses that arrived
+    /// without a retransmission (Karn's rule: a retransmitted
+    /// request's RTT sample is ambiguous, so none is taken).
+    pub rtt_ns: Option<u64>,
+    /// Retransmissions spent on this request.
+    pub retries: u32,
+    /// Diagnostic detail for mismatches.
+    pub note: Option<String>,
+}
+
+/// Invariant checker over [`ClientOutcome`]s — the closed-loop
+/// counterpart of the frame-level [`Checker`]s, with the same
+/// frames/violations/notes reporting surface:
+///
+/// * every outcome resolves exactly one way (verified xor timed out),
+/// * a response that arrives must verify (a wrong payload is a
+///   violation even on a lossy path — loss delays or kills a request,
+///   it never corrupts a checksummed response into another valid one),
+/// * a timeout must have spent the full retry budget (giving up early
+///   is a client bug),
+/// * retries never exceed the budget,
+/// * measured RTTs respect the physical floor of the topology
+///   ([`ClientCheck::rtt_floor_ns`], when set): nothing answers faster
+///   than serialization + propagation.
+#[derive(Debug, Default)]
+pub struct ClientCheck {
+    tally: Tally,
+    retry_budget: u32,
+    rtt_floor_ns: u64,
+    completed: u64,
+    timed_out: u64,
+}
+
+impl ClientCheck {
+    /// Builds a checker for clients configured with `retry_budget`
+    /// retransmissions per request.
+    pub fn new(retry_budget: u32) -> Self {
+        ClientCheck {
+            retry_budget,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the minimum physically possible RTT (2 × (serialization +
+    /// propagation) along the shortest path); measured RTTs below it
+    /// are violations.
+    pub fn rtt_floor_ns(mut self, floor: u64) -> Self {
+        self.rtt_floor_ns = floor;
+        self
+    }
+
+    /// Consumes one outcome.
+    pub fn observe(&mut self, o: &ClientOutcome) {
+        self.tally.frames += 1;
+        let id = format!("{}/{} #{}", o.client, o.proto, o.serial);
+        match (o.verified, o.timed_out) {
+            (true, true) => self
+                .tally
+                .violate(format!("{id}: both verified and timed out")),
+            (false, false) => self.tally.violate(format!(
+                "{id}: response mismatched the client model: {}",
+                o.note.as_deref().unwrap_or("(no detail)")
+            )),
+            (true, false) => self.completed += 1,
+            (false, true) => self.timed_out += 1,
+        }
+        if o.timed_out && o.retries != self.retry_budget {
+            self.tally.violate(format!(
+                "{id}: gave up after {} retries with a budget of {}",
+                o.retries, self.retry_budget
+            ));
+        }
+        if o.retries > self.retry_budget {
+            self.tally.violate(format!(
+                "{id}: {} retries exceed the budget of {}",
+                o.retries, self.retry_budget
+            ));
+        }
+        if let Some(rtt) = o.rtt_ns {
+            if rtt < self.rtt_floor_ns {
+                self.tally.violate(format!(
+                    "{id}: rtt {rtt} ns beats the physical floor {} ns",
+                    self.rtt_floor_ns
+                ));
+            }
+        }
+    }
+
+    /// Consumes a batch of outcomes.
+    pub fn observe_all<'a>(&mut self, outcomes: impl IntoIterator<Item = &'a ClientOutcome>) {
+        for o in outcomes {
+            self.observe(o);
+        }
+    }
+
+    /// Checker label for reports.
+    pub fn name(&self) -> &'static str {
+        "client-end-to-end"
+    }
+    /// Outcomes observed.
+    pub fn frames(&self) -> u64 {
+        self.tally.frames
+    }
+    /// Requests that completed with a verified response.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+    /// Requests that exhausted their retry budget.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out
+    }
+    /// Invariant violations.
+    pub fn violations(&self) -> u64 {
+        self.tally.violations
+    }
+    /// First violation notes.
+    pub fn notes(&self) -> &[String] {
+        &self.tally.notes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -887,5 +1032,50 @@ mod tests {
             }),
         );
         assert_eq!(checker.violations(), 0);
+    }
+
+    fn outcome(verified: bool, timed_out: bool, retries: u32) -> ClientOutcome {
+        ClientOutcome {
+            client: "c0".into(),
+            proto: "memcached",
+            serial: 0,
+            verified,
+            timed_out,
+            rtt_ns: None,
+            retries,
+            note: None,
+        }
+    }
+
+    #[test]
+    fn client_check_accepts_clean_completions_and_budgeted_timeouts() {
+        let mut check = ClientCheck::new(3).rtt_floor_ns(1_000);
+        check.observe(&ClientOutcome {
+            rtt_ns: Some(4_200),
+            ..outcome(true, false, 0)
+        });
+        check.observe(&outcome(false, true, 3)); // spent the whole budget
+        assert_eq!(check.frames(), 2);
+        assert_eq!((check.completed(), check.timed_out()), (1, 1));
+        assert_eq!(check.violations(), 0, "notes: {:?}", check.notes());
+    }
+
+    #[test]
+    fn client_check_flags_mismatch_early_giveup_and_impossible_rtt() {
+        let mut check = ClientCheck::new(3).rtt_floor_ns(1_000);
+        // Wrong response body: neither verified nor timed out.
+        check.observe(&outcome(false, false, 0));
+        // Gave up before exhausting the retry budget.
+        check.observe(&outcome(false, true, 1));
+        // Overspent the budget.
+        check.observe(&outcome(true, false, 4));
+        // RTT below the physical floor of the topology.
+        check.observe(&ClientOutcome {
+            rtt_ns: Some(10),
+            ..outcome(true, false, 0)
+        });
+        // Contradictory resolution.
+        check.observe(&outcome(true, true, 3));
+        assert_eq!(check.violations(), 5, "notes: {:?}", check.notes());
     }
 }

@@ -86,8 +86,8 @@ impl FlowChurn {
     fn frame_for(&self, id: u64) -> Frame {
         let (src, sport, in_port) = self.endpoint(id);
         udp_frame(
-            MacAddr::from_u64(0x02_0000_000000 | id),
-            MacAddr::from_u64(0x02_0000_ffffff),
+            MacAddr::from_u64(0x0200_0000_0000 | id),
+            MacAddr::from_u64(0x0200_00ff_ffff),
             src,
             sport,
             Ipv4(0x0808_0808),
@@ -155,7 +155,7 @@ impl MacChurn {
     }
 
     fn mac(station: u64) -> MacAddr {
-        MacAddr::from_u64(0x06_0000_000000 | station)
+        MacAddr::from_u64(0x0600_0000_0000 | station)
     }
 
     /// One frame per in-window station (each station sends once, so

@@ -71,7 +71,7 @@ pub mod tcp;
 
 pub use adversarial::Adversarial;
 pub use background::Background;
-pub use check::{Checker, McModel, NatChecker, SwitchModel};
+pub use check::{Checker, ClientCheck, ClientOutcome, McModel, NatChecker, SwitchModel};
 pub use churn::{FlowChurn, MacChurn};
 pub use dns::DnsWeighted;
 pub use mc::MemcachedZipf;

@@ -21,6 +21,7 @@
 //! | [`services`] | `emu-services` | the eight §4 services |
 //! | [`host`] | `hoststack` | Linux-path baseline model |
 //! | [`simnet`] | `netsim` | Mininet-analogue network simulator |
+//! | [`hosts`] | `emu-hosts` | closed-loop endpoint agents + generated topologies |
 //! | [`traffic`] | `emu-traffic` | seeded workload generators, checkers, record/replay |
 //! | [`telemetry`] | `emu-telemetry` | counters, latency histograms, bench-report schema |
 //!
@@ -232,9 +233,65 @@
 //! `cargo run --release -p emu-bench --bin sustained -- --check --out BENCH_6.json`
 //! and regression-gated in CI (>10 % Mpps drop or >20 % p99 rise
 //! fails).
+//!
+//! ## Closed-loop hosts
+//!
+//! Open-loop streams measure what an engine *does*; they cannot measure
+//! what a network *feels like*, because nothing in them reacts. The
+//! [`hosts`] crate closes the loop: [`hosts::TcpClient`],
+//! [`hosts::McClient`], and [`hosts::DnsClient`] are
+//! [`simnet::HostAgent`]s living inside the event loop — they arm
+//! retransmission timers, back off exponentially, suppress duplicated
+//! responses, verify every answer against a model of the server, and
+//! sample RTTs under Karn's rule into [`telemetry::Histogram`]s. With
+//! [`simnet::NetSim::set_ns_per_cycle`] the service's model cycle count
+//! becomes simulated processing latency, so the measured RTT is wire +
+//! engine, deterministic per seed:
+//!
+//! ```
+//! use emu::prelude::*;
+//! use emu::hosts::{ClientConfig, TcpClient, KICK};
+//!
+//! let mut net = emu::simnet::NetSim::new();
+//! net.set_ns_per_cycle(5.0); // the 200 MHz core clock of Table 4
+//! let ping = emu::services::tcp_ping();
+//! let server = net.add_service("ping", ping.engine(Target::Cpu).build().unwrap(), 1);
+//! let client = net.add_agent(
+//!     "prober",
+//!     Box::new(TcpClient::new(
+//!         "prober",
+//!         MacAddr::from_u64(0x02_00_00_00_00_01), "10.0.0.1".parse().unwrap(), 40_000,
+//!         MacAddr::from_u64(0x02_00_00_00_00_02), "10.0.0.2".parse().unwrap(), 7,
+//!         1, ClientConfig { requests: 32, ..ClientConfig::default() },
+//!     )),
+//!     1,
+//! );
+//! net.link(client, 0, server, 0, 500.0, 10.0);
+//! net.arm_timer(client, 0.0, KICK); // kick request #0; the rest self-schedule
+//! net.run_until(f64::MAX).unwrap();
+//! let probe = net.agent_as::<TcpClient>(client).unwrap();
+//! assert_eq!(probe.stats().completed, 32); // every SYN got a verified SYN-ACK
+//! // RTT ≥ two traversals of the 500 ns wire (plus service cycles).
+//! assert!(probe.stats().rtt.quantile(0.5).unwrap() >= 1_000);
+//! ```
+//!
+//! [`hosts::fat_tree`] scales the same machinery to whole topologies: a
+//! seeded [`hosts::TopoSpec`] generates an edge-hierarchy fabric of
+//! sharded learning-switch engines with impaired links, memcached, DNS,
+//! and TCP-ping service leaves, and a closed-loop client on every
+//! remaining slot; [`hosts::Topo::harvest`] merges the client-side
+//! accounting and feeds every per-request outcome through
+//! [`traffic::ClientCheck`]. The `topo` bench bin
+//! (`cargo run --release -p emu-bench --bin topo`) sweeps impairment
+//! levels over that fabric and emits goodput + RTT quantiles as
+//! `emu-bench-report/v1` rows; `tests/closed_loop.rs` holds the
+//! retries-recover-from-loss, duplicate-suppression, RTT-monotonicity,
+//! and whole-topology differential (seq==par, compiled==treewalk)
+//! suites.
 
 pub use direction as debug;
 pub use emu_core as stdlib;
+pub use emu_hosts as hosts;
 pub use emu_rtl as rtl;
 pub use emu_services as services;
 pub use emu_telemetry as telemetry;
