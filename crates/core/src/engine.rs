@@ -390,6 +390,9 @@ pub struct Shard {
     /// telemetry disabled. Boxed: the histogram's bucket array should
     /// not bloat `Shard` moves.
     stats: Option<Box<ShardStats>>,
+    /// Whether batch slices take the compiled backend's monomorphized
+    /// fast path (set from [`EngineBuilder::batching`]).
+    batching: bool,
 }
 
 impl Shard {
@@ -399,11 +402,14 @@ impl Shard {
         backend: Backend,
         telemetry: bool,
         tables: &TableConfig,
+        passes: Option<&[kiwi_ir::Pass]>,
+        batching: bool,
     ) -> IrResult<Self> {
         Ok(Shard {
-            driver: AnyDriver::new(service, target, backend)?,
+            driver: AnyDriver::new(service, target, backend, passes)?,
             env: (service.make_env)(tables),
             stats: telemetry.then(|| Box::new(ShardStats::new())),
+            batching,
         })
     }
 
@@ -474,6 +480,26 @@ impl Shard {
         self.driver.process(frame, &mut self.env, obs)
     }
 
+    /// Runs a batch slice: the monomorphized fast path when batching is
+    /// enabled, otherwise scalar `process` calls — semantics are
+    /// identical either way (stop at the first error, one result per
+    /// frame attempted).
+    fn process_batch(&mut self, frames: &[&Frame]) -> Vec<IrResult<CoreOutput>> {
+        if self.batching {
+            return self.driver.process_batch(frames, &mut self.env);
+        }
+        let mut out = Vec::with_capacity(frames.len());
+        for f in frames {
+            let r = self.driver.process(f, &mut self.env, &mut NullObserver);
+            let failed = r.is_err();
+            out.push(r);
+            if failed {
+                break;
+            }
+        }
+        out
+    }
+
     fn idle(&mut self, n: u64) -> IrResult<()> {
         self.driver.idle(n, &mut self.env, &mut NullObserver)
     }
@@ -500,6 +526,8 @@ impl Service {
             max_cycles_per_frame: None,
             telemetry: true,
             tables: TableConfig::default(),
+            passes: None,
+            batching: true,
         }
     }
 }
@@ -516,6 +544,8 @@ pub struct EngineBuilder<'a> {
     max_cycles_per_frame: Option<u64>,
     telemetry: bool,
     tables: TableConfig,
+    passes: Option<Vec<kiwi_ir::Pass>>,
+    batching: bool,
 }
 
 impl EngineBuilder<'_> {
@@ -531,6 +561,30 @@ impl EngineBuilder<'_> {
     /// tests can pin both sides even under a forced-tree-walk CI run.
     pub fn backend(mut self, b: Backend) -> Self {
         self.backend = Some(b);
+        self
+    }
+
+    /// Pins the compiled backend's optimization pass pipeline (ignored
+    /// by [`Backend::TreeWalk`] and [`Target::Fpga`], which have no
+    /// pass pipeline). An explicit call here always wins over the
+    /// `EMU_CPU_PASSES` environment override — the builder-side mirror
+    /// of that knob — so differential tests can pin both sides even
+    /// under a passes-disabled CI run. Default: defer to
+    /// `EMU_CPU_PASSES`, falling back to
+    /// [`kiwi_ir::default_pipeline`].
+    pub fn passes(mut self, passes: &[kiwi_ir::Pass]) -> Self {
+        self.passes = Some(passes.to_vec());
+        self
+    }
+
+    /// Whether [`Engine::process_batch`] runs compiled shards through
+    /// the monomorphized batch fast path (default `true`). Disabling
+    /// forces scalar per-frame execution — the PR-5 behaviour — which
+    /// is what the `backend_compare` bench's `compiled-scalar` column
+    /// measures. Results are byte-identical either way; only host
+    /// wall-clock time changes.
+    pub fn batching(mut self, yes: bool) -> Self {
+        self.batching = yes;
         self
     }
 
@@ -645,6 +699,8 @@ impl EngineBuilder<'_> {
                 backend,
                 self.telemetry,
                 &self.tables,
+                self.passes.as_deref(),
+                self.batching,
             )?;
             if let Some(n) = self.max_cycles_per_frame {
                 shard.driver.set_max_cycles_per_frame(n);
@@ -756,6 +812,13 @@ fn run_shard(k: usize, shard: &mut Shard, frames: &[Frame], idxs: &[usize]) -> S
         cycles: 0,
         trap: None,
     };
+    // The whole slice goes to the driver in one call (the batch fast
+    // path when enabled). It stops at the first error, returning one
+    // result per frame *attempted* — an `Ok` prefix plus at most one
+    // `Err` — so the telemetry and poisoning bookkeeping below is
+    // byte-identical to processing the slice one scalar call at a time.
+    let slice: Vec<&Frame> = idxs.iter().map(|&i| &frames[i]).collect();
+    let mut outcomes = shard.process_batch(&slice).into_iter();
     for &i in idxs {
         if let Some(reason) = &run.trap {
             shard.record_drop(DropKind::Poisoned);
@@ -768,7 +831,10 @@ fn run_shard(k: usize, shard: &mut Shard, frames: &[Frame], idxs: &[usize]) -> S
             ));
             continue;
         }
-        match shard.process(&frames[i], &mut NullObserver) {
+        match outcomes
+            .next()
+            .expect("one batch outcome per pre-trap frame")
+        {
             Ok(out) => {
                 run.cycles += out.cycles;
                 shard.record_ok(&frames[i], &out);

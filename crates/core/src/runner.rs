@@ -180,15 +180,27 @@ pub(crate) enum AnyDriver {
 
 impl AnyDriver {
     /// Instantiates the driver for `service` on `target`, using
-    /// `backend` when the target is software.
-    pub(crate) fn new(service: &Service, target: Target, backend: Backend) -> IrResult<Self> {
+    /// `backend` when the target is software. `passes` pins the
+    /// compiled backend's optimization pipeline; `None` defers to
+    /// `EMU_CPU_PASSES` / the default pipeline (ignored by the other
+    /// backends, which have no pass pipeline).
+    pub(crate) fn new(
+        service: &Service,
+        target: Target,
+        backend: Backend,
+        passes: Option<&[kiwi_ir::Pass]>,
+    ) -> IrResult<Self> {
         Ok(match (target, backend) {
             (Target::Cpu, Backend::TreeWalk) => {
                 let m = Machine::new(kiwi_ir::flatten(&service.program)?);
                 AnyDriver::Cpu(DataplaneDriver::new(m)?)
             }
             (Target::Cpu, Backend::Compiled) => {
-                let cp = kiwi_ir::compile(&kiwi_ir::flatten(&service.program)?)?;
+                let flat = kiwi_ir::flatten(&service.program)?;
+                let cp = match passes {
+                    Some(p) => kiwi_ir::compile_with_passes(&flat, p)?,
+                    None => kiwi_ir::compile(&flat)?,
+                };
                 AnyDriver::CpuCompiled(DataplaneDriver::new(kiwi_ir::CompiledMachine::new(cp))?)
             }
             (Target::Fpga, _) => {
@@ -209,6 +221,31 @@ impl AnyDriver {
             AnyDriver::CpuCompiled(d) => d.process(frame, env, obs),
             AnyDriver::Fpga(d) => d.process(frame, env, obs),
         }
+    }
+
+    /// Processes `frames` back to back, stopping at the first error
+    /// (one result per frame attempted: an `Ok` prefix plus at most one
+    /// `Err`). The compiled backend runs its monomorphized batch fast
+    /// path; the tree-walker and FPGA backends fall back to scalar
+    /// [`AnyDriver::process`] calls with identical semantics.
+    pub(crate) fn process_batch(
+        &mut self,
+        frames: &[&Frame],
+        env: &mut IpEnv,
+    ) -> Vec<IrResult<CoreOutput>> {
+        if let AnyDriver::CpuCompiled(d) = self {
+            return d.process_batch(frames, env);
+        }
+        let mut out = Vec::with_capacity(frames.len());
+        for f in frames {
+            let r = self.process(f, env, &mut kiwi_ir::NullObserver);
+            let failed = r.is_err();
+            out.push(r);
+            if failed {
+                break;
+            }
+        }
+        out
     }
 
     pub(crate) fn idle(&mut self, n: u64, env: &mut IpEnv, obs: &mut dyn Observer) -> IrResult<()> {
@@ -264,8 +301,9 @@ impl AnyDriver {
 }
 
 /// Runs the same frames through every execution backend — tree-walking
-/// CPU, compiled CPU, and the FPGA FSM — and asserts identical
-/// transmissions. The differential harness used across the test suite.
+/// CPU, compiled CPU (scalar *and* batched), and the FPGA FSM — and
+/// asserts identical transmissions, outputs, and telemetry. The
+/// differential harness used across the test suite.
 pub fn assert_targets_agree(service: &Service, frames: &[Frame]) -> IrResult<()> {
     let mut treewalk = service
         .engine(Target::Cpu)
@@ -276,6 +314,7 @@ pub fn assert_targets_agree(service: &Service, frames: &[Frame]) -> IrResult<()>
         .backend(Backend::Compiled)
         .build()?;
     let mut fpga = service.engine(Target::Fpga).build()?;
+    let mut scalar_outputs = Vec::with_capacity(frames.len());
     for (i, f) in frames.iter().enumerate() {
         let a = treewalk.process(f)?;
         let c = compiled.process(f)?;
@@ -291,6 +330,33 @@ pub fn assert_targets_agree(service: &Service, frames: &[Frame]) -> IrResult<()>
                 "backend divergence on frame {i}: treewalk {a:?} vs compiled {c:?}"
             )));
         }
+        scalar_outputs.push(c);
+    }
+    // The batched fast path must reproduce the scalar compiled run
+    // byte for byte: outputs, cycle counts, and telemetry snapshot.
+    let mut batched = service
+        .engine(Target::Cpu)
+        .backend(Backend::Compiled)
+        .batching(true)
+        .build()?;
+    let report = batched.process_batch(frames);
+    for (i, r) in report.outputs.iter().enumerate() {
+        match r {
+            Ok(out) if *out == scalar_outputs[i] => {}
+            other => {
+                return Err(kiwi_ir::IrError(format!(
+                    "batched divergence on frame {i}: scalar {:?} vs batched {other:?}",
+                    scalar_outputs[i]
+                )));
+            }
+        }
+    }
+    if batched.telemetry() != compiled.telemetry() {
+        return Err(kiwi_ir::IrError(format!(
+            "batched telemetry diverges: scalar {:?} vs batched {:?}",
+            compiled.telemetry(),
+            batched.telemetry()
+        )));
     }
     Ok(())
 }

@@ -224,6 +224,95 @@ pub enum MOp {
         /// Element width (for the out-of-range zero).
         w: u16,
     },
+    /// Array element read at a compile-time-constant, in-bounds index
+    /// (elements ≤ 64 bits). Produced by
+    /// [`ArrayStrength`](crate::opt::Pass::ArrayStrength): the index
+    /// slot and its `ConstS` feeder disappear entirely.
+    LdArrCS {
+        /// Destination slot.
+        dst: Slot,
+        /// Array index.
+        arr: u32,
+        /// Constant element index, proven in bounds at compile time.
+        idx: u32,
+    },
+    /// Array element read at a compile-time-constant, in-bounds index
+    /// (elements > 64 bits).
+    LdArrCW {
+        /// Destination slot.
+        dst: Slot,
+        /// Array index.
+        arr: u32,
+        /// Constant element index, proven in bounds at compile time.
+        idx: u32,
+    },
+    /// Fused read of two adjacent array elements (≤ 64 bits each),
+    /// concatenated high-to-low: with `i = (idx + off) & mask` and
+    /// `j = (i + 1) & mask`, `dst = (a[i] << bw) | a[j]`. The offset
+    /// add, wrap masks, and both loads reproduce the index arithmetic
+    /// the fusion replaced, micro-op for micro-op. Produced by
+    /// [`FusePairs`](crate::opt::Pass::FusePairs) from a `ConcatS` of
+    /// two loads at consecutive indices; each element reads the
+    /// architectural zero when out of range, exactly like the two
+    /// `LdArrS` it replaces.
+    LdArrPairS {
+        /// Destination slot.
+        dst: Slot,
+        /// Small slot holding the base index.
+        idx: Slot,
+        /// Array index.
+        arr: u32,
+        /// Constant offset the replaced index add applied to `idx`.
+        off: u64,
+        /// Wrap mask the replaced index arithmetic applied.
+        mask: u64,
+        /// Element width in bits (the concat's low-part width).
+        bw: u16,
+    },
+    /// Fused read of two adjacent array elements at compile-time-
+    /// constant indices: `dst = (a[idx] << bw) | a[idx + 1]`, both
+    /// indices proven in bounds at compile time.
+    LdArrPairCS {
+        /// Destination slot.
+        dst: Slot,
+        /// Array index.
+        arr: u32,
+        /// Constant first element index (`idx + 1` is in bounds too).
+        idx: u32,
+        /// Element width in bits.
+        bw: u16,
+    },
+    /// Fused concat whose low part is an array load at a dynamic
+    /// index: `dst = (a << bw) | arr[idx]` (out-of-range reads zero).
+    /// Produced by [`FusePairs`](crate::opt::Pass::FusePairs) for the
+    /// inner steps of multi-byte concat towers, where the high part is
+    /// itself an accumulated value rather than a single load.
+    ConcatLdS {
+        /// Destination slot.
+        dst: Slot,
+        /// High-part slot.
+        a: Slot,
+        /// Array index.
+        arr: u32,
+        /// Small slot holding the low part's element index.
+        idx: Slot,
+        /// Width of the low part.
+        bw: u16,
+    },
+    /// Fused concat whose low part is an array load at a compile-time-
+    /// constant, in-bounds index: `dst = (a << bw) | arr[#idx]`.
+    ConcatLdCS {
+        /// Destination slot.
+        dst: Slot,
+        /// High-part slot.
+        a: Slot,
+        /// Array index.
+        arr: u32,
+        /// Constant element index, proven in bounds at compile time.
+        idx: u32,
+        /// Width of the low part.
+        bw: u16,
+    },
     /// Small-to-small move (identity resize; fodder for copy propagation).
     CopyS {
         /// Destination slot.
@@ -519,6 +608,31 @@ pub enum MOp {
         /// Element width.
         w: u16,
     },
+    /// Terminal: array element write from a small slot at a
+    /// compile-time-constant index, proven in bounds by
+    /// [`crate::opt::Pass::ArrayStrength`] (no index slot to read, no
+    /// bounds check to run). Budget-wise identical to [`MOp::StArrS`].
+    StArrCS {
+        /// Array index.
+        arr: u32,
+        /// Constant element index.
+        idx: u32,
+        /// Value slot.
+        a: Slot,
+        /// Element width.
+        w: u16,
+    },
+    /// Terminal: wide-slot counterpart of [`MOp::StArrCS`].
+    StArrCW {
+        /// Array index.
+        arr: u32,
+        /// Constant element index.
+        idx: u32,
+        /// Value slot.
+        a: Slot,
+        /// Element width.
+        w: u16,
+    },
     /// Terminal: output-signal drive from a small slot.
     StSigS {
         /// Signal index.
@@ -576,6 +690,11 @@ impl MOp {
             | LdVarS { dst, .. }
             | LdSigS { dst, .. }
             | LdArrS { dst, .. }
+            | LdArrCS { dst, .. }
+            | LdArrPairS { dst, .. }
+            | LdArrPairCS { dst, .. }
+            | ConcatLdS { dst, .. }
+            | ConcatLdCS { dst, .. }
             | CopyS { dst, .. }
             | Narrow { dst, .. }
             | MaskS { dst, .. }
@@ -596,6 +715,7 @@ impl MOp {
             | LdVarW { dst, .. }
             | LdSigW { dst, .. }
             | LdArrW { dst, .. }
+            | LdArrCW { dst, .. }
             | CopyW { dst, .. }
             | Widen { dst, .. }
             | ResizeW { dst, .. }
@@ -611,6 +731,8 @@ impl MOp {
             | StVarW { .. }
             | StArrS { .. }
             | StArrW { .. }
+            | StArrCS { .. }
+            | StArrCW { .. }
             | StSigS { .. }
             | StSigW { .. }
             | BranchZ { .. }
@@ -632,12 +754,20 @@ impl MOp {
             | LdVarW { .. }
             | LdSigS { .. }
             | LdSigW { .. }
+            | LdArrCS { .. }
+            | LdArrCW { .. }
+            | LdArrPairCS { .. }
             | Jmp { .. }
             | PauseOp
             | LabelOp { .. }
             | ExtOp { .. }
             | HaltOp => {}
-            LdArrS { idx, .. } | LdArrW { idx, .. } => f(idx, false),
+            LdArrS { idx, .. } | LdArrW { idx, .. } | LdArrPairS { idx, .. } => f(idx, false),
+            ConcatLdS { a, idx, .. } => {
+                f(a, false);
+                f(idx, false);
+            }
+            ConcatLdCS { a, .. } => f(a, false),
             CopyS { a, .. }
             | MaskS { a, .. }
             | NotS { a, .. }
@@ -646,6 +776,7 @@ impl MOp {
             | SliceS { a, .. }
             | Widen { a, .. }
             | StVarS { a, .. }
+            | StArrCS { a, .. }
             | StSigS { a, .. } => f(a, false),
             CopyW { a, .. }
             | Narrow { a, .. }
@@ -656,6 +787,7 @@ impl MOp {
             | SliceWS { a, .. }
             | SliceW { a, .. }
             | StVarW { a, .. }
+            | StArrCW { a, .. }
             | StSigW { a, .. } => f(a, true),
             BinS { a, b, .. }
             | CmpS { a, b, .. }
@@ -700,11 +832,96 @@ impl MOp {
         let mut me = self.clone();
         me.uses_mut(&mut |s, w| f(*s, w));
     }
+
+    /// Mutable access to the destination slot, with its file
+    /// (`true` = wide). Mirror of [`MOp::dst`]; the region-widening
+    /// renumbering in [`crate::opt`] uses it to shift whole slot ranges.
+    pub(crate) fn dst_mut(&mut self) -> Option<(&mut Slot, bool)> {
+        use MOp::*;
+        match self {
+            ConstS { dst, .. }
+            | LdVarS { dst, .. }
+            | LdSigS { dst, .. }
+            | LdArrS { dst, .. }
+            | LdArrCS { dst, .. }
+            | LdArrPairS { dst, .. }
+            | LdArrPairCS { dst, .. }
+            | ConcatLdS { dst, .. }
+            | ConcatLdCS { dst, .. }
+            | CopyS { dst, .. }
+            | Narrow { dst, .. }
+            | MaskS { dst, .. }
+            | NotS { dst, .. }
+            | NegS { dst, .. }
+            | RedOrS { dst, .. }
+            | RedOrW { dst, .. }
+            | BinS { dst, .. }
+            | CmpS { dst, .. }
+            | ShlS { dst, .. }
+            | ShrS { dst, .. }
+            | ConcatS { dst, .. }
+            | SliceS { dst, .. }
+            | SliceWS { dst, .. }
+            | CmpW { dst, .. }
+            | MuxS { dst, .. } => Some((dst, false)),
+            ConstW { dst, .. }
+            | LdVarW { dst, .. }
+            | LdSigW { dst, .. }
+            | LdArrW { dst, .. }
+            | LdArrCW { dst, .. }
+            | CopyW { dst, .. }
+            | Widen { dst, .. }
+            | ResizeW { dst, .. }
+            | NotW { dst, .. }
+            | NegW { dst, .. }
+            | BinW { dst, .. }
+            | ShlW { dst, .. }
+            | ShrW { dst, .. }
+            | ConcatW { dst, .. }
+            | SliceW { dst, .. }
+            | MuxW { dst, .. } => Some((dst, true)),
+            StVarS { .. }
+            | StVarW { .. }
+            | StArrS { .. }
+            | StArrW { .. }
+            | StArrCS { .. }
+            | StArrCW { .. }
+            | StSigS { .. }
+            | StSigW { .. }
+            | BranchZ { .. }
+            | Jmp { .. }
+            | PauseOp
+            | LabelOp { .. }
+            | ExtOp { .. }
+            | HaltOp => None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
 // Compiled containers
 // ---------------------------------------------------------------------
+
+/// One widened optimization region of a compiled thread, with the
+/// summary of its externally visible effects.
+///
+/// Lowering initially produces one region per source statement; the
+/// observer-visibility analysis in [`crate::opt`] then merges runs of
+/// consecutive statements whose boundaries no branch targets and whose
+/// terminals cannot let the outside world *mutate* machine state
+/// (observer callbacks and signal drives only read; `pause` and `ext`
+/// hand control to the environment and therefore end a region). Passes
+/// optimize freely inside one widened region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionInfo {
+    /// First micro-op of the region (index into `mops`).
+    pub start: u32,
+    /// Half-open range of source-op indices the region covers.
+    pub stmts: (u32, u32),
+    /// Human-readable visibility summary: which vars/signals/arrays the
+    /// region exposes to observers and the environment, and how it ends.
+    pub vis: String,
+}
 
 /// One thread lowered to micro-ops.
 #[derive(Debug, Clone, PartialEq)]
@@ -719,6 +936,9 @@ pub struct CompiledThread {
     pub n_small: usize,
     /// Wide ([`Bits`]) scratch slots required.
     pub n_wide: usize,
+    /// Widened optimization regions, in program order (annotation and
+    /// diagnostics; execution never consults this).
+    pub regions: Vec<RegionInfo>,
 }
 
 /// A program lowered to micro-op bytecode: declarations plus one
@@ -731,14 +951,22 @@ pub struct CompiledProgram {
     pub threads: Vec<CompiledThread>,
 }
 
-/// Lowers a flattened program through the default optimization pipeline
-/// ([`crate::opt::default_pipeline`]).
+/// Lowers a flattened program through the ambient optimization pipeline:
+/// [`crate::opt::default_pipeline`] unless the `EMU_CPU_PASSES`
+/// environment variable overrides it (see [`crate::opt::env_pipeline`]).
+/// Callers that must pin an exact pipeline regardless of the environment
+/// use [`compile_with_passes`].
 pub fn compile(flat: &FlatProgram) -> IrResult<CompiledProgram> {
-    compile_with_passes(flat, crate::opt::default_pipeline())
+    compile_with_passes(flat, &crate::opt::env_pipeline())
 }
 
 /// Lowers a flattened program, running exactly the given passes — the
 /// hook the pass-pipeline tests use (`&[]` gives the naive lowering).
+///
+/// When the `EMU_CPU_DUMP_MOPS` environment variable is set (to
+/// anything non-empty), every compiled thread's annotated listing is
+/// dumped to stderr — the quickest way to see what the pass pipeline
+/// did to a service.
 pub fn compile_with_passes(
     flat: &FlatProgram,
     passes: &[crate::opt::Pass],
@@ -747,10 +975,16 @@ pub fn compile_with_passes(
     for t in &flat.threads {
         threads.push(compile_thread(t, &flat.prog, passes)?);
     }
-    Ok(CompiledProgram {
+    let cp = CompiledProgram {
         prog: flat.prog.clone(),
         threads,
-    })
+    };
+    if std::env::var("EMU_CPU_DUMP_MOPS").is_ok_and(|v| !v.is_empty()) {
+        for t in &cp.threads {
+            eprintln!("{}", mops_to_string(t, &cp.prog));
+        }
+    }
+    Ok(cp)
 }
 
 /// A compile-time value: which slot it lives in, its exact width, and
@@ -1396,7 +1630,15 @@ fn compile_thread(
         regions.push(std::mem::take(&mut c.cur));
     }
 
-    crate::opt::run(&mut regions, passes);
+    // Observer-visibility widening: merge statement runs that no branch
+    // targets and that contain no point where the outside world can
+    // mutate state (pause/ext). Merged tails become empty vecs, so the
+    // `starts` bookkeeping below still maps every *reachable* source-op
+    // index to the right micro-op. Slot renumbering restores the
+    // written-once-before-read invariant across each widened region.
+    crate::opt::widen_regions(&mut regions);
+
+    crate::opt::run(&mut regions, passes, prog);
 
     // Flatten, recording region starts, then retarget branches from
     // source-op indices to micro-op indices (a target equal to the op
@@ -1408,6 +1650,22 @@ fn compile_thread(
         mops.extend(r.iter().cloned());
     }
     starts.push(mops.len() as u32);
+
+    // Region table: every non-empty region is a widened-region head
+    // (merged tails were drained into their head), covering the source
+    // statements up to the next head.
+    let mut region_info = Vec::new();
+    let heads: Vec<usize> = (0..regions.len())
+        .filter(|&i| !regions[i].is_empty())
+        .collect();
+    for (k, &h) in heads.iter().enumerate() {
+        let end = heads.get(k + 1).copied().unwrap_or(regions.len());
+        region_info.push(RegionInfo {
+            start: starts[h],
+            stmts: (h as u32, end as u32),
+            vis: region_visibility(&regions[h], prog, &c.labels),
+        });
+    }
     for m in &mut mops {
         match m {
             MOp::BranchZ { target, .. } | MOp::Jmp { target, .. } => {
@@ -1436,7 +1694,71 @@ fn compile_thread(
         labels: c.labels,
         n_small,
         n_wide,
+        regions: region_info,
     })
+}
+
+/// Summarizes what a widened region exposes to the outside world: vars
+/// whose assignments observers see, signals it drives, arrays it
+/// writes, and the terminal that ends it. This is the output of the
+/// visibility analysis rendered for listings and debug dumps.
+fn region_visibility(region: &[MOp], prog: &Program, labels: &[String]) -> String {
+    let mut tags: Vec<String> = Vec::new();
+    let add = |t: String, tags: &mut Vec<String>| {
+        if !tags.contains(&t) {
+            tags.push(t);
+        }
+    };
+    let var = |i: u32| {
+        prog.vars()
+            .get(i as usize)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("?v{i}"))
+    };
+    for m in region {
+        match m {
+            MOp::StVarS { var: v, .. } | MOp::StVarW { var: v, .. } => {
+                add(format!("var {}", var(*v)), &mut tags)
+            }
+            MOp::StSigS { sig, .. } | MOp::StSigW { sig, .. } => {
+                let name = prog
+                    .signals()
+                    .get(*sig as usize)
+                    .map(|d| d.name.clone())
+                    .unwrap_or_else(|| format!("?s{sig}"));
+                add(format!("${name}"), &mut tags);
+            }
+            MOp::StArrS { arr, .. }
+            | MOp::StArrW { arr, .. }
+            | MOp::StArrCS { arr, .. }
+            | MOp::StArrCW { arr, .. } => {
+                let name = prog
+                    .arrays()
+                    .get(*arr as usize)
+                    .map(|d| d.name.clone())
+                    .unwrap_or_else(|| format!("?a{arr}"));
+                add(format!("{name}[.]"), &mut tags);
+            }
+            MOp::LabelOp { id } => add(
+                format!(
+                    "label {}",
+                    labels.get(*id as usize).cloned().unwrap_or_default()
+                ),
+                &mut tags,
+            ),
+            MOp::BranchZ { .. } => add("branch".into(), &mut tags),
+            MOp::Jmp { .. } => add("jump".into(), &mut tags),
+            MOp::PauseOp => add("pause(env)".into(), &mut tags),
+            MOp::ExtOp { .. } => add("ext(env)".into(), &mut tags),
+            MOp::HaltOp => add("halt".into(), &mut tags),
+            _ => {}
+        }
+    }
+    if tags.is_empty() {
+        "internal".into()
+    } else {
+        tags.join(", ")
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1470,7 +1792,19 @@ pub fn mops_to_string(t: &CompiledThread, prog: &Program) -> String {
         "compiled thread {} ({} small, {} wide):\n",
         t.name, t.n_small, t.n_wide
     );
+    let mut next_region = 0usize;
     for (i, m) in t.mops.iter().enumerate() {
+        while let Some(r) = t.regions.get(next_region) {
+            if r.start as usize != i {
+                break;
+            }
+            let _ = writeln!(
+                out,
+                "  -- region stmts {}..{} | vis: {}",
+                r.stmts.0, r.stmts.1, r.vis
+            );
+            next_region += 1;
+        }
         let body = match m {
             MOp::ConstS { dst, v } => format!("s{dst} <- const {v:#x}"),
             MOp::ConstW { dst, v } => format!("w{dst} <- const {v}"),
@@ -1494,6 +1828,42 @@ pub fn mops_to_string(t: &CompiledThread, prog: &Program) -> String {
             MOp::LdArrW {
                 dst, arr: a, idx, ..
             } => format!("w{dst} <- {}[s{idx}]", arr(*a)),
+            MOp::LdArrCS { dst, arr: a, idx } => format!("s{dst} <- {}[#{idx}]", arr(*a)),
+            MOp::LdArrCW { dst, arr: a, idx } => format!("w{dst} <- {}[#{idx}]", arr(*a)),
+            MOp::LdArrPairS {
+                dst,
+                idx,
+                arr: a,
+                off,
+                mask,
+                bw,
+            } => {
+                let n = arr(*a);
+                format!("s{dst} <- {{{n}[(s{idx}+{off:#x}) & {mask:#x}], {n}[+1]:u{bw}}}")
+            }
+            MOp::LdArrPairCS {
+                dst,
+                arr: a,
+                idx,
+                bw,
+            } => {
+                let n = arr(*a);
+                format!("s{dst} <- {{{n}[#{idx}], {n}[#{}]:u{bw}}}", idx + 1)
+            }
+            MOp::ConcatLdS {
+                dst,
+                a: hi,
+                arr: a,
+                idx,
+                bw,
+            } => format!("s{dst} <- {{s{hi}, {}[s{idx}]:u{bw}}}", arr(*a)),
+            MOp::ConcatLdCS {
+                dst,
+                a: hi,
+                arr: a,
+                idx,
+                bw,
+            } => format!("s{dst} <- {{s{hi}, {}[#{idx}]:u{bw}}}", arr(*a)),
             MOp::CopyS { dst, a } => format!("s{dst} <- s{a}"),
             MOp::CopyW { dst, a } => format!("w{dst} <- w{a}"),
             MOp::Widen { dst, a, w } => format!("w{dst} <- widen s{a} to u{w}"),
@@ -1529,6 +1899,12 @@ pub fn mops_to_string(t: &CompiledThread, prog: &Program) -> String {
             MOp::MuxW { dst, c, t, e } => format!("w{dst} <- s{c} ? w{t} : w{e}"),
             MOp::StVarS { var: v, a, .. } => format!("var {} := s{a}", var(*v)),
             MOp::StVarW { var: v, a, .. } => format!("var {} := w{a}", var(*v)),
+            MOp::StArrCS {
+                arr: ar, idx, a, ..
+            } => format!("{}[#{idx}] := s{a}", arr(*ar)),
+            MOp::StArrCW {
+                arr: ar, idx, a, ..
+            } => format!("{}[#{idx}] := w{a}", arr(*ar)),
             MOp::StArrS {
                 arr: ar, idx, a, ..
             } => format!("{}[s{idx}] := s{a}", arr(*ar)),
@@ -1649,6 +2025,20 @@ impl CompiledMachine {
     /// or halts, then `env.tick` runs once — the exact contract of
     /// [`crate::interp::Machine::step_cycle`].
     pub fn step_cycle(&mut self, env: &mut dyn Env, obs: &mut dyn Observer) -> IrResult<()> {
+        self.step_cycle_with(env, obs)
+    }
+
+    /// [`CompiledMachine::step_cycle`], generic over the environment and
+    /// observer. Calling it with concrete types (e.g. `NullObserver` and
+    /// a known environment) monomorphizes the executor's hot loop —
+    /// observer hooks inline away entirely — which is what the batched
+    /// frame path in the drivers builds on. Passing trait objects is
+    /// also fine (`?Sized`); that is exactly what `step_cycle` does.
+    pub fn step_cycle_with<E: Env + ?Sized, O: Observer + ?Sized>(
+        &mut self,
+        env: &mut E,
+        obs: &mut O,
+    ) -> IrResult<()> {
         for ti in 0..self.threads.len() {
             self.run_thread_to_pause(ti, obs)?;
         }
@@ -1676,7 +2066,11 @@ impl CompiledMachine {
     // `budget` is deliberately decremented even by terminals that return
     // (pause/halt), so op accounting matches the tree-walker exactly.
     #[allow(unused_assignments)]
-    fn run_thread_to_pause(&mut self, ti: usize, obs: &mut dyn Observer) -> IrResult<()> {
+    fn run_thread_to_pause<O: Observer + ?Sized>(
+        &mut self,
+        ti: usize,
+        obs: &mut O,
+    ) -> IrResult<()> {
         if self.threads[ti].halted {
             return Ok(());
         }
@@ -1752,6 +2146,57 @@ impl CompiledMachine {
                         .get(i)
                         .cloned()
                         .unwrap_or_else(|| Bits::zero(*w));
+                }
+                // Const-index loads are proven in bounds at compile
+                // time (array lengths are fixed at declaration).
+                MOp::LdArrCS { dst, arr, idx } => {
+                    small[*dst as usize] = state.arrays[*arr as usize][*idx as usize].to_u64()
+                }
+                MOp::LdArrCW { dst, arr, idx } => {
+                    wide[*dst as usize] = state.arrays[*arr as usize][*idx as usize].clone()
+                }
+                MOp::LdArrPairS {
+                    dst,
+                    idx,
+                    arr,
+                    off,
+                    mask,
+                    bw,
+                } => {
+                    let a = &state.arrays[*arr as usize];
+                    let i = small[*idx as usize].wrapping_add(*off) & mask;
+                    let hi = a.get(i as usize).map(|b| b.to_u64()).unwrap_or(0);
+                    let j = i.wrapping_add(1) & mask;
+                    let lo = a.get(j as usize).map(|b| b.to_u64()).unwrap_or(0);
+                    small[*dst as usize] = (hi << bw) | lo;
+                }
+                MOp::LdArrPairCS { dst, arr, idx, bw } => {
+                    let a = &state.arrays[*arr as usize];
+                    let i = *idx as usize;
+                    small[*dst as usize] = (a[i].to_u64() << bw) | a[i + 1].to_u64();
+                }
+                MOp::ConcatLdS {
+                    dst,
+                    a,
+                    arr,
+                    idx,
+                    bw,
+                } => {
+                    let lo = state.arrays[*arr as usize]
+                        .get(small[*idx as usize] as usize)
+                        .map(|b| b.to_u64())
+                        .unwrap_or(0);
+                    small[*dst as usize] = (small[*a as usize] << bw) | lo;
+                }
+                MOp::ConcatLdCS {
+                    dst,
+                    a,
+                    arr,
+                    idx,
+                    bw,
+                } => {
+                    small[*dst as usize] = (small[*a as usize] << bw)
+                        | state.arrays[*arr as usize][*idx as usize].to_u64();
                 }
                 MOp::CopyS { dst, a } => small[*dst as usize] = small[*a as usize],
                 MOp::CopyW { dst, a } => wide[*dst as usize] = wide[*a as usize].clone(),
@@ -1854,6 +2299,20 @@ impl CompiledMachine {
                         state.arrays[ai][i] = Bits::from_u64(small[*a as usize], *w);
                         state.note_arr_write(ai, i);
                     }
+                }
+                // Const-index stores are proven in bounds at compile
+                // time, like the const-index loads above.
+                MOp::StArrCS { arr, idx, a, w } => {
+                    tick!();
+                    let (ai, i) = (*arr as usize, *idx as usize);
+                    state.arrays[ai][i] = Bits::from_u64(small[*a as usize], *w);
+                    state.note_arr_write(ai, i);
+                }
+                MOp::StArrCW { arr, idx, a, w } => {
+                    tick!();
+                    let (ai, i) = (*arr as usize, *idx as usize);
+                    state.arrays[ai][i] = wide[*a as usize].resize(*w);
+                    state.note_arr_write(ai, i);
                 }
                 MOp::StArrW { arr, idx, a, w } => {
                     tick!();

@@ -30,9 +30,13 @@ pub mod pretty;
 pub mod program;
 
 pub use ast::{BinOp, Expr, IrError, IrResult, Stmt, UnOp};
-pub use compile::{compile, mops_to_string, CompiledMachine, CompiledProgram, CompiledThread};
+pub use compile::{
+    compile, compile_with_passes, mops_to_string, CompiledMachine, CompiledProgram, CompiledThread,
+    RegionInfo,
+};
 pub use flat::{flatten, FlatProgram, FlatThread, Op};
 pub use interp::{eval, Env, Machine, MachineState, NullEnv, NullObserver, Observer};
+pub use opt::{default_pipeline, env_pipeline, parse_passes, statement_pipeline, Pass};
 pub use program::{
     ArrId, ArrayBacking, ArrayDecl, Program, ProgramBuilder, SigDecl, SigDir, SigId, Thread,
     VarDecl, VarId,

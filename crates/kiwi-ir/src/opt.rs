@@ -2,20 +2,59 @@
 //!
 //! Passes run at lowering time, between [`mod@crate::compile`]'s naive
 //! per-statement lowering and the final flatten/retarget step. They
-//! operate on **regions** — one `Vec<MOp>` per source [`crate::flat::Op`]
-//! — inside which scratch slots are written exactly once before use
-//! (statement-local SSA). Branches only ever target region starts, so a
-//! pass may delete or rewrite ops freely within a region without
-//! touching control flow, and no pass moves work *across* regions: the
-//! environment may mutate machine state at any statement boundary
-//! (observers, `ExtPoint`, `Env::tick` at pauses), so cached loads must
-//! not outlive their statement.
+//! operate on **regions** of `Vec<MOp>`. Lowering produces one region
+//! per source [`crate::flat::Op`]; before the passes run,
+//! `widen_regions` merges runs of consecutive statement regions into
+//! single *widened* regions, inside which scratch slots are written
+//! exactly once before use (region-local SSA, restored by slot
+//! renumbering during the merge).
+//!
+//! # The observer-visibility analysis
+//!
+//! Widening is driven by what the outside world can *see or touch* at
+//! each statement boundary:
+//!
+//! * `pause` — [`crate::interp::Env::tick`] may mutate any machine
+//!   state (signals, registers, arrays), so a region always **ends**
+//!   after a `PauseOp`.
+//! * `ext` — [`crate::interp::Observer::on_ext_point`] receives
+//!   `&mut MachineState`, so `ExtOp` likewise ends a region.
+//! * `jmp` / `halt` — control leaves the straight-line run.
+//! * branch *targets* — a region another op jumps to must keep its own
+//!   entry point, so it always starts a fresh widened region.
+//!
+//! Everything else is fair game to sit *inside* a widened region:
+//! register/array/signal stores and labels fire observer callbacks
+//! ([`crate::interp::Observer::on_assign`],
+//! [`crate::interp::Observer::on_label`]) that can inspect the reported
+//! values but **cannot mutate** machine state, and an interior
+//! `BranchZ` only ever *exits* the region early (extra pure loads on
+//! the not-taken path compute into scratch slots no one observes).
+//! Terminal micro-ops are never added, removed, or reordered by any
+//! pass, so the sequence of observer callbacks, op-budget ticks, and
+//! trap points — the externally visible trace — is byte-identical to
+//! the naive lowering's.
+//!
+//! Threads only interleave at pause boundaries (the executor runs each
+//! thread to its next pause), so cross-thread interference cannot
+//! observe mid-region state either.
+//!
+//! # Pipelines
 //!
 //! The default pipeline is
-//! [`ConstFold`](Pass::ConstFold) → [`CopyProp`](Pass::CopyProp) →
+//! [`ConstFold`](Pass::ConstFold) → [`Simplify`](Pass::Simplify) →
+//! [`ArrayStrength`](Pass::ArrayStrength) →
+//! [`RedundantLoad`](Pass::RedundantLoad) → [`Cse`](Pass::Cse) →
+//! [`LoopInvLoad`](Pass::LoopInvLoad) →
+//! [`FusePairs`](Pass::FusePairs) → [`CopyProp`](Pass::CopyProp) →
 //! [`Coalesce`](Pass::Coalesce) → [`DeadScratch`](Pass::DeadScratch).
 //! Constant folding routes through the *same* ALU helpers the executor
 //! uses, so a fold can never disagree with execution.
+//! [`statement_pipeline`] is the pre-widening-era subset that never
+//! moves work across statements. The `EMU_CPU_PASSES` environment
+//! variable (see [`env_pipeline`]) selects the pipeline for
+//! [`crate::compile::compile`]; `EMU_CPU_DUMP_MOPS=1` dumps the
+//! annotated listings of every compiled thread to stderr.
 //!
 //! # Before / after
 //!
@@ -43,11 +82,14 @@
 //! ```
 //!
 //! (each pass is individually testable — see the tests below, which
-//! assert on exactly these pretty-printed listings).
+//! assert on exactly these pretty-printed listings; each `Pass` variant
+//! documents its own before/after).
 
-use crate::compile::{bin_s, bin_w, cmp_s, cmp_w, shift_amount, shl_s, shr_s, MOp, Slot};
+use crate::ast::BinOp;
+use crate::compile::{bin_s, bin_w, cmp_s, cmp_w, mask_of, shift_amount, shl_s, shr_s, MOp, Slot};
+use crate::program::Program;
 use emu_types::Bits;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One optimization pass over the lowered regions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +97,111 @@ pub enum Pass {
     /// Evaluate pure micro-ops whose operands are all constants,
     /// replacing them with `ConstS`/`ConstW` loads.
     ConstFold,
+    /// Algebraic identities over the small scratch file: an op with an
+    /// identity constant operand (`x + 0`, `x | 0`, `x ^ 0`, `x - 0`,
+    /// `x * 1`, `x << 0`, `x >> 0`, `x & full`) folds to a copy — or a
+    /// mask, when the surviving operand may overflow the result width —
+    /// and one with an absorbing operand (`x * 0`, `x & 0`, `x - x`,
+    /// `x ^ x`, any compare of a slot against itself) to a constant.
+    /// Loop counters and byte cursors lower to exactly these shapes
+    /// (`idx + 0` on a first iteration unrolled by hand in the source),
+    /// and the copies they leave behind let [`Pass::RedundantLoad`]
+    /// unify dynamic array indices by *value*.
+    ///
+    /// ```text
+    ///   0: s1 <- const 0x0        0: s1 <- const 0x0
+    ///   1: s2 <- s0 Add s1 & 0xff 1: s2 <- s0 & 0xff
+    ///   2: ...               =>   2: ...
+    /// ```
+    Simplify,
+    /// Array-access strength reduction: an element access whose index
+    /// is a known constant becomes a direct `LdArrCS`/`LdArrCW` (or
+    /// `StArrCS`/`StArrCW`) with the bounds check discharged at compile
+    /// time. An out-of-range constant *read* folds to the architectural
+    /// zero; an out-of-range constant *store* is left dynamic — it is a
+    /// terminal (it ticks the op budget) whose only effect is being
+    /// dropped, which the executor's bounds check already provides.
+    ///
+    /// ```text
+    ///   0: s0 <- const 0x2        0: s1 <- t[#2]
+    ///   1: s1 <- t[s0]       =>   1: t[#2] := s1
+    ///   2: t[s0] := s1
+    /// ```
+    ArrayStrength,
+    /// Redundant-load/store elimination across the statements of a
+    /// widened region: a second read of the same register, signal, or
+    /// array element becomes a copy of the first, and a read following
+    /// a store forwards the stored slot (when the stored value provably
+    /// fits the declared width). Stores, pauses, and ext points
+    /// invalidate exactly what they can touch.
+    ///
+    /// ```text
+    ///   0: s0 <- var a            0: s0 <- var a
+    ///   1: s1 <- const 0x1        1: s1 <- const 0x1
+    ///   2: s2 <- s0 Add s1 & 0xff 2: s2 <- s0 Add s1 & 0xff
+    ///   3: var a := s2       =>   3: var a := s2
+    ///   4: s3 <- var a            4: s3 <- s2
+    ///   5: ...                    5: ...
+    /// ```
+    RedundantLoad,
+    /// Local value numbering over the pure micro-ops of a widened
+    /// region: an op recomputing a value an earlier op already produced
+    /// (same opcode, same copy-resolved operands, commutative operand
+    /// order canonicalized) becomes a copy of the earlier result, as
+    /// does a re-materialized small constant. Loads are deliberately
+    /// *not* value-numbered — [`Pass::RedundantLoad`] owns them, with
+    /// the store-invalidation logic that makes them sound.
+    ///
+    /// ```text
+    ///   0: s2 <- s0 Add s1 & 0xffff   0: s2 <- s0 Add s1 & 0xffff
+    ///   1: var a := s2                1: var a := s2
+    ///   2: s3 <- s1 Add s0 & 0xffff   2: s3 <- s2
+    ///   3: ...                   =>   3: ...
+    /// ```
+    Cse,
+    /// Load-pair fusion: a `ConcatS` whose operands are two loads of
+    /// *adjacent* elements of the same array — the second index equal
+    /// to the first plus one, either as constants or through the very
+    /// `Add` that computed it — becomes one fused
+    /// `LdArrPairS`/`LdArrPairCS` reading both elements at the concat
+    /// site. When only the *low* operand is a load (the inner steps of
+    /// a multi-byte concat tower, whose high part is the accumulated
+    /// value), the load rides the concat as `ConcatLdS`/`ConcatLdCS`
+    /// instead. The displaced loads and index adds die in
+    /// [`Pass::DeadScratch`] when nothing else reads them. These are
+    /// the shapes every big-endian field access lowers to (Internet
+    /// checksum loops, header field extraction): a 16-bit pair read
+    /// drops from five micro-ops to two, an n-byte tower from `2n-1`
+    /// to `n-1`. A store into the array between a fused load and the
+    /// concat blocks the fusion, since the fused op re-reads the
+    /// elements.
+    ///
+    /// ```text
+    ///   0: s1 <- frame[s0]            0: s1 <- frame[s0]
+    ///   1: s2 <- const 0x1            1: s2 <- const 0x1
+    ///   2: s3 <- s0 Add s2 & 0xffff   2: s3 <- s0 Add s2 & 0xffff
+    ///   3: s4 <- frame[s3]            3: s4 <- frame[s3]
+    ///   4: s5 <- {s1, s4:u8}     =>   4: s5 <- {frame[s0], frame[s0+1 & 0xffff]:u8}
+    ///                                    // 0-3 die when otherwise unread
+    /// ```
+    FusePairs,
+    /// Loop-invariant load motion: in a pause-free, single-entry loop,
+    /// loads of registers/arrays the loop never writes (and of input
+    /// signals, which only change at pauses) are hoisted once into the
+    /// loop's fall-through predecessor, landing in *pinned* scratch
+    /// slots above every region's own slot range.
+    ///
+    /// ```text
+    ///   head:                     pred:  ...
+    ///     s1 <- var len             s64 <- var len    // pinned, once
+    ///     s2 <- s0 Lt s1          head:
+    ///     brz s2 -> exit            s1 <- s64
+    ///   body: ...            =>     s2 <- s0 Lt s1
+    ///     jmp -> head               brz s2 -> exit
+    ///                             body: ...
+    ///                               jmp -> head
+    /// ```
+    LoopInvLoad,
     /// Rewrite uses of `CopyS`/`CopyW` destinations to their sources
     /// (the copies themselves die in [`Pass::DeadScratch`]).
     CopyProp,
@@ -63,11 +210,38 @@ pub enum Pass {
     /// access over `Resize`/`Slice` towers cheap.
     Coalesce,
     /// Remove producer ops whose destination slot is never read.
+    /// Pinned slots (hoisted by [`Pass::LoopInvLoad`]) are read from
+    /// *other* regions, so their defining loads are liveness roots.
     DeadScratch,
 }
 
-/// The default pipeline, in order.
+/// The default pipeline, in order. `Simplify` runs right after
+/// `ConstFold` so identity arithmetic on array indices collapses
+/// *before* `ArrayStrength`/`RedundantLoad` try to unify accesses by
+/// index value; `Cse` runs after `RedundantLoad` so loads it unified
+/// feed value numbering as one slot; `FusePairs` runs *after*
+/// `LoopInvLoad`, so a loop-invariant load hoists out of its loop (one
+/// read, ever) rather than fusing into a concat that would re-read it
+/// every iteration.
 pub fn default_pipeline() -> &'static [Pass] {
+    &[
+        Pass::ConstFold,
+        Pass::Simplify,
+        Pass::ArrayStrength,
+        Pass::RedundantLoad,
+        Pass::Cse,
+        Pass::LoopInvLoad,
+        Pass::FusePairs,
+        Pass::CopyProp,
+        Pass::Coalesce,
+        Pass::DeadScratch,
+    ]
+}
+
+/// The statement-local subset (the PR 5 pipeline): never moves or
+/// merges work across source statements, useful as a differential
+/// baseline for the cross-statement passes.
+pub fn statement_pipeline() -> &'static [Pass] {
     &[
         Pass::ConstFold,
         Pass::CopyProp,
@@ -76,15 +250,175 @@ pub fn default_pipeline() -> &'static [Pass] {
     ]
 }
 
-/// Runs `passes` over every region, in order.
-pub fn run(regions: &mut [Vec<MOp>], passes: &[Pass]) {
-    for region in regions.iter_mut() {
-        for pass in passes {
+/// Parses an `EMU_CPU_PASSES`-style pipeline spec: `default` (or
+/// empty), `none`, `stmt`, or a comma-separated list of pass names
+/// (`const_fold`, `simplify`, `array_strength`, `redundant_load`,
+/// `cse`, `fuse_pairs`, `loop_inv_load`, `copy_prop`, `coalesce`,
+/// `dead_scratch`).
+pub fn parse_passes(spec: &str) -> Result<Vec<Pass>, String> {
+    match spec.trim() {
+        "" | "default" => return Ok(default_pipeline().to_vec()),
+        "none" => return Ok(Vec::new()),
+        "stmt" => return Ok(statement_pipeline().to_vec()),
+        _ => {}
+    }
+    spec.split(',')
+        .map(|name| match name.trim() {
+            "const_fold" => Ok(Pass::ConstFold),
+            "simplify" => Ok(Pass::Simplify),
+            "array_strength" => Ok(Pass::ArrayStrength),
+            "redundant_load" => Ok(Pass::RedundantLoad),
+            "cse" => Ok(Pass::Cse),
+            "fuse_pairs" => Ok(Pass::FusePairs),
+            "loop_inv_load" => Ok(Pass::LoopInvLoad),
+            "copy_prop" => Ok(Pass::CopyProp),
+            "coalesce" => Ok(Pass::Coalesce),
+            "dead_scratch" => Ok(Pass::DeadScratch),
+            other => Err(format!("unknown pass `{other}`")),
+        })
+        .collect()
+}
+
+/// The pipeline selected by the `EMU_CPU_PASSES` environment variable,
+/// falling back to [`default_pipeline`] when unset. Panics on an
+/// unrecognized value — a typo'd pipeline silently falling back would
+/// invalidate a differential run.
+pub fn env_pipeline() -> Vec<Pass> {
+    match std::env::var("EMU_CPU_PASSES") {
+        Ok(v) => parse_passes(&v).unwrap_or_else(|e| {
+            panic!(
+                "EMU_CPU_PASSES: {e} (accepted: `none`, `default`, `stmt`, \
+                 or a comma-separated pass list)"
+            )
+        }),
+        Err(_) => default_pipeline().to_vec(),
+    }
+}
+
+/// Merges runs of consecutive statement regions into widened regions,
+/// per the visibility rules in the module docs: a run breaks at branch
+/// targets (which must keep their entry points) and after any region
+/// ending in `pause`/`ext`/`jmp`/`halt`. Merged tails are drained into
+/// their head (left as empty vecs so source-op indexing survives), and
+/// their slots are renumbered past the head's so the merged region is
+/// again written-once-before-read.
+pub(crate) fn widen_regions(regions: &mut [Vec<MOp>]) {
+    let n = regions.len();
+    let mut is_target = vec![false; n + 1];
+    for r in regions.iter() {
+        for m in r {
+            if let MOp::BranchZ { target, .. } | MOp::Jmp { target } = m {
+                is_target[*target as usize] = true;
+            }
+        }
+    }
+    let mut head = 0usize;
+    let mut off = (0u32, 0u32);
+    for i in 0..n {
+        let barrier_after = matches!(
+            regions[i].last(),
+            None | Some(MOp::PauseOp | MOp::ExtOp { .. } | MOp::Jmp { .. } | MOp::HaltOp)
+        );
+        if i == head || is_target[i] {
+            head = i;
+            off = region_slots(&regions[i]);
+        } else {
+            let (cs, cw) = region_slots(&regions[i]);
+            let mut moved = std::mem::take(&mut regions[i]);
+            for m in &mut moved {
+                if let Some((d, wide)) = m.dst_mut() {
+                    *d += if wide { off.1 } else { off.0 };
+                }
+                m.uses_mut(&mut |s, wide| {
+                    *s += if wide { off.1 } else { off.0 };
+                });
+            }
+            regions[head].extend(moved);
+            off.0 += cs;
+            off.1 += cw;
+        }
+        if barrier_after {
+            head = i + 1;
+        }
+    }
+}
+
+/// Slot-file sizes (small, wide) used by one region.
+fn region_slots(region: &[MOp]) -> (u32, u32) {
+    let (mut ns, mut nw) = (0u32, 0u32);
+    for m in region {
+        let mut bump = |s: Slot, wide: bool| {
+            let n = if wide { &mut nw } else { &mut ns };
+            *n = (*n).max(s + 1);
+        };
+        if let Some((d, wide)) = m.dst() {
+            bump(d, wide);
+        }
+        m.uses(&mut |s, w| bump(s, w));
+    }
+    (ns, nw)
+}
+
+/// Allocator for *pinned* scratch slots: slots above every region's own
+/// range, used by [`Pass::LoopInvLoad`] to carry hoisted values across
+/// region boundaries. [`Pass::DeadScratch`] treats definitions of
+/// pinned slots as liveness roots, since their readers live in other
+/// regions.
+struct Pins {
+    base_s: Slot,
+    base_w: Slot,
+    next_s: Slot,
+    next_w: Slot,
+}
+
+impl Pins {
+    fn over(regions: &[Vec<MOp>]) -> Pins {
+        let (mut s, mut w) = (0u32, 0u32);
+        for r in regions {
+            let (a, b) = region_slots(r);
+            s = s.max(a);
+            w = w.max(b);
+        }
+        Pins {
+            base_s: s,
+            base_w: w,
+            next_s: s,
+            next_w: w,
+        }
+    }
+
+    fn alloc(&mut self, wide: bool) -> Slot {
+        let n = if wide {
+            &mut self.next_w
+        } else {
+            &mut self.next_s
+        };
+        let s = *n;
+        *n += 1;
+        s
+    }
+}
+
+/// Runs `passes` over the (widened) regions, in order.
+pub fn run(regions: &mut [Vec<MOp>], passes: &[Pass], prog: &Program) {
+    let mut pins = Pins::over(regions);
+    for pass in passes {
+        if *pass == Pass::LoopInvLoad {
+            loop_inv_load(regions, &mut pins);
+            continue;
+        }
+        for region in regions.iter_mut() {
             match pass {
                 Pass::ConstFold => const_fold(region),
+                Pass::Simplify => simplify(region),
+                Pass::ArrayStrength => array_strength(region, prog),
+                Pass::RedundantLoad => redundant_load(region, prog),
+                Pass::Cse => cse(region),
+                Pass::FusePairs => fuse_pairs(region),
                 Pass::CopyProp => copy_prop(region),
                 Pass::Coalesce => coalesce(region),
-                Pass::DeadScratch => dead_scratch(region),
+                Pass::DeadScratch => dead_scratch(region, &pins),
+                Pass::LoopInvLoad => unreachable!("handled above"),
             }
         }
     }
@@ -230,6 +564,819 @@ fn const_fold(region: &mut [MOp]) {
     }
 }
 
+/// Algebraic simplification over the small scratch file (see
+/// [`Pass::Simplify`]). Forward scan tracking known constants, copy
+/// sources, and possibly-set-bit bounds; every rewrite reproduces the
+/// op's exact masking semantics, so a fold can never disagree with
+/// execution: an identity operand yields a bare copy only when the
+/// surviving operand provably fits the result mask, and a `MaskS`
+/// otherwise.
+fn simplify(region: &mut [MOp]) {
+    let mut consts: HashMap<Slot, u64> = HashMap::new();
+    let mut copies: HashMap<Slot, Slot> = HashMap::new();
+    let mut nz: HashMap<Slot, u64> = HashMap::new();
+    fn resolve(copies: &HashMap<Slot, Slot>, s: Slot) -> Slot {
+        copies.get(&s).copied().unwrap_or(s)
+    }
+    // `(a <op> identity) & mask` is `a & mask`: a copy when `a` provably
+    // fits the mask, the explicit mask otherwise.
+    fn copy_masked(dst: Slot, a: Slot, mask: u64, nz: &HashMap<Slot, u64>) -> MOp {
+        if nz.get(&a).copied().unwrap_or(u64::MAX) & !mask == 0 {
+            MOp::CopyS { dst, a }
+        } else {
+            MOp::MaskS { dst, a, mask }
+        }
+    }
+
+    for op in region.iter_mut() {
+        let rep: Option<MOp> = match &*op {
+            MOp::BinS {
+                dst,
+                op: bop,
+                a,
+                b,
+                mask,
+            } => {
+                let (ca, cb) = (consts.get(a).copied(), consts.get(b).copied());
+                let same = resolve(&copies, *a) == resolve(&copies, *b);
+                match bop {
+                    BinOp::Add | BinOp::Or if cb == Some(0) => {
+                        Some(copy_masked(*dst, *a, *mask, &nz))
+                    }
+                    BinOp::Add | BinOp::Or if ca == Some(0) => {
+                        Some(copy_masked(*dst, *b, *mask, &nz))
+                    }
+                    BinOp::Xor | BinOp::Sub if same => Some(MOp::ConstS { dst: *dst, v: 0 }),
+                    BinOp::Xor | BinOp::Sub if cb == Some(0) => {
+                        Some(copy_masked(*dst, *a, *mask, &nz))
+                    }
+                    BinOp::Xor if ca == Some(0) => Some(copy_masked(*dst, *b, *mask, &nz)),
+                    BinOp::Mul | BinOp::And if ca == Some(0) || cb == Some(0) => {
+                        Some(MOp::ConstS { dst: *dst, v: 0 })
+                    }
+                    BinOp::Mul if cb == Some(1) => Some(copy_masked(*dst, *a, *mask, &nz)),
+                    BinOp::Mul if ca == Some(1) => Some(copy_masked(*dst, *b, *mask, &nz)),
+                    // `(a & k) & mask` is `a & mask` when `k` covers it.
+                    BinOp::And if cb.is_some_and(|k| k & mask == *mask) => {
+                        Some(copy_masked(*dst, *a, *mask, &nz))
+                    }
+                    BinOp::And if ca.is_some_and(|k| k & mask == *mask) => {
+                        Some(copy_masked(*dst, *b, *mask, &nz))
+                    }
+                    _ => None,
+                }
+            }
+            MOp::ShlS { dst, a, b, mask } if consts.get(b) == Some(&0) => {
+                Some(copy_masked(*dst, *a, *mask, &nz))
+            }
+            MOp::ShrS { dst, a, b } if consts.get(b) == Some(&0) => {
+                Some(MOp::CopyS { dst: *dst, a: *a })
+            }
+            MOp::MaskS { dst, a, mask } if nz.get(a).copied().unwrap_or(u64::MAX) & !mask == 0 => {
+                Some(MOp::CopyS { dst: *dst, a: *a })
+            }
+            MOp::MuxS { dst, c, t, e } => consts.get(c).map(|&cv| MOp::CopyS {
+                dst: *dst,
+                a: if cv != 0 { *t } else { *e },
+            }),
+            // Comparing a slot against itself is the same for any
+            // value, so evaluate the op on an arbitrary equal pair.
+            MOp::CmpS { dst, op: cop, a, b } if resolve(&copies, *a) == resolve(&copies, *b) => {
+                Some(MOp::ConstS {
+                    dst: *dst,
+                    v: cmp_s(*cop, 0, 0),
+                })
+            }
+            _ => None,
+        };
+        if let Some(r) = rep {
+            *op = r;
+        }
+
+        if let Some((d, false)) = op.dst() {
+            nz.insert(d, small_value_mask(op, &nz, &consts));
+        }
+        match &*op {
+            MOp::ConstS { dst, v } => {
+                consts.insert(*dst, *v);
+            }
+            MOp::CopyS { dst, a } => {
+                let src = resolve(&copies, *a);
+                copies.insert(*dst, src);
+                if let Some(&v) = consts.get(&src) {
+                    consts.insert(*dst, v);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Array-access strength reduction: loads and stores with constant
+/// in-range indices become direct `LdArrCS`/`LdArrCW`/`StArrCS`/
+/// `StArrCW` (bounds discharged at compile time); an out-of-range
+/// constant load folds to the architectural zero. Out-of-range constant
+/// stores stay dynamic: they are terminals, so they must keep ticking
+/// the op budget, and the executor's bounds check drops them exactly as
+/// before.
+fn array_strength(region: &mut [MOp], prog: &Program) {
+    let mut consts: HashMap<Slot, u64> = HashMap::new();
+    let in_range = |prog: &Program, arr: u32, c: u64| {
+        c < arr_len(prog, arr) as u64 && c <= u64::from(u32::MAX)
+    };
+    for op in region.iter_mut() {
+        let rep = match &*op {
+            MOp::LdArrS { dst, arr, idx } => consts.get(idx).map(|&c| {
+                if in_range(prog, *arr, c) {
+                    MOp::LdArrCS {
+                        dst: *dst,
+                        arr: *arr,
+                        idx: c as u32,
+                    }
+                } else {
+                    MOp::ConstS { dst: *dst, v: 0 }
+                }
+            }),
+            MOp::LdArrW { dst, arr, idx, w } => consts.get(idx).map(|&c| {
+                if in_range(prog, *arr, c) {
+                    MOp::LdArrCW {
+                        dst: *dst,
+                        arr: *arr,
+                        idx: c as u32,
+                    }
+                } else {
+                    MOp::ConstW {
+                        dst: *dst,
+                        v: Bits::zero(*w),
+                    }
+                }
+            }),
+            MOp::StArrS { arr, idx, a, w } => match consts.get(idx) {
+                Some(&c) if in_range(prog, *arr, c) => Some(MOp::StArrCS {
+                    arr: *arr,
+                    idx: c as u32,
+                    a: *a,
+                    w: *w,
+                }),
+                _ => None,
+            },
+            MOp::StArrW { arr, idx, a, w } => match consts.get(idx) {
+                Some(&c) if in_range(prog, *arr, c) => Some(MOp::StArrCW {
+                    arr: *arr,
+                    idx: c as u32,
+                    a: *a,
+                    w: *w,
+                }),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(r) = rep {
+            *op = r;
+        }
+        if let MOp::ConstS { dst, v } = op {
+            consts.insert(*dst, *v);
+        }
+    }
+}
+
+fn arr_len(prog: &Program, arr: u32) -> usize {
+    prog.arrays().get(arr as usize).map_or(0, |d| d.len)
+}
+
+/// How an array-load caches in the availability maps: by constant index
+/// value, or by the (write-once) slot holding a dynamic index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum IdxKey {
+    Const(u32),
+    Dyn(Slot),
+}
+
+/// Redundant-load/store elimination within one widened region (see
+/// [`Pass::RedundantLoad`]). Forward scan over availability maps; a
+/// store invalidates exactly the locations it can alias, then forwards
+/// its own value when it provably fits the declared width (stores
+/// truncate, so forwarding an over-wide slot would disagree with a
+/// reload). `pause`/`ext` hand the environment a mutable view of all
+/// machine state and clear everything.
+fn redundant_load(region: &mut [MOp], prog: &Program) {
+    let mut var_s: HashMap<u32, Slot> = HashMap::new();
+    let mut var_w: HashMap<u32, Slot> = HashMap::new();
+    let mut sig_s: HashMap<(u32, bool), Slot> = HashMap::new();
+    let mut sig_w: HashMap<(u32, bool), Slot> = HashMap::new();
+    let mut arr_s: HashMap<(u32, IdxKey), Slot> = HashMap::new();
+    let mut arr_w: HashMap<(u32, IdxKey), Slot> = HashMap::new();
+    // Known possibly-set bits per small slot (for store forwarding) and
+    // known constants / copy sources (for index resolution).
+    let mut nz: HashMap<Slot, u64> = HashMap::new();
+    let mut consts: HashMap<Slot, u64> = HashMap::new();
+    let mut copies: HashMap<Slot, Slot> = HashMap::new();
+    fn resolve(copies: &HashMap<Slot, Slot>, s: Slot) -> Slot {
+        copies.get(&s).copied().unwrap_or(s)
+    }
+    fn fits(nz: &HashMap<Slot, u64>, a: Slot, w: u16) -> bool {
+        nz.get(&a).copied().unwrap_or(u64::MAX) & !mask_of(w) == 0
+    }
+
+    for op in region.iter_mut() {
+        // 1. Replace loads whose value is already in a slot.
+        let rep = match &*op {
+            MOp::LdVarS { dst, var } => var_s.get(var).map(|&a| MOp::CopyS { dst: *dst, a }),
+            MOp::LdVarW { dst, var } => var_w.get(var).map(|&a| MOp::CopyW { dst: *dst, a }),
+            MOp::LdSigS { dst, sig, out } => sig_s
+                .get(&(*sig, *out))
+                .map(|&a| MOp::CopyS { dst: *dst, a }),
+            MOp::LdSigW { dst, sig, out } => sig_w
+                .get(&(*sig, *out))
+                .map(|&a| MOp::CopyW { dst: *dst, a }),
+            MOp::LdArrCS { dst, arr, idx } => arr_s
+                .get(&(*arr, IdxKey::Const(*idx)))
+                .map(|&a| MOp::CopyS { dst: *dst, a }),
+            MOp::LdArrCW { dst, arr, idx } => arr_w
+                .get(&(*arr, IdxKey::Const(*idx)))
+                .map(|&a| MOp::CopyW { dst: *dst, a }),
+            MOp::LdArrS { dst, arr, idx } => arr_s
+                .get(&(*arr, IdxKey::Dyn(resolve(&copies, *idx))))
+                .map(|&a| MOp::CopyS { dst: *dst, a }),
+            MOp::LdArrW { dst, arr, idx, .. } => arr_w
+                .get(&(*arr, IdxKey::Dyn(resolve(&copies, *idx))))
+                .map(|&a| MOp::CopyW { dst: *dst, a }),
+            _ => None,
+        };
+        if let Some(r) = rep {
+            *op = r;
+        }
+
+        // 2. Value bookkeeping for the (possibly rewritten) op.
+        if let Some((d, false)) = op.dst() {
+            let m = small_value_mask(op, &nz, &consts);
+            nz.insert(d, m);
+        }
+        match &*op {
+            MOp::ConstS { dst, v } => {
+                consts.insert(*dst, *v);
+            }
+            MOp::CopyS { dst, a } => {
+                let src = resolve(&copies, *a);
+                copies.insert(*dst, src);
+                if let Some(&v) = consts.get(&src) {
+                    consts.insert(*dst, v);
+                }
+            }
+            _ => {}
+        }
+
+        // 3. Availability and invalidation.
+        match &*op {
+            MOp::LdVarS { dst, var } => {
+                var_s.insert(*var, *dst);
+            }
+            MOp::LdVarW { dst, var } => {
+                var_w.insert(*var, *dst);
+            }
+            MOp::LdSigS { dst, sig, out } => {
+                sig_s.insert((*sig, *out), *dst);
+            }
+            MOp::LdSigW { dst, sig, out } => {
+                sig_w.insert((*sig, *out), *dst);
+            }
+            MOp::LdArrCS { dst, arr, idx } => {
+                arr_s.insert((*arr, IdxKey::Const(*idx)), *dst);
+            }
+            MOp::LdArrCW { dst, arr, idx } => {
+                arr_w.insert((*arr, IdxKey::Const(*idx)), *dst);
+            }
+            MOp::LdArrS { dst, arr, idx } => {
+                arr_s.insert((*arr, IdxKey::Dyn(resolve(&copies, *idx))), *dst);
+            }
+            MOp::LdArrW { dst, arr, idx, .. } => {
+                arr_w.insert((*arr, IdxKey::Dyn(resolve(&copies, *idx))), *dst);
+            }
+            MOp::StVarS { var, a, w } => {
+                var_s.remove(var);
+                var_w.remove(var);
+                if fits(&nz, *a, *w) {
+                    var_s.insert(*var, *a);
+                }
+            }
+            MOp::StVarW { var, .. } => {
+                var_s.remove(var);
+                var_w.remove(var);
+            }
+            MOp::StSigS { sig, a, w } => {
+                sig_s.remove(&(*sig, true));
+                sig_w.remove(&(*sig, true));
+                if fits(&nz, *a, *w) {
+                    sig_s.insert((*sig, true), *a);
+                }
+            }
+            MOp::StSigW { sig, .. } => {
+                sig_s.remove(&(*sig, true));
+                sig_w.remove(&(*sig, true));
+            }
+            MOp::StArrS { arr, idx, a, w } => {
+                match consts.get(&resolve(&copies, *idx)) {
+                    Some(&c) if c < arr_len(prog, *arr) as u64 && c <= u64::from(u32::MAX) => {
+                        invalidate_arr(&mut arr_s, &mut arr_w, *arr, Some(c as u32));
+                        if fits(&nz, *a, *w) {
+                            arr_s.insert((*arr, IdxKey::Const(c as u32)), *a);
+                        }
+                    }
+                    // Constant out-of-range store: the executor drops
+                    // it, so nothing it could alias changes.
+                    Some(_) => {}
+                    None => invalidate_arr(&mut arr_s, &mut arr_w, *arr, None),
+                }
+            }
+            MOp::StArrW { arr, idx, .. } => match consts.get(&resolve(&copies, *idx)) {
+                Some(&c) if c < arr_len(prog, *arr) as u64 && c <= u64::from(u32::MAX) => {
+                    invalidate_arr(&mut arr_s, &mut arr_w, *arr, Some(c as u32));
+                }
+                Some(_) => {}
+                None => invalidate_arr(&mut arr_s, &mut arr_w, *arr, None),
+            },
+            // Const-index stores (from ArrayStrength) are in range by
+            // construction: invalidate and forward like an in-range
+            // StArrS/StArrW with a known index.
+            MOp::StArrCS { arr, idx, a, w } => {
+                invalidate_arr(&mut arr_s, &mut arr_w, *arr, Some(*idx));
+                if fits(&nz, *a, *w) {
+                    arr_s.insert((*arr, IdxKey::Const(*idx)), *a);
+                }
+            }
+            MOp::StArrCW { arr, idx, .. } => {
+                invalidate_arr(&mut arr_s, &mut arr_w, *arr, Some(*idx));
+            }
+            MOp::PauseOp | MOp::ExtOp { .. } => {
+                var_s.clear();
+                var_w.clear();
+                sig_s.clear();
+                sig_w.clear();
+                arr_s.clear();
+                arr_w.clear();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Drops availability entries a store to `arr` may alias: with a known
+/// in-range index `Some(c)`, every dynamic-index entry plus the entry
+/// for `c` itself (other constant indices cannot alias); with an
+/// unknown index, everything for the array.
+fn invalidate_arr(
+    arr_s: &mut HashMap<(u32, IdxKey), Slot>,
+    arr_w: &mut HashMap<(u32, IdxKey), Slot>,
+    arr: u32,
+    known_idx: Option<u32>,
+) {
+    let stale = |k: &(u32, IdxKey)| {
+        k.0 == arr
+            && match (known_idx, k.1) {
+                (Some(c), IdxKey::Const(c2)) => c2 == c,
+                (Some(_), IdxKey::Dyn(_)) | (None, _) => true,
+            }
+    };
+    arr_s.retain(|k, _| !stale(k));
+    arr_w.retain(|k, _| !stale(k));
+}
+
+/// An upper bound on the bits a small-slot value can have set, used to
+/// decide whether store forwarding is exact. Loads get `u64::MAX`
+/// (drivers may poke machine state between regions, so declared widths
+/// are not trusted for values *read* from state — only for values the
+/// region computes itself).
+fn small_value_mask(op: &MOp, nz: &HashMap<Slot, u64>, consts: &HashMap<Slot, u64>) -> u64 {
+    let g = |s: &Slot| nz.get(s).copied().unwrap_or(u64::MAX);
+    match op {
+        MOp::ConstS { v, .. } => *v,
+        MOp::CopyS { a, .. } => g(a),
+        MOp::MaskS { a, mask, .. } => g(a) & mask,
+        MOp::Narrow { mask, .. }
+        | MOp::NotS { mask, .. }
+        | MOp::NegS { mask, .. }
+        | MOp::ShlS { mask, .. }
+        | MOp::SliceS { mask, .. }
+        | MOp::SliceWS { mask, .. } => *mask,
+        MOp::RedOrS { .. } | MOp::RedOrW { .. } | MOp::CmpS { .. } | MOp::CmpW { .. } => 1,
+        MOp::BinS {
+            op: BinOp::And,
+            a,
+            b,
+            ..
+        } => g(a) & g(b),
+        MOp::BinS {
+            op: BinOp::Or | BinOp::Xor,
+            a,
+            b,
+            ..
+        } => g(a) | g(b),
+        MOp::BinS { mask, .. } => *mask,
+        MOp::ShrS { a, b, .. } => match consts.get(b) {
+            Some(&n) => shr_s(g(a), n),
+            None => smear_down(g(a)),
+        },
+        MOp::ConcatS { a, b, bw, .. } => shl_s(g(a), u64::from(*bw), u64::MAX) | g(b),
+        MOp::MuxS { t, e, .. } => g(t) | g(e),
+        _ => u64::MAX,
+    }
+}
+
+/// All bits at or below the highest set bit of `m` (the bound for a
+/// right shift by an unknown amount).
+fn smear_down(m: u64) -> u64 {
+    if m == 0 {
+        0
+    } else {
+        u64::MAX >> m.leading_zeros()
+    }
+}
+
+/// Operand order is irrelevant for these, so [`Pass::Cse`] sorts the
+/// copy-resolved operand pair into a canonical order before keying.
+fn commutes(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+    )
+}
+
+/// Local value numbering within one widened region (see [`Pass::Cse`]).
+/// Forward scan: each pure op is keyed on a kind discriminant plus its
+/// copy-resolved operands and immediates; a key hit rewrites the op to
+/// a copy of the first computation's slot. Sound across interior
+/// stores, labels, and branch exits because slots are written once
+/// before use and an interior `BranchZ` only ever *leaves* the region —
+/// any op that executes is preceded by every earlier op in the region.
+/// Loads and `ConstW` (whose `Bits` payload has no cheap key) are left
+/// alone.
+fn cse(region: &mut [MOp]) {
+    // kind discriminant + up to four packed operand/immediate words.
+    type Key = (u8, u64, u64, u64, u64);
+    let mut avail: HashMap<Key, Slot> = HashMap::new();
+    let mut cs: HashMap<Slot, Slot> = HashMap::new();
+    let mut cw: HashMap<Slot, Slot> = HashMap::new();
+    for op in region.iter_mut() {
+        let rs = |s: &Slot| u64::from(cs.get(s).copied().unwrap_or(*s));
+        let rw = |s: &Slot| u64::from(cw.get(s).copied().unwrap_or(*s));
+        // (key, dst, destination-is-wide)
+        let keyed: Option<(Key, Slot, bool)> = match &*op {
+            MOp::ConstS { dst, v } => Some(((0, *v, 0, 0, 0), *dst, false)),
+            MOp::Widen { dst, a, w } => Some(((1, rs(a), u64::from(*w), 0, 0), *dst, true)),
+            MOp::Narrow { dst, a, mask } => Some(((2, rw(a), *mask, 0, 0), *dst, false)),
+            MOp::MaskS { dst, a, mask } => Some(((3, rs(a), *mask, 0, 0), *dst, false)),
+            MOp::ResizeW { dst, a, w } => Some(((4, rw(a), u64::from(*w), 0, 0), *dst, true)),
+            MOp::NotS { dst, a, mask } => Some(((5, rs(a), *mask, 0, 0), *dst, false)),
+            MOp::NegS { dst, a, mask } => Some(((6, rs(a), *mask, 0, 0), *dst, false)),
+            MOp::RedOrS { dst, a } => Some(((7, rs(a), 0, 0, 0), *dst, false)),
+            MOp::NotW { dst, a } => Some(((8, rw(a), 0, 0, 0), *dst, true)),
+            MOp::NegW { dst, a } => Some(((9, rw(a), 0, 0, 0), *dst, true)),
+            MOp::RedOrW { dst, a } => Some(((10, rw(a), 0, 0, 0), *dst, false)),
+            MOp::BinS {
+                dst,
+                op: bop,
+                a,
+                b,
+                mask,
+            } => {
+                let (mut x, mut y) = (rs(a), rs(b));
+                if commutes(*bop) && x > y {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                Some(((11, *bop as u64, x, y, *mask), *dst, false))
+            }
+            MOp::CmpS { dst, op: cop, a, b } => {
+                Some(((12, *cop as u64, rs(a), rs(b), 0), *dst, false))
+            }
+            MOp::ShlS { dst, a, b, mask } => Some(((13, rs(a), rs(b), *mask, 0), *dst, false)),
+            MOp::ShrS { dst, a, b } => Some(((14, rs(a), rs(b), 0, 0), *dst, false)),
+            MOp::ConcatS { dst, a, b, bw } => {
+                Some(((15, rs(a), rs(b), u64::from(*bw), 0), *dst, false))
+            }
+            MOp::SliceS { dst, a, lo, mask } => {
+                Some(((16, rs(a), u64::from(*lo), *mask, 0), *dst, false))
+            }
+            MOp::SliceWS { dst, a, lo, mask } => {
+                Some(((17, rw(a), u64::from(*lo), *mask, 0), *dst, false))
+            }
+            MOp::SliceW { dst, a, hi, lo } => {
+                Some(((18, rw(a), u64::from(*hi), u64::from(*lo), 0), *dst, true))
+            }
+            MOp::BinW { dst, op: bop, a, b } => {
+                let (mut x, mut y) = (rw(a), rw(b));
+                if commutes(*bop) && x > y {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                Some(((19, *bop as u64, x, y, 0), *dst, true))
+            }
+            MOp::CmpW { dst, op: cop, a, b } => {
+                Some(((20, *cop as u64, rw(a), rw(b), 0), *dst, false))
+            }
+            MOp::ShlW { dst, a, b } => Some(((21, rw(a), rs(b), 0, 0), *dst, true)),
+            MOp::ShrW { dst, a, b } => Some(((22, rw(a), rs(b), 0, 0), *dst, true)),
+            MOp::ConcatW { dst, a, b } => Some(((23, rw(a), rw(b), 0, 0), *dst, true)),
+            MOp::MuxS { dst, c, t, e } => Some(((24, rs(c), rs(t), rs(e), 0), *dst, false)),
+            MOp::MuxW { dst, c, t, e } => Some(((25, rs(c), rw(t), rw(e), 0), *dst, true)),
+            _ => None,
+        };
+        if let Some((key, dst, wide)) = keyed {
+            if let Some(&prev) = avail.get(&key) {
+                *op = if wide {
+                    MOp::CopyW { dst, a: prev }
+                } else {
+                    MOp::CopyS { dst, a: prev }
+                };
+            } else {
+                avail.insert(key, dst);
+            }
+        }
+        match &*op {
+            MOp::CopyS { dst, a } => {
+                let src = cs.get(a).copied().unwrap_or(*a);
+                cs.insert(*dst, src);
+            }
+            MOp::CopyW { dst, a } => {
+                let src = cw.get(a).copied().unwrap_or(*a);
+                cw.insert(*dst, src);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Load-pair fusion (see [`Pass::FusePairs`]). Forward scan recording
+/// the defining op of every small slot, known constants, and copy
+/// sources; a `ConcatS` of two adjacent-element loads becomes the fused
+/// pair read. Safety is re-read equivalence: the fused op samples both
+/// elements at the concat site, so any store into the array (or a
+/// pause/ext handing control to the environment, though those only ever
+/// end a region) after the first of the two loads blocks the fusion.
+fn fuse_pairs(region: &mut [MOp]) {
+    let mut def: HashMap<Slot, usize> = HashMap::new();
+    let mut consts: HashMap<Slot, u64> = HashMap::new();
+    let mut copies: HashMap<Slot, Slot> = HashMap::new();
+    // Latest op that may have changed an array's contents.
+    let mut dirty: HashMap<u32, usize> = HashMap::new();
+    let mut env_dirty: Option<usize> = None;
+    fn resolve(copies: &HashMap<Slot, Slot>, s: Slot) -> Slot {
+        copies.get(&s).copied().unwrap_or(s)
+    }
+    for p in 0..region.len() {
+        let rep: Option<MOp> = if let MOp::ConcatS { dst, a, b, bw } = &region[p] {
+            let pa = def.get(&resolve(&copies, *a)).copied();
+            let pb = def.get(&resolve(&copies, *b)).copied();
+            // No store into `arr` (nor env control) since `first`, so
+            // the fused op's re-read sees the same element values.
+            let clean = |arr: u32, first: usize| {
+                dirty.get(&arr).is_none_or(|&s| s < first) && env_dirty.is_none_or(|s| s < first)
+            };
+            let pair = match (pa, pb) {
+                (Some(pa), Some(pb)) => match (&region[pa], &region[pb]) {
+                    (
+                        MOp::LdArrCS {
+                            arr: r1, idx: c1, ..
+                        },
+                        MOp::LdArrCS {
+                            arr: r2, idx: c2, ..
+                        },
+                    ) if r1 == r2 && c1.checked_add(1) == Some(*c2) && clean(*r1, pa.min(pb)) => {
+                        Some(MOp::LdArrPairCS {
+                            dst: *dst,
+                            arr: *r1,
+                            idx: *c1,
+                            bw: *bw,
+                        })
+                    }
+                    (
+                        MOp::LdArrS {
+                            arr: r1, idx: i1, ..
+                        },
+                        MOp::LdArrS {
+                            arr: r2, idx: i2, ..
+                        },
+                    ) if r1 == r2 && clean(*r1, pa.min(pb)) => {
+                        // The low index must come from the very add
+                        // that computed `(high index + 1) & mask`, and
+                        // the high index from a masked offset of some
+                        // base (`base & mask` or `(base + k) & mask`
+                        // with the same mask), so the fused op can
+                        // reproduce every wrap exactly.
+                        let ri1 = resolve(&copies, *i1);
+                        let ckonst = |s: &Slot| consts.get(&resolve(&copies, *s)).copied();
+                        let low = match def.get(&resolve(&copies, *i2)).map(|&q| &region[q]) {
+                            Some(MOp::BinS {
+                                op: BinOp::Add,
+                                a: x,
+                                b: y,
+                                mask,
+                                ..
+                            }) if (resolve(&copies, *x) == ri1 && ckonst(y) == Some(1))
+                                || (resolve(&copies, *y) == ri1 && ckonst(x) == Some(1)) =>
+                            {
+                                Some(*mask)
+                            }
+                            _ => None,
+                        };
+                        low.and_then(|mask| {
+                            let base_off = match def.get(&ri1).map(|&q| &region[q]) {
+                                Some(MOp::MaskS {
+                                    a: base, mask: m1, ..
+                                }) if *m1 == mask => Some((*base, 0)),
+                                Some(MOp::BinS {
+                                    op: BinOp::Add,
+                                    a: u,
+                                    b: v,
+                                    mask: m1,
+                                    ..
+                                }) if *m1 == mask => match (ckonst(u), ckonst(v)) {
+                                    (_, Some(k)) => Some((*u, k)),
+                                    (Some(k), _) => Some((*v, k)),
+                                    _ => None,
+                                },
+                                _ => None,
+                            };
+                            base_off.map(|(base, off)| MOp::LdArrPairS {
+                                dst: *dst,
+                                idx: base,
+                                arr: *r1,
+                                off,
+                                mask,
+                                bw: *bw,
+                            })
+                        })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            // Tower step: the high part is an accumulated value, but
+            // the low byte is still a load that can ride the concat.
+            pair.or_else(|| match pb.map(|q| (&region[q], q)) {
+                Some((MOp::LdArrCS { arr, idx, .. }, q)) if clean(*arr, q) => {
+                    Some(MOp::ConcatLdCS {
+                        dst: *dst,
+                        a: *a,
+                        arr: *arr,
+                        idx: *idx,
+                        bw: *bw,
+                    })
+                }
+                Some((MOp::LdArrS { arr, idx, .. }, q)) if clean(*arr, q) => Some(MOp::ConcatLdS {
+                    dst: *dst,
+                    a: *a,
+                    arr: *arr,
+                    idx: *idx,
+                    bw: *bw,
+                }),
+                _ => None,
+            })
+        } else {
+            None
+        };
+        if let Some(r) = rep {
+            region[p] = r;
+        }
+        match &region[p] {
+            MOp::StArrS { arr, .. }
+            | MOp::StArrW { arr, .. }
+            | MOp::StArrCS { arr, .. }
+            | MOp::StArrCW { arr, .. } => {
+                dirty.insert(*arr, p);
+            }
+            MOp::PauseOp | MOp::ExtOp { .. } => env_dirty = Some(p),
+            MOp::ConstS { dst, v } => {
+                consts.insert(*dst, *v);
+            }
+            MOp::CopyS { dst, a } => {
+                let src = resolve(&copies, *a);
+                copies.insert(*dst, src);
+                if let Some(&v) = consts.get(&src) {
+                    consts.insert(*dst, v);
+                }
+            }
+            _ => {}
+        }
+        if let Some((d, false)) = region[p].dst() {
+            def.insert(d, p);
+        }
+    }
+}
+
+/// Loop-invariant load motion (see [`Pass::LoopInvLoad`]).
+///
+/// A loop is a region `j` ending in `Jmp -> h` with `h <= j` (the shape
+/// `while`/`forever` lower to; the loop is entered by falling through
+/// from its predecessor). It is eligible when regions `h..=j` contain
+/// no `pause`/`ext`/`halt` (nothing inside lets the environment mutate
+/// state), every branch into `h..=j` comes from inside (single entry),
+/// and a fall-through predecessor region exists to host the hoisted
+/// loads. Inner loops are processed first, so invariant loads chain
+/// outward through nested loops.
+fn loop_inv_load(regions: &mut [Vec<MOp>], pins: &mut Pins) {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut loops: Vec<(usize, usize)> = Vec::new();
+    for (i, r) in regions.iter().enumerate() {
+        for m in r {
+            if let MOp::BranchZ { target, .. } | MOp::Jmp { target } = m {
+                edges.push((i, *target as usize));
+            }
+        }
+        if let Some(MOp::Jmp { target }) = r.last() {
+            let h = *target as usize;
+            if h <= i {
+                loops.push((h, i));
+            }
+        }
+    }
+
+    'next_loop: for (h, j) in loops {
+        for r in &regions[h..=j] {
+            for m in r {
+                if matches!(m, MOp::PauseOp | MOp::ExtOp { .. } | MOp::HaltOp) {
+                    continue 'next_loop;
+                }
+            }
+        }
+        for &(src, t) in &edges {
+            if (h..=j).contains(&t) && !(h..=j).contains(&src) {
+                continue 'next_loop;
+            }
+        }
+        // The hoist site: the region execution falls through into the
+        // loop from. Hoisted loads are appended after its terminal, so
+        // they run on the fall-through (loop entry) path only.
+        let Some(p) = (0..h).rev().find(|&p| !regions[p].is_empty()) else {
+            continue;
+        };
+        if matches!(regions[p].last(), Some(MOp::Jmp { .. } | MOp::HaltOp)) {
+            continue;
+        }
+
+        let mut wvars: HashSet<u32> = HashSet::new();
+        let mut wsigs: HashSet<u32> = HashSet::new();
+        let mut warrs: HashSet<u32> = HashSet::new();
+        for r in &regions[h..=j] {
+            for m in r {
+                match m {
+                    MOp::StVarS { var, .. } | MOp::StVarW { var, .. } => {
+                        wvars.insert(*var);
+                    }
+                    MOp::StSigS { sig, .. } | MOp::StSigW { sig, .. } => {
+                        wsigs.insert(*sig);
+                    }
+                    MOp::StArrS { arr, .. }
+                    | MOp::StArrW { arr, .. }
+                    | MOp::StArrCS { arr, .. }
+                    | MOp::StArrCW { arr, .. } => {
+                        warrs.insert(*arr);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut pinned: HashMap<(u8, u32, u32, bool), Slot> = HashMap::new();
+        let mut hoisted: Vec<MOp> = Vec::new();
+        for r in regions[h..=j].iter_mut() {
+            for m in r.iter_mut() {
+                // Input signals only change at pauses, so any in-signal
+                // read in a pause-free loop is invariant; everything
+                // else must not be written inside the loop.
+                let key = match &*m {
+                    MOp::LdVarS { var, .. } if !wvars.contains(var) => (0u8, *var, 0u32, false),
+                    MOp::LdVarW { var, .. } if !wvars.contains(var) => (0, *var, 0, true),
+                    MOp::LdSigS { sig, out, .. } if !*out || !wsigs.contains(sig) => {
+                        (1, *sig, u32::from(*out), false)
+                    }
+                    MOp::LdSigW { sig, out, .. } if !*out || !wsigs.contains(sig) => {
+                        (1, *sig, u32::from(*out), true)
+                    }
+                    MOp::LdArrCS { arr, idx, .. } if !warrs.contains(arr) => (2, *arr, *idx, false),
+                    MOp::LdArrCW { arr, idx, .. } if !warrs.contains(arr) => (2, *arr, *idx, true),
+                    _ => continue,
+                };
+                let wide = key.3;
+                let pin = *pinned.entry(key).or_insert_with(|| {
+                    let s = pins.alloc(wide);
+                    let mut hop = m.clone();
+                    if let Some((d, _)) = hop.dst_mut() {
+                        *d = s;
+                    }
+                    hoisted.push(hop);
+                    s
+                });
+                let dst = m.dst().expect("loads define a slot").0;
+                *m = if wide {
+                    MOp::CopyW { dst, a: pin }
+                } else {
+                    MOp::CopyS { dst, a: pin }
+                };
+            }
+        }
+        regions[p].extend(hoisted);
+    }
+}
+
 /// Copy propagation: substitute copy sources into later uses.
 fn copy_prop(region: &mut [MOp]) {
     let mut map_s: HashMap<Slot, Slot> = HashMap::new();
@@ -318,14 +1465,17 @@ fn coalesce(region: &mut [MOp]) {
 }
 
 /// Dead scratch elimination: backward liveness within the region;
-/// terminals are the roots.
-fn dead_scratch(region: &mut Vec<MOp>) {
-    let mut live: std::collections::HashSet<(Slot, bool)> = std::collections::HashSet::new();
+/// terminals are the roots, plus definitions of pinned slots, whose
+/// readers live in other regions (the [`Pass::LoopInvLoad`] bodies).
+fn dead_scratch(region: &mut Vec<MOp>, pins: &Pins) {
+    let mut live: HashSet<(Slot, bool)> = HashSet::new();
     let mut keep = vec![true; region.len()];
     for i in (0..region.len()).rev() {
         let op = &region[i];
         let needed = match op.dst() {
-            Some(d) => live.contains(&d),
+            Some((d, wide)) => {
+                live.contains(&(d, wide)) || d >= if wide { pins.base_w } else { pins.base_s }
+            }
             None => true, // terminals
         };
         if !needed {
@@ -343,11 +1493,11 @@ fn dead_scratch(region: &mut Vec<MOp>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compile::{compile_with_passes, mops_to_string, CompiledProgram};
+    use crate::compile::{compile_with_passes, mops_to_string, CompiledMachine, CompiledProgram};
     use crate::dsl::*;
     use crate::flat::flatten;
-    use crate::interp::{Machine, NullEnv, NullObserver};
-    use crate::program::ProgramBuilder;
+    use crate::interp::{Env, Machine, MachineState, NullEnv, NullObserver};
+    use crate::program::{ArrayBacking, ProgramBuilder};
 
     /// Compiles `pb`'s program under the given passes.
     fn lower(pb: &ProgramBuilder, passes: &[Pass]) -> CompiledProgram {
@@ -356,6 +1506,21 @@ mod tests {
 
     fn listing(cp: &CompiledProgram) -> String {
         mops_to_string(&cp.threads[0], &cp.prog)
+    }
+
+    /// Runs the tree-walker and the fully optimized compiled backend
+    /// for `cycles` and asserts identical register/array/signal state.
+    fn assert_lockstep(pb: &ProgramBuilder, cycles: u64) {
+        let flat = flatten(&pb.clone().build().unwrap()).unwrap();
+        let mut tw = Machine::new(flat);
+        tw.run_cycles(cycles, &mut NullEnv, &mut NullObserver)
+            .unwrap();
+        let mut cm = CompiledMachine::new(lower(pb, default_pipeline()));
+        cm.run_cycles(cycles, &mut NullEnv, &mut NullObserver)
+            .unwrap();
+        assert_eq!(tw.state().vars, cm.state().vars);
+        assert_eq!(tw.state().arrays, cm.state().arrays);
+        assert_eq!(tw.state().sigs_out, cm.state().sigs_out);
     }
 
     /// The doc-example program: `a := resize(resize(a + 1, 16), 8)`.
@@ -478,5 +1643,525 @@ mod tests {
             cm.run_cycles(3, &mut NullEnv, &mut NullObserver).unwrap();
             assert_eq!(cm.state().vars[0].to_u64(), 0xff);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-statement passes over widened regions
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn store_forwarding_spans_statements() {
+        // `a := a + 1; b := a + 2`: after widening, the second
+        // statement's reload of `a` forwards the stored sum — one
+        // register read survives.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 8);
+        let b = pb.reg("b", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(a, add(var(a), lit(1, 8))),
+                assign(b, add(var(a), lit(2, 8))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("<- var a").count(), 1, "{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn redundant_const_array_loads_collapse() {
+        // Two reads of t[2] in different statements become one LdArrC
+        // (ArrayStrength first turns both into constant-index loads so
+        // they unify by index value).
+        let mut pb = ProgramBuilder::new("p");
+        let t = pb.array_init(
+            "t",
+            8,
+            4,
+            ArrayBacking::LutRam,
+            vec![(2, Bits::from_u64(0x5a, 8))],
+        );
+        let x = pb.reg("x", 8);
+        let y = pb.reg("y", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(x, arr_read(t, lit(2, 3))),
+                assign(y, arr_read(t, lit(2, 3))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("t[#2]").count(), 1, "{text}");
+        assert_eq!(text.matches("<- t[").count(), 1, "{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn aliasing_array_write_blocks_reuse() {
+        // A dynamic-index store between two dynamic-index loads of the
+        // same array may alias them: the second load must stay.
+        let mut pb = ProgramBuilder::new("p");
+        let t = pb.array("t", 8, 4, ArrayBacking::LutRam);
+        let i = pb.reg_init("i", 3, Bits::from_u64(1, 3));
+        let x = pb.reg("x", 8);
+        let y = pb.reg("y", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(x, arr_read(t, var(i))),
+                arr_write(t, var(i), lit(7, 8)),
+                assign(y, arr_read(t, var(i))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("<- t[").count(), 2, "store must kill:\n{text}");
+        assert_lockstep(&pb, 3);
+
+        // Control: without the store the loads unify through the shared
+        // (copy-resolved) index slot.
+        let mut pb2 = ProgramBuilder::new("p");
+        let t = pb2.array("t", 8, 4, ArrayBacking::LutRam);
+        let i = pb2.reg_init("i", 3, Bits::from_u64(1, 3));
+        let x = pb2.reg("x", 8);
+        let y = pb2.reg("y", 8);
+        pb2.thread(
+            "main",
+            vec![
+                assign(x, arr_read(t, var(i))),
+                assign(y, arr_read(t, var(i))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb2, default_pipeline()));
+        assert_eq!(text.matches("<- t[").count(), 1, "{text}");
+        assert_lockstep(&pb2, 3);
+    }
+
+    #[test]
+    fn loop_invariant_loads_hoist_to_predecessor() {
+        // `len` is never written inside the pause-free loop, so its
+        // load hoists into the predecessor region and the loop body
+        // reads the pinned slot.
+        let mut pb = ProgramBuilder::new("p");
+        let len = pb.reg_init("len", 8, Bits::from_u64(5, 8));
+        let i = pb.reg("i", 8);
+        let acc = pb.reg("acc", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(acc, lit(0, 8)),
+                while_loop(
+                    lt(var(i), var(len)),
+                    vec![
+                        assign(acc, add(var(acc), var(i))),
+                        assign(i, add(var(i), lit(1, 8))),
+                    ],
+                ),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(
+            text.matches("<- var len").count(),
+            1,
+            "hoisted once:\n{text}"
+        );
+        // 0+1+2+3+4 = 10, computed identically by both backends.
+        assert_lockstep(&pb, 3);
+        let mut cm = CompiledMachine::new(lower(&pb, default_pipeline()));
+        cm.run_cycles(3, &mut NullEnv, &mut NullObserver).unwrap();
+        assert_eq!(cm.state().vars[2].to_u64(), 10);
+    }
+
+    #[test]
+    fn pause_blocks_cross_statement_reuse() {
+        // The env can rewrite input signals at every pause, so a signal
+        // read after a pause must re-sample.
+        struct SigTick;
+        impl Env for SigTick {
+            fn tick(&mut self, cycle: u64, _prog: &Program, st: &mut MachineState) {
+                st.sigs_in[0] = Bits::from_u64(0x11 + cycle, 8);
+            }
+        }
+        let mut pb = ProgramBuilder::new("p");
+        let s = pb.sig_in("s", 8);
+        let a = pb.reg("a", 8);
+        let b = pb.reg("b", 8);
+        pb.thread(
+            "main",
+            vec![assign(a, sig(s)), pause(), assign(b, sig(s)), halt()],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("<- sig s").count(), 2, "{text}");
+        let mut tw = Machine::new(flatten(&pb.clone().build().unwrap()).unwrap());
+        tw.run_cycles(4, &mut SigTick, &mut NullObserver).unwrap();
+        let mut cm = CompiledMachine::new(lower(&pb, default_pipeline()));
+        cm.run_cycles(4, &mut SigTick, &mut NullObserver).unwrap();
+        assert_eq!(tw.state().vars, cm.state().vars);
+        assert_ne!(cm.state().vars[0], cm.state().vars[1], "tick was visible");
+    }
+
+    #[test]
+    fn oob_const_array_read_folds_to_zero() {
+        let mut pb = ProgramBuilder::new("p");
+        let t = pb.array("t", 8, 4, ArrayBacking::LutRam);
+        let x = pb.reg("x", 8);
+        pb.thread("main", vec![assign(x, arr_read(t, lit(9, 4))), halt()]);
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert!(!text.contains("<- t["), "read folds away:\n{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn dead_scratch_keeps_cross_statement_values() {
+        // Satellite regression for the widened DeadScratch: a slot
+        // produced under one source statement and read (after
+        // redundant-load forwarding) by a later statement's store must
+        // survive, as must a pinned hoisted load that is never read in
+        // its own region.
+        let mut pb = ProgramBuilder::new("p");
+        let x = pb.reg_init("x", 8, Bits::from_u64(0x21, 8));
+        let a = pb.reg("a", 8);
+        let y = pb.reg("y", 8);
+        pb.thread(
+            "main",
+            vec![assign(a, add(var(x), lit(1, 8))), assign(y, var(a)), halt()],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        // The reload of `a` is forwarded away entirely...
+        assert_eq!(text.matches("<- var a").count(), 0, "{text}");
+        // ...but the producing Add must survive for both stores.
+        assert_eq!(text.matches("Add").count(), 1, "{text}");
+        let mut cm = CompiledMachine::new(lower(&pb, default_pipeline()));
+        cm.run_cycles(3, &mut NullEnv, &mut NullObserver).unwrap();
+        assert_eq!(cm.state().vars[2].to_u64(), 0x22);
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn parse_passes_accepts_knob_forms() {
+        assert_eq!(parse_passes("").unwrap(), default_pipeline().to_vec());
+        assert_eq!(
+            parse_passes("default").unwrap(),
+            default_pipeline().to_vec()
+        );
+        assert_eq!(parse_passes("none").unwrap(), Vec::new());
+        assert_eq!(parse_passes("stmt").unwrap(), statement_pipeline().to_vec());
+        assert_eq!(
+            parse_passes("const_fold, dead_scratch").unwrap(),
+            vec![Pass::ConstFold, Pass::DeadScratch]
+        );
+        assert!(parse_passes("const_fold,bogus").is_err());
+    }
+
+    #[test]
+    fn disabled_passes_still_agree_with_treewalker() {
+        // `none` still widens regions (renumbering only) — a semantics
+        // no-op that must stay in lockstep.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg("a", 8);
+        let b = pb.reg("b", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(a, add(var(a), lit(1, 8))),
+                assign(b, add(var(a), var(b))),
+                pause(),
+                assign(a, mul(var(a), lit(3, 8))),
+                halt(),
+            ],
+        );
+        let flat = flatten(&pb.clone().build().unwrap()).unwrap();
+        let mut tw = Machine::new(flat);
+        tw.run_cycles(4, &mut NullEnv, &mut NullObserver).unwrap();
+        for passes in [&[][..], statement_pipeline(), default_pipeline()] {
+            let mut cm = CompiledMachine::new(lower(&pb, passes));
+            cm.run_cycles(4, &mut NullEnv, &mut NullObserver).unwrap();
+            assert_eq!(tw.state().vars, cm.state().vars, "passes = {passes:?}");
+        }
+    }
+
+    #[test]
+    fn simplify_folds_identity_add() {
+        // `b := a + 0` on an 8-bit register: the Add disappears; only a
+        // mask of the loaded value remains (loaded values are not
+        // trusted to fit their declared width).
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg_init("a", 8, Bits::from_u64(0x21, 8));
+        let b = pb.reg("b", 8);
+        pb.thread("main", vec![assign(b, add(var(a), lit(0, 8))), halt()]);
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert!(!text.contains("Add"), "identity add must fold:\n{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn simplify_folds_absorbing_operands() {
+        // `b := a * 0` and `c := a & 0` are constants regardless of `a`.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg_init("a", 8, Bits::from_u64(0x5a, 8));
+        let b = pb.reg("b", 8);
+        let c = pb.reg("c", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(b, mul(var(a), lit(0, 8))),
+                assign(c, band(var(a), lit(0, 8))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert!(!text.contains("Mul"), "{text}");
+        assert!(!text.contains("And"), "{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn simplify_keeps_mask_when_operand_may_overflow() {
+        // `x + 0` where `x` is computed (so its bits are bounded) folds
+        // to a bare copy that CopyProp then erases; the value is exact.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg_init("a", 8, Bits::from_u64(0xff, 8));
+        let b = pb.reg("b", 8);
+        pb.thread(
+            "main",
+            vec![assign(b, add(add(var(a), lit(1, 8)), lit(0, 8))), halt()],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        // Only the inner (real) Add survives.
+        assert_eq!(text.matches("Add").count(), 1, "{text}");
+        let mut cm = CompiledMachine::new(lower(&pb, default_pipeline()));
+        cm.run_cycles(3, &mut NullEnv, &mut NullObserver).unwrap();
+        assert_eq!(cm.state().vars[1].to_u64(), 0, "0xff + 1 wraps to 0");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn cse_merges_duplicate_computations() {
+        // Two statements compute `a + 2`; after RedundantLoad unifies
+        // the operand loads, value numbering leaves a single Add.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg_init("a", 8, Bits::from_u64(7, 8));
+        let b = pb.reg("b", 8);
+        let c = pb.reg("c", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(b, add(var(a), lit(2, 8))),
+                assign(c, add(var(a), lit(2, 8))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("Add").count(), 1, "{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn cse_canonicalizes_commutative_operands() {
+        // `a + b` and `b + a` are the same value number; `a - b` and
+        // `b - a` are not.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg_init("a", 8, Bits::from_u64(9, 8));
+        let b = pb.reg_init("b", 8, Bits::from_u64(4, 8));
+        let x = pb.reg("x", 8);
+        let y = pb.reg("y", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(x, add(var(a), var(b))),
+                assign(y, add(var(b), var(a))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("Add").count(), 1, "{text}");
+        assert_lockstep(&pb, 3);
+
+        let mut pb2 = ProgramBuilder::new("p");
+        let a = pb2.reg_init("a", 8, Bits::from_u64(9, 8));
+        let b = pb2.reg_init("b", 8, Bits::from_u64(4, 8));
+        let x = pb2.reg("x", 8);
+        let y = pb2.reg("y", 8);
+        pb2.thread(
+            "main",
+            vec![
+                assign(x, sub(var(a), var(b))),
+                assign(y, sub(var(b), var(a))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb2, default_pipeline()));
+        assert_eq!(text.matches("Sub").count(), 2, "{text}");
+        assert_lockstep(&pb2, 3);
+    }
+
+    #[test]
+    fn cse_merges_rematerialized_constants() {
+        // The same literal in two statements lowers to two ConstS ops;
+        // value numbering keeps one.
+        let mut pb = ProgramBuilder::new("p");
+        let a = pb.reg_init("a", 8, Bits::from_u64(3, 8));
+        let b = pb.reg("b", 8);
+        let c = pb.reg("c", 8);
+        pb.thread(
+            "main",
+            vec![
+                assign(b, add(var(a), lit(0x2d, 8))),
+                assign(c, bxor(var(a), lit(0x2d, 8))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("const 0x2d").count(), 1, "{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn fuse_pairs_fuses_const_adjacent_loads() {
+        // A big-endian 16-bit field read over two constant indices —
+        // two loads and a concat — becomes one fused pair read, and the
+        // displaced loads die.
+        let mut pb = ProgramBuilder::new("p");
+        let t = pb.array_init(
+            "t",
+            8,
+            4,
+            ArrayBacking::LutRam,
+            vec![(2, Bits::from_u64(0xab, 8)), (3, Bits::from_u64(0xcd, 8))],
+        );
+        let x = pb.reg("x", 16);
+        pb.thread(
+            "main",
+            vec![
+                assign(x, concat(arr_read(t, lit(2, 3)), arr_read(t, lit(3, 3)))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("{t[#2], t[#3]:u8}").count(), 1, "{text}");
+        assert_eq!(text.matches("<- t[#2]\n").count(), 0, "{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn fuse_pairs_folds_dynamic_index_arithmetic() {
+        // The Internet-checksum shape: a pair read at `(i + 2, i + 3)`
+        // computed as a masked offset add plus a `+ 1` add. The fused
+        // op absorbs the loads, the concat, *and* the index arithmetic.
+        let mut pb = ProgramBuilder::new("p");
+        let t = pb.array_init(
+            "t",
+            8,
+            4,
+            ArrayBacking::LutRam,
+            vec![(2, Bits::from_u64(0xab, 8)), (3, Bits::from_u64(0xcd, 8))],
+        );
+        let i = pb.reg("i", 4);
+        let x = pb.reg("x", 16);
+        let base = add(var(i), lit(2, 4));
+        pb.thread(
+            "main",
+            vec![
+                assign(
+                    x,
+                    concat(arr_read(t, base.clone()), arr_read(t, add(base, lit(1, 4)))),
+                ),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(
+            text.matches("{t[(s0+0x2) & 0xf], t[+1]:u8}").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(text.matches("<- t[s").count(), 0, "loads must die:\n{text}");
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn fuse_pairs_tower_low_byte_rides_concat() {
+        // A 3-byte tower: the innermost pair fuses, and the remaining
+        // byte rides its concat as a fused low-part load.
+        let mut pb = ProgramBuilder::new("p");
+        let t = pb.array_init(
+            "t",
+            8,
+            4,
+            ArrayBacking::LutRam,
+            vec![
+                (0, Bits::from_u64(0x12, 8)),
+                (1, Bits::from_u64(0x34, 8)),
+                (2, Bits::from_u64(0x56, 8)),
+            ],
+        );
+        let x = pb.reg("x", 24);
+        pb.thread(
+            "main",
+            vec![
+                assign(
+                    x,
+                    concat(
+                        concat(arr_read(t, lit(0, 2)), arr_read(t, lit(1, 2))),
+                        arr_read(t, lit(2, 2)),
+                    ),
+                ),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(text.matches("{t[#0], t[#1]:u8}").count(), 1, "{text}");
+        assert_eq!(text.matches(", t[#2]:u8}").count(), 1, "{text}");
+        assert_eq!(
+            text.matches("<- t[#").count(),
+            0,
+            "no standalone loads survive:\n{text}"
+        );
+        assert_lockstep(&pb, 3);
+    }
+
+    #[test]
+    fn store_between_loads_blocks_pair_fusion() {
+        // After widening, a store into the array sits between the high
+        // load and the concat (the high value reaches the concat
+        // through store-forwarding of `a`). Re-reading both elements at
+        // the concat would see the new `t[1]`, so the pair fusion must
+        // not fire; fusing only the *low* load — which already sits
+        // after the store — is still legal.
+        let mut pb = ProgramBuilder::new("p");
+        let t = pb.array_init(
+            "t",
+            8,
+            4,
+            ArrayBacking::LutRam,
+            vec![(0, Bits::from_u64(0x12, 8)), (1, Bits::from_u64(0x34, 8))],
+        );
+        let a = pb.reg("a", 8);
+        let x = pb.reg("x", 16);
+        pb.thread(
+            "main",
+            vec![
+                assign(a, arr_read(t, lit(0, 2))),
+                arr_write(t, lit(1, 2), lit(0x99, 8)),
+                assign(x, concat(var(a), arr_read(t, lit(1, 2)))),
+                halt(),
+            ],
+        );
+        let text = listing(&lower(&pb, default_pipeline()));
+        assert_eq!(
+            text.matches("{t[#0], t[#1]:u8}").count(),
+            0,
+            "pair fusion across the store is unsound:\n{text}"
+        );
+        assert_lockstep(&pb, 5);
+        // x must see the *stored* low byte.
+        let mut cm = CompiledMachine::new(lower(&pb, default_pipeline()));
+        cm.run_cycles(5, &mut NullEnv, &mut NullObserver).unwrap();
+        assert_eq!(cm.state().vars[1].to_u64(), 0x1299);
     }
 }

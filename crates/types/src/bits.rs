@@ -44,6 +44,7 @@ impl Bits {
     /// # Panics
     ///
     /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    #[inline]
     pub fn zero(width: u16) -> Self {
         assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
         Bits {
@@ -53,11 +54,13 @@ impl Bits {
     }
 
     /// Creates a value of the given width holding `1`.
+    #[inline]
     pub fn one(width: u16) -> Self {
         Bits::from_u64(1, width)
     }
 
     /// Creates a value of the given width from a `u64`, truncating if needed.
+    #[inline]
     pub fn from_u64(v: u64, width: u16) -> Self {
         let mut b = Bits::zero(width);
         b.limbs[0] = v;
@@ -66,6 +69,7 @@ impl Bits {
     }
 
     /// Creates a value of the given width from a `u128`, truncating if needed.
+    #[inline]
     pub fn from_u128(v: u128, width: u16) -> Self {
         let mut b = Bits::zero(width);
         b.limbs[0] = v as u64;
@@ -75,6 +79,7 @@ impl Bits {
     }
 
     /// Creates a value from a boolean, with width 1.
+    #[inline]
     pub fn from_bool(v: bool) -> Self {
         Bits::from_u64(u64::from(v), 1)
     }
@@ -107,37 +112,44 @@ impl Bits {
     }
 
     /// Width of the value in bits.
+    #[inline]
     pub fn width(&self) -> u16 {
         self.width
     }
 
     /// Low 64 bits of the value.
+    #[inline]
     pub fn to_u64(&self) -> u64 {
         self.limbs[0]
     }
 
     /// Low 128 bits of the value.
+    #[inline]
     pub fn to_u128(&self) -> u128 {
         u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)
     }
 
     /// Interprets the value as a boolean (true iff non-zero).
+    #[inline]
     pub fn to_bool(&self) -> bool {
         !self.is_zero()
     }
 
     /// Returns true iff the value is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.limbs.iter().all(|&l| l == 0)
     }
 
     /// Raw limbs (little-endian 64-bit words). Used by the RTL simulator's
     /// trace dump.
+    #[inline]
     pub fn limbs(&self) -> &[u64; LIMBS] {
         &self.limbs
     }
 
     /// Masks off bits above `width`, restoring the representation invariant.
+    #[inline]
     fn normalize(&mut self) {
         let w = usize::from(self.width);
         for (i, limb) in self.limbs.iter_mut().enumerate() {
@@ -160,6 +172,7 @@ impl Bits {
     }
 
     /// Returns bit `i` (false if `i >= width`).
+    #[inline]
     pub fn bit(&self, i: u16) -> bool {
         if i >= self.width {
             return false;

@@ -92,11 +92,17 @@
 //! * [`Backend::Compiled`](stdlib::Backend) (**default**) — each thread
 //!   is lowered once, at build time, to a linear micro-op bytecode with
 //!   explicit scratch registers, pre-resolved ids, pre-computed widths,
-//!   and a `u64` fast path for values ≤ 64 bits, then run through an
-//!   optimization pass pipeline (constant folding → copy propagation →
-//!   slice/resize coalescing → dead-scratch elimination; see
-//!   [`ir::opt`]). Pick it everywhere throughput matters — it is what
-//!   the soak and scaling benches measure, and
+//!   and a `u64` fast path for values ≤ 64 bits, then run through the
+//!   **cross-statement** optimization pass pipeline ([`ir::opt`]):
+//!   observer-visibility analysis widens optimization regions past
+//!   source-statement boundaries wherever no observer event intervenes,
+//!   and the widened regions get constant folding, algebraic
+//!   simplification, array-access strength reduction, redundant-load
+//!   and common-subexpression elimination, loop-invariant load motion,
+//!   adjacent-load pair fusion, copy propagation, slice/resize
+//!   coalescing, and dead-scratch elimination. Pick it everywhere
+//!   throughput matters — it is what the soak and scaling benches
+//!   measure, and
 //!   `cargo run --release -p emu-bench --bin backend_compare` prints the
 //!   per-service speedup matrix.
 //! * [`Backend::TreeWalk`](stdlib::Backend) — the recursive reference
@@ -105,6 +111,28 @@
 //!   second opinion in differential tests. `EMU_CPU_BACKEND=treewalk`
 //!   forces it process-wide without code changes (CI runs the whole
 //!   test suite this way so the reference cannot rot).
+//!
+//! On top of backend choice, the Cpu engine runs batches in **lockstep**
+//! by default ([`EngineBuilder::batching`](stdlib::EngineBuilder::batching)):
+//! [`Engine::process_batch`](stdlib::Engine::process_batch) drives each
+//! shard's frames through a monomorphized frame loop that keeps the
+//! bytecode, scratch registers, and table state hot in cache across the
+//! whole batch instead of re-entering the engine per frame. The batched
+//! path mirrors the scalar path statement-for-statement — same driver,
+//! same telemetry ticks, same observer hooks — so `BatchReport`s,
+//! telemetry snapshots, and observer traces are byte-identical whether a
+//! batch ran batched, scalar, or tree-walked.
+//!
+//! Three env knobs make the whole compilation story inspectable without
+//! code changes: `EMU_CPU_BACKEND=treewalk|compiled` picks the backend,
+//! `EMU_CPU_PASSES` overrides the pass list (`none` disables every
+//! optimization; or a comma list like `const_fold,copy_prop` — the
+//! builder mirror is
+//! [`EngineBuilder::passes`](stdlib::EngineBuilder::passes)), and
+//! `EMU_CPU_DUMP_MOPS=1` prints each thread's annotated micro-op listing
+//! at build time. CI re-runs the entire suite under
+//! `EMU_CPU_PASSES=none` so the unoptimized lowering stays a working
+//! fallback and a miscompiling pass bisects with one env var.
 //!
 //! The two backends are **byte-identical in every observable**: machine
 //! state after every cycle (registers, arrays, output signals), observer
@@ -229,10 +257,11 @@
 //! The bench bins all emit one versioned JSON envelope
 //! ([`telemetry::BenchReport`], schema `emu-bench-report/v1`), so any
 //! two runs diff mechanically. The canonical sustained-rate numbers
-//! live in `BENCH_6.json`, regenerated by
-//! `cargo run --release -p emu-bench --bin sustained -- --check --out BENCH_6.json`
-//! and regression-gated in CI (>10 % Mpps drop or >20 % p99 rise
-//! fails).
+//! live in the committed `BENCH_*.json` trajectory (latest:
+//! `BENCH_10.json`), regenerated by
+//! `cargo run --release -p emu-bench --bin sustained -- --check --out BENCH_10.json`
+//! and regression-gated in CI against the previous PR's record
+//! (>10 % Mpps drop or >20 % p99 rise fails).
 //!
 //! ## Closed-loop hosts
 //!

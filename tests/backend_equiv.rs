@@ -183,28 +183,68 @@ fn expr(t: &mut Tape, sig: &Sig, depth: u32) -> Expr {
 
 /// A run of random statements. `depth` bounds statement nesting
 /// (`if_else` bodies); expressions are depth ≤ 2 off the leaves.
+///
+/// Beyond the uniform random arms, three directed shapes stress the
+/// cross-statement optimizer: repeated same-index array loads across
+/// consecutive statements (redundant-load elimination), an aliasing
+/// array write between two identical dynamic loads (the reuse *must*
+/// be blocked), and back-to-back reads of one input signal (legal to
+/// reuse between pauses, illegal across them — these land both inside
+/// and outside the generated pause-carrying loops).
 fn stmts(t: &mut Tape, sig: &Sig, depth: u32, count: usize) -> Vec<Stmt> {
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        out.push(match t.pick(10) {
-            0..=3 => assign(sig.regs[t.pick(sig.regs.len())].0, expr(t, sig, 2)),
+        match t.pick(13) {
+            0..=3 => out.push(assign(sig.regs[t.pick(sig.regs.len())].0, expr(t, sig, 2))),
             4 => {
                 let (a, _, _) = sig.arrs[t.pick(sig.arrs.len())];
-                arr_write(a, expr(t, sig, 1), expr(t, sig, 2))
+                out.push(arr_write(a, expr(t, sig, 1), expr(t, sig, 2)));
             }
-            5 => sig_write(sig.outs[t.pick(sig.outs.len())], expr(t, sig, 2)),
-            6 => label(["alpha", "beta", "gamma"][t.pick(3)]),
-            7 => ext_point(t.next() as u32 % 5),
+            5 => out.push(sig_write(sig.outs[t.pick(sig.outs.len())], expr(t, sig, 2))),
+            6 => out.push(label(["alpha", "beta", "gamma"][t.pick(3)])),
+            7 => out.push(ext_point(t.next() as u32 % 5)),
+            8 => {
+                // Repeated const-index array loads in back-to-back
+                // statements: the second load is redundant unless
+                // something invalidates it.
+                let (a, _, len) = sig.arrs[t.pick(sig.arrs.len())];
+                let idx = t.pick(len as usize) as u64;
+                let r1 = sig.regs[t.pick(sig.regs.len())].0;
+                let r2 = sig.regs[t.pick(sig.regs.len())].0;
+                out.push(assign(r1, add(arr_read(a, lit(idx, 8)), expr(t, sig, 1))));
+                out.push(assign(r2, bxor(arr_read(a, lit(idx, 8)), expr(t, sig, 1))));
+            }
+            9 => {
+                // Aliasing write between two identical dynamic loads:
+                // the store may or may not hit the loaded index, so the
+                // second load must re-read memory.
+                let (a, _, _) = sig.arrs[t.pick(sig.arrs.len())];
+                let idx_reg = sig.regs[t.pick(sig.regs.len())].0;
+                let r1 = sig.regs[t.pick(sig.regs.len())].0;
+                let r2 = sig.regs[t.pick(sig.regs.len())].0;
+                out.push(assign(r1, arr_read(a, var(idx_reg))));
+                out.push(arr_write(a, expr(t, sig, 1), expr(t, sig, 2)));
+                out.push(assign(r2, arr_read(a, var(idx_reg))));
+            }
+            10 => {
+                // Back-to-back input-signal reads across statements
+                // (loop-invariant when no pause intervenes).
+                let s = sig.ins[t.pick(sig.ins.len())];
+                let r1 = sig.regs[t.pick(sig.regs.len())].0;
+                let r2 = sig.regs[t.pick(sig.regs.len())].0;
+                out.push(assign(r1, add(dsl_sig(s), expr(t, sig, 1))));
+                out.push(assign(r2, band(dsl_sig(s), expr(t, sig, 1))));
+            }
             _ if depth > 0 => {
                 let cond = expr(t, sig, 2);
                 let nt = 1 + t.pick(2);
                 let then_ = stmts(t, sig, depth - 1, nt);
                 let ne = 1 + t.pick(2);
                 let else_ = stmts(t, sig, depth - 1, ne);
-                if_else(cond, then_, else_)
+                out.push(if_else(cond, then_, else_));
             }
-            _ => assign(sig.regs[t.pick(sig.regs.len())].0, expr(t, sig, 2)),
-        });
+            _ => out.push(assign(sig.regs[t.pick(sig.regs.len())].0, expr(t, sig, 2))),
+        }
     }
     out
 }
@@ -541,6 +581,62 @@ proptest! {
         }
     }
 
+    /// Lockstep across batch sizes: chunking one frame stream into
+    /// batches of 1, 3, and 16 through the batched fast path must
+    /// reproduce the scalar compiled run ([`EngineBuilder::batching`]
+    /// disabled) frame for frame — outputs, cycle counts — and land on
+    /// the identical [`EngineSnapshot`], for all five soak services.
+    /// The tree-walker anchors the reference run to the spec semantics.
+    #[test]
+    fn batched_lockstep_at_batch_sizes_1_3_16(seed in any::<u64>()) {
+        for (label, svc, mut gen) in soak_pairings(seed) {
+            let frames: Vec<Frame> = (0..96).map(|_| gen.next_frame()).collect();
+            let mut scalar = svc
+                .engine(Target::Cpu)
+                .backend(Backend::Compiled)
+                .batching(false)
+                .build()
+                .unwrap();
+            let mut reference = svc
+                .engine(Target::Cpu)
+                .backend(Backend::TreeWalk)
+                .build()
+                .unwrap();
+            let want = scalar.process_batch(&frames);
+            let tw = reference.process_batch(&frames);
+            for (i, (x, y)) in want.outputs.iter().zip(&tw.outputs).enumerate() {
+                prop_assert_eq!(
+                    x, y,
+                    "{}: scalar compiled vs treewalk diverged on frame {}", label, i
+                );
+            }
+            let want_snap = scalar.telemetry().expect("telemetry on by default");
+            for chunk in [1usize, 3, 16] {
+                let mut batched = svc
+                    .engine(Target::Cpu)
+                    .backend(Backend::Compiled)
+                    .batching(true)
+                    .build()
+                    .unwrap();
+                let mut outputs = Vec::with_capacity(frames.len());
+                for slice in frames.chunks(chunk) {
+                    outputs.extend(batched.process_batch(slice).outputs);
+                }
+                for (i, (x, y)) in outputs.iter().zip(&want.outputs).enumerate() {
+                    prop_assert_eq!(
+                        x, y,
+                        "{}: batch size {} diverged from scalar on frame {}", label, chunk, i
+                    );
+                }
+                prop_assert_eq!(
+                    batched.telemetry().expect("telemetry on by default"),
+                    want_snap.clone(),
+                    "{}: batch size {} telemetry snapshot diverged", label, chunk
+                );
+            }
+        }
+    }
+
     /// Compiled-vs-tree-walk `BatchReport` agreement for all five soak
     /// services under their `emu-traffic` mixes: every per-frame outcome
     /// (success bytes and error variants alike) and the per-shard cycle
@@ -577,6 +673,53 @@ proptest! {
                     label, i, shards
                 );
             }
+        }
+    }
+}
+
+/// The builder-side mirror of `EMU_CPU_PASSES`: pinning the compiled
+/// backend's pipeline to empty (no optimization) or to the
+/// statement-local list must be behaviour-invisible — identical
+/// outcomes, cycle accounting, and telemetry against the default
+/// (cross-statement) pipeline.
+#[test]
+fn engine_passes_knob_is_behavior_invisible() {
+    for (label, svc, mut gen) in soak_pairings(0xE11A) {
+        let frames: Vec<Frame> = (0..80).map(|_| gen.next_frame()).collect();
+        let mut reports = Vec::new();
+        let mut snaps = Vec::new();
+        let pipelines: [&[kiwi_ir::Pass]; 3] = [
+            kiwi_ir::default_pipeline(),
+            kiwi_ir::statement_pipeline(),
+            &[],
+        ];
+        for passes in pipelines {
+            let mut engine = svc
+                .engine(Target::Cpu)
+                .backend(Backend::Compiled)
+                .passes(passes)
+                .build()
+                .unwrap();
+            reports.push(engine.process_batch(&frames));
+            snaps.push(engine.telemetry().expect("telemetry on by default"));
+        }
+        for k in 1..reports.len() {
+            assert_eq!(
+                reports[0].shard_cycles, reports[k].shard_cycles,
+                "{label}: pipeline {k} changed cycle accounting"
+            );
+            for (i, (x, y)) in reports[0]
+                .outputs
+                .iter()
+                .zip(&reports[k].outputs)
+                .enumerate()
+            {
+                assert_eq!(x, y, "{label}: pipeline {k} diverged on frame {i}");
+            }
+            assert_eq!(
+                snaps[0], snaps[k],
+                "{label}: pipeline {k} changed telemetry"
+            );
         }
     }
 }
